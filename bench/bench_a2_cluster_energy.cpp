@@ -1,0 +1,160 @@
+// A2 — ablation: the eco plugin inside a production-like queue (DESIGN.md).
+//
+// The paper's evaluation benchmarks one job at a time; a production cluster
+// runs a mixed queue under a scheduler. This bench submits the same fleet
+// of jobs (HPCG jobs opted into chronus + fixed-duration jobs from other
+// users) under the four combinations of {plugin on/off} × {FIFO/backfill}
+// and reports makespan, total energy, energy per unit work, and average
+// queue wait — quantifying the paper's miles-per-gallon trade at fleet
+// scale.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "chronus/env.hpp"
+#include "common/table.hpp"
+#include "plugin/job_submit_eco.hpp"
+
+namespace {
+
+using namespace eco;
+
+struct FleetResult {
+  double makespan = 0.0;
+  double total_sys_mj = 0.0;
+  double avg_wait = 0.0;
+  double total_gflop_hours = 0.0;
+  double joules_per_tflop = 0.0;
+};
+
+FleetResult RunFleet(bool plugin_on, slurm::SchedulerPolicy policy) {
+  chronus::EnvOptions options;
+  options.cluster.nodes = 2;
+  options.cluster.policy = policy;
+  options.cluster.use_multifactor = false;
+  options.runner.target_seconds = 600.0;
+  auto env = chronus::MakeSimEnv(options);
+
+  const std::vector<chronus::Configuration> sweep = {
+      {32, 1, kHz(2'200'000)}, {32, 2, kHz(2'200'000)},
+      {32, 1, kHz(2'500'000)}, {32, 2, kHz(2'500'000)},
+      {16, 1, kHz(2'200'000)},
+  };
+  if (!chronus::RunFullPipeline(env, sweep, "brute-force").ok()) return {};
+
+  if (plugin_on) {
+    plugin::SetChronusGateway(env.gateway);
+    env.cluster->plugins().Load(plugin::EcoPluginOps());
+  }
+
+  // The fleet: interleaved HPCG jobs (opted in) and other users' fixed
+  // jobs, submitted over the first simulated hour.
+  const hpcg::HpcgPerfModel perf(env.cluster->node(0).params().perf);
+  const int iters =
+      perf.IterationsForDuration(hpcg::HpcgProblem::Official(), 600.0);
+  std::vector<slurm::JobId> ids;
+  Rng rng(2023);
+  for (int i = 0; i < 12; ++i) {
+    slurm::JobRequest request;
+    request.user_id = 1000 + (i % 3);
+    if (i % 2 == 0) {
+      request.name = "hpcg-" + std::to_string(i);
+      request.num_tasks = 32;
+      request.threads_per_core = 2;  // sloppy default the plugin fixes
+      request.comment = "chronus";
+      request.script = "srun --mpi=pmix_v4 ../hpcg/build/bin/xhpcg\n";
+      request.workload =
+          slurm::WorkloadSpec::Hpcg(hpcg::HpcgProblem::Official(), iters);
+      request.time_limit_s = 3600.0;
+    } else if (i % 4 == 1) {
+      // Wide multi-node jobs create head-of-line blocking that only
+      // backfill can work around.
+      request.name = "wide-" + std::to_string(i);
+      request.min_nodes = 2;
+      request.num_tasks = 64;
+      request.workload = slurm::WorkloadSpec::Fixed(400.0, 0.9);
+      request.time_limit_s = 900.0;
+    } else {
+      request.name = "other-" + std::to_string(i);
+      request.num_tasks = 8 + static_cast<int>(rng.NextBounded(16));
+      request.workload =
+          slurm::WorkloadSpec::Fixed(200.0 + rng.NextDouble() * 400.0, 0.85);
+      request.time_limit_s = 450.0;
+    }
+    // Staggered arrivals.
+    env.cluster->RunUntil(env.cluster->Now() + 120.0);
+    auto id = env.cluster->Submit(request);
+    if (id.ok()) ids.push_back(*id);
+  }
+  env.cluster->RunUntilIdle();
+  plugin::SetChronusGateway(nullptr);
+  if (plugin_on) env.cluster->plugins().Unload("job_submit/eco");
+
+  FleetResult result;
+  double first_submit = 1e18, last_end = 0.0;
+  std::size_t finished = 0;
+  for (const auto id : ids) {
+    const auto job = env.cluster->GetJob(id);
+    if (!job || job->state != slurm::JobState::kCompleted) continue;
+    ++finished;
+    first_submit = std::min(first_submit, job->submit_time);
+    last_end = std::max(last_end, job->end_time);
+    result.total_sys_mj += job->system_joules / 1e6;
+    result.avg_wait += job->WaitSeconds();
+    result.total_gflop_hours += job->gflops * job->RunSeconds() / 3600.0;
+  }
+  if (finished == 0) return result;
+  result.makespan = last_end - first_submit;
+  result.avg_wait /= static_cast<double>(finished);
+  if (result.total_gflop_hours > 0.0) {
+    // total FLOP = gflop_hours · 3600 GFLOP; 1 TFLOP = 1000 GFLOP.
+    const double tflops = result.total_gflop_hours * 3600.0 / 1000.0;
+    result.joules_per_tflop = result.total_sys_mj * 1e6 / tflops;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eco;
+  using namespace eco::bench;
+  Logger::Instance().SetLevel(LogLevel::kError);
+  std::printf("A2: fleet-scale energy, plugin x scheduler ablation\n\n");
+
+  TextTable table({"plugin", "scheduler", "makespan (s)", "energy (MJ)",
+                   "J per TFLOP", "avg wait (s)"});
+  FleetResult results[2][2];
+  const char* plugin_names[2] = {"off", "on"};
+  const char* policy_names[2] = {"fifo", "backfill"};
+  for (int p = 0; p < 2; ++p) {
+    for (int s = 0; s < 2; ++s) {
+      const auto policy = s == 0 ? slurm::SchedulerPolicy::kFifo
+                                 : slurm::SchedulerPolicy::kBackfill;
+      results[p][s] = RunFleet(p == 1, policy);
+      const auto& r = results[p][s];
+      table.AddRow({plugin_names[p], policy_names[s],
+                    FormatDouble(r.makespan, 0),
+                    FormatDouble(r.total_sys_mj, 2),
+                    FormatDouble(r.joules_per_tflop, 1),
+                    FormatDouble(r.avg_wait, 0)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const double energy_saving =
+      1.0 - results[1][1].total_sys_mj / results[0][1].total_sys_mj;
+  const double makespan_cost =
+      results[1][1].makespan / results[0][1].makespan - 1.0;
+  std::printf("plugin energy saving under backfill: %.1f%%\n",
+              energy_saving * 100);
+  std::printf("makespan cost: %.1f%%\n", makespan_cost * 100);
+
+  bool pass = energy_saving > 0.02;          // plugin saves fleet energy
+  pass &= makespan_cost < 0.10;              // at modest schedule cost
+  pass &= results[1][1].joules_per_tflop < results[0][1].joules_per_tflop;
+  std::printf("shape check (plugin saves energy & J/TFLOP, <10%% makespan): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

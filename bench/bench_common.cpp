@@ -1,0 +1,177 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace eco::bench {
+namespace {
+
+// Tables 4, 5 and 6 of the paper, transcribed verbatim:
+// {cores, GHz, GFLOPS/W, hyper-threading}.
+const std::vector<PaperGpwRow> kPaperTable = {
+    {32, 2.2, 0.048767, false}, {32, 2.2, 0.048286, true},
+    {32, 1.5, 0.047978, false}, {32, 1.5, 0.046933, true},
+    {30, 2.2, 0.045618, true},  {30, 2.2, 0.045603, false},
+    {30, 1.5, 0.044614, true},  {28, 2.2, 0.044392, false},
+    {30, 1.5, 0.044127, false}, {28, 2.2, 0.043690, true},
+    {32, 2.5, 0.043168, false}, {32, 2.5, 0.043122, true},
+    {28, 1.5, 0.042526, true},  {27, 2.2, 0.042289, true},
+    {27, 2.2, 0.042171, false}, {28, 1.5, 0.041438, false},
+    {27, 1.5, 0.041218, true},  {30, 2.5, 0.040994, false},
+    {27, 1.5, 0.040803, false}, {25, 2.2, 0.040196, false},
+    {25, 2.2, 0.039824, true},  {30, 2.5, 0.039537, true},
+    {28, 2.5, 0.038596, true},  {25, 1.5, 0.038480, false},
+    {28, 2.5, 0.038408, false}, {24, 2.2, 0.038154, false},
+    {24, 2.2, 0.037978, true},  {25, 1.5, 0.037609, true},
+    {27, 2.5, 0.037581, true},  {27, 2.5, 0.037275, false},
+    {24, 1.5, 0.037072, false}, {24, 1.5, 0.036513, true},
+    {25, 2.5, 0.035153, true},  {25, 2.5, 0.034758, false},
+    {21, 2.2, 0.034490, false}, {21, 2.2, 0.034477, true},
+    {24, 2.5, 0.034234, false}, {20, 2.2, 0.033840, false},
+    {21, 1.5, 0.033378, false}, {20, 2.2, 0.033332, true},
+    {21, 1.5, 0.033251, true},  {24, 2.5, 0.032800, true},
+    {20, 1.5, 0.032278, false}, {21, 2.5, 0.031940, false},
+    {21, 2.5, 0.031821, true},  {20, 1.5, 0.031744, true},
+    {20, 2.5, 0.031623, true},  {20, 2.5, 0.031473, false},
+    {18, 2.2, 0.031221, false}, {18, 2.2, 0.031209, true},
+    {18, 1.5, 0.030226, false}, {18, 1.5, 0.030030, true},
+    {8, 2.5, 0.030025, false},  {16, 2.2, 0.029694, false},
+    {18, 2.5, 0.029675, false}, {16, 2.2, 0.029481, true},
+    {8, 2.2, 0.029461, true},   {18, 2.5, 0.029385, true},
+    {9, 2.2, 0.029378, false},  {8, 2.2, 0.029355, false},
+    {8, 2.5, 0.029334, true},   {10, 2.2, 0.029024, false},
+    {10, 2.5, 0.028914, false}, {10, 2.2, 0.028787, true},
+    {9, 2.2, 0.028717, true},   {6, 2.5, 0.028709, true},
+    {9, 2.5, 0.028601, true},   {12, 2.2, 0.028460, false},
+    {9, 2.5, 0.028423, false},  {16, 2.5, 0.028402, false},
+    {12, 2.5, 0.028379, true},  {12, 2.5, 0.028355, false},
+    {16, 2.5, 0.028317, true},  {10, 2.5, 0.028312, true},
+    {15, 2.2, 0.028312, true},  {12, 2.2, 0.028258, true},
+    {14, 2.2, 0.028235, true},  {16, 1.5, 0.028144, false},
+    {14, 2.2, 0.028097, false}, {6, 2.5, 0.027928, false},
+    {15, 2.2, 0.027785, false}, {7, 2.5, 0.027625, false},
+    {7, 2.5, 0.027594, true},   {14, 1.5, 0.027554, false},
+    {16, 1.5, 0.027520, true},  {15, 2.5, 0.027500, false},
+    {15, 2.5, 0.027353, true},  {7, 2.2, 0.027228, true},
+    {14, 1.5, 0.027054, true},  {7, 2.2, 0.027033, false},
+    {14, 2.5, 0.027008, false}, {12, 1.5, 0.026994, false},
+    {15, 1.5, 0.026925, true},  {15, 1.5, 0.026879, false},
+    {14, 2.5, 0.026860, true},  {6, 2.2, 0.026797, true},
+    {10, 1.5, 0.026599, false}, {8, 1.5, 0.026577, true},
+    {10, 1.5, 0.026549, true},  {6, 2.2, 0.026512, false},
+    {8, 1.5, 0.026397, false},  {9, 1.5, 0.026236, false},
+    {12, 1.5, 0.026219, true},  {9, 1.5, 0.026151, true},
+    {5, 2.5, 0.026056, true},   {5, 2.5, 0.026028, false},
+    {4, 2.5, 0.025157, true},   {4, 2.5, 0.024648, false},
+    {5, 2.2, 0.023307, false},  {7, 1.5, 0.022859, true},
+    {5, 2.2, 0.022752, true},   {7, 1.5, 0.022643, false},
+    {4, 2.2, 0.022313, false},  {6, 1.5, 0.021718, true},
+    {6, 1.5, 0.021681, false},  {4, 2.2, 0.021294, true},
+    {3, 2.5, 0.020024, false},  {3, 2.5, 0.019348, true},
+    {5, 1.5, 0.018599, true},   {5, 1.5, 0.018445, false},
+    {4, 1.5, 0.016654, false},  {4, 1.5, 0.016160, true},
+    {2, 2.5, 0.016094, false},  {2, 2.5, 0.015917, true},
+    {3, 2.2, 0.015503, true},   {1, 2.5, 0.014558, false},
+    {1, 2.5, 0.014548, true},   {3, 2.2, 0.014462, false},
+    {2, 2.2, 0.011852, false},  {3, 1.5, 0.011503, true},
+    {2, 2.2, 0.011355, true},   {3, 1.5, 0.011177, false},
+    {1, 2.2, 0.010560, true},   {1, 2.2, 0.010462, false},
+    {1, 1.5, 0.007571, true},   {1, 1.5, 0.007569, false},
+    {2, 1.5, 0.007236, false},  {2, 1.5, 0.007150, true},
+};
+
+}  // namespace
+
+const std::vector<int>& PaperCoreCounts() {
+  static const std::vector<int> counts = {1,  2,  3,  4,  5,  6,  7,  8,
+                                          9,  10, 12, 14, 15, 16, 18, 20,
+                                          21, 24, 25, 27, 28, 30, 32};
+  return counts;
+}
+
+std::vector<chronus::Configuration> PaperSweepConfigurations() {
+  std::vector<chronus::Configuration> configs;
+  for (const int cores : PaperCoreCounts()) {
+    for (const KiloHertz f :
+         {kHz(1'500'000), kHz(2'200'000), kHz(2'500'000)}) {
+      for (const int tpc : {1, 2}) {
+        configs.push_back({cores, tpc, f});
+      }
+    }
+  }
+  return configs;
+}
+
+const std::vector<PaperGpwRow>& PaperGpwTable() { return kPaperTable; }
+
+double PaperGpw(int cores, double ghz, bool ht) {
+  for (const auto& row : kPaperTable) {
+    if (row.cores == cores && std::abs(row.ghz - ghz) < 1e-9 && row.ht == ht) {
+      return row.gflops_per_watt;
+    }
+  }
+  return 0.0;
+}
+
+PaperRunStats PaperStandardRun() {
+  return {216.6, 120.4, 240.2, 133.5, 62.8, 18 * 60.0 + 29.0};
+}
+
+PaperRunStats PaperBestRun() {
+  return {190.1, 97.4, 214.4, 109.8, 53.8, 18 * 60.0 + 47.0};
+}
+
+chronus::ChronusEnv MakePaperEnv() {
+  Logger::Instance().SetLevel(LogLevel::kWarn);
+  chronus::EnvOptions options;  // in-memory, EPYC profile, ~18.5 min runs
+  return chronus::MakeSimEnv(options);
+}
+
+std::vector<chronus::BenchmarkRecord> RunSweep(
+    const std::vector<chronus::Configuration>& configs, bool sort_by_gpw) {
+  auto env = MakePaperEnv();
+  auto records = env.benchmark->Run(configs);
+  if (!records.ok()) {
+    ECO_ERROR << "sweep failed: " << records.message();
+    return {};
+  }
+  auto out = std::move(records.value());
+  if (sort_by_gpw) {
+    std::sort(out.begin(), out.end(),
+              [](const chronus::BenchmarkRecord& a,
+                 const chronus::BenchmarkRecord& b) {
+                return a.GflopsPerWatt() > b.GflopsPerWatt();
+              });
+  }
+  return out;
+}
+
+double SpearmanRank(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return v[i] < v[j]; });
+    std::vector<double> rank(v.size());
+    for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+    return rank;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  }
+  const double n = static_cast<double>(ra.size());
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+std::string Ghz(KiloHertz f) { return FormatDouble(KiloHertzToGHz(f), 1); }
+
+}  // namespace eco::bench

@@ -1,0 +1,61 @@
+// Shared harness for the paper-reproduction benches: a standard simulated
+// deployment, sweep runners, the paper's published numbers (Tables 1-6) for
+// side-by-side comparison, and rank-correlation fidelity metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chronus/domain.hpp"
+#include "chronus/env.hpp"
+
+namespace eco::bench {
+
+// The paper's measurement grid: 23 core counts × {1.5, 2.2, 2.5} GHz ×
+// HT on/off = 138 configurations (Tables 4-6).
+const std::vector<int>& PaperCoreCounts();
+std::vector<chronus::Configuration> PaperSweepConfigurations();
+
+// One row of the paper's Tables 4-6.
+struct PaperGpwRow {
+  int cores;
+  double ghz;
+  double gflops_per_watt;
+  bool ht;
+};
+// All 138 published rows.
+const std::vector<PaperGpwRow>& PaperGpwTable();
+// Lookup (0.0 if the paper has no such row).
+double PaperGpw(int cores, double ghz, bool ht);
+
+// Paper Table 2 (best vs standard run statistics).
+struct PaperRunStats {
+  double avg_sys_w;
+  double avg_cpu_w;
+  double sys_kj;
+  double cpu_kj;
+  double avg_temp_c;
+  double runtime_s;
+};
+PaperRunStats PaperStandardRun();  // 32 c @ 2.5 GHz, no HT
+PaperRunStats PaperBestRun();      // 32 c @ 2.2 GHz, no HT
+
+// A full-length (paper-scale, ~18.5 min reference runtime) environment on
+// the EPYC 7502P profile, in-memory repository.
+chronus::ChronusEnv MakePaperEnv();
+
+// Runs the given configurations through the Chronus benchmark service on a
+// fresh paper env and returns the records (sorted by GFLOPS/W descending
+// when `sort_by_gpw`).
+std::vector<chronus::BenchmarkRecord> RunSweep(
+    const std::vector<chronus::Configuration>& configs,
+    bool sort_by_gpw = true);
+
+// Spearman rank correlation between two equal-length vectors (fidelity
+// metric: does the reproduction rank configurations like the paper?).
+double SpearmanRank(const std::vector<double>& a, const std::vector<double>& b);
+
+// Pretty printers.
+std::string Ghz(KiloHertz f);
+
+}  // namespace eco::bench

@@ -1,0 +1,107 @@
+// E2 — Figure 14 a/b/c: the GFLOPS/W surface over cores × frequency, with
+// and without hyper-threading. The paper plots 3-D surfaces; this harness
+// prints the same series as grids (one row per core count, one column per
+// frequency) plus the paper's qualitative observations as checks.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "chronus/storage.hpp"
+
+int main() {
+  using namespace eco;
+  using namespace eco::bench;
+  std::printf("E2: GFLOPS/W surface (paper Figure 14 a/b/c)\n\n");
+
+  const auto records = RunSweep(PaperSweepConfigurations(), /*sort=*/false);
+  if (records.empty()) return 1;
+
+  std::map<std::tuple<int, KiloHertz, bool>, double> gpw;
+  for (const auto& r : records) {
+    gpw[{r.config.cores, r.config.frequency, r.config.threads_per_core > 1}] =
+        r.GflopsPerWatt();
+  }
+
+  for (const bool ht : {false, true}) {
+    std::printf("Figure 14%s: GFLOPS/W %s hyper-threading\n", ht ? "a" : "b",
+                ht ? "with" : "without");
+    TextTable table({"cores", "1.5 GHz", "2.2 GHz", "2.5 GHz"});
+    for (const int cores : PaperCoreCounts()) {
+      table.AddRow({std::to_string(cores),
+                    FormatDouble(gpw[{cores, kHz(1'500'000), ht}], 4),
+                    FormatDouble(gpw[{cores, kHz(2'200'000), ht}], 4),
+                    FormatDouble(gpw[{cores, kHz(2'500'000), ht}], 4)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // Figure 14c overlap: where HT wins.
+  std::printf("Figure 14c: HT-minus-noHT delta at 2.2 GHz\n");
+  TextTable delta({"cores", "delta GFLOPS/W", "HT wins?"});
+  for (const int cores : PaperCoreCounts()) {
+    const double d =
+        gpw[{cores, kHz(2'200'000), true}] - gpw[{cores, kHz(2'200'000), false}];
+    delta.AddRow({std::to_string(cores), FormatDouble(d, 5),
+                  d > 0 ? "yes" : "no"});
+  }
+  std::printf("%s\n", delta.Render().c_str());
+
+  // Plot-ready artifact: the full surface as CSV.
+  {
+    std::string csv = "cores,freq_khz,ht,gflops_per_watt\n";
+    for (const auto& [key, value] : gpw) {
+      const auto& [cores, freq, ht_flag] = key;
+      csv += std::to_string(cores) + "," + std::to_string(freq) + "," +
+             (ht_flag ? "1" : "0") + "," + FormatDouble(value, 6) + "\n";
+    }
+    chronus::EnsureDirectory("artifacts");
+    chronus::WriteWholeFile("artifacts/fig14_surface.csv", csv);
+    std::printf("wrote artifacts/fig14_surface.csv\n\n");
+  }
+
+  // Shape checks: the paper's three observations.
+  bool pass = true;
+  // (a) The surface peaks at 32 c @ 2.2 GHz without HT.
+  double best = 0.0;
+  std::tuple<int, KiloHertz, bool> best_key;
+  for (const auto& [key, value] : gpw) {
+    if (value > best) {
+      best = value;
+      best_key = key;
+    }
+  }
+  const bool peak_ok = best_key == std::make_tuple(32, kHz(2'200'000), false);
+  std::printf("peak at 32c @ 2.2 GHz no-HT: %s\n", peak_ok ? "PASS" : "FAIL");
+  pass &= peak_ok;
+
+  // (b) GFLOPS/W grows with cores along every frequency/HT series.
+  bool monotone = true;
+  for (const KiloHertz f : {kHz(1'500'000), kHz(2'200'000), kHz(2'500'000)}) {
+    for (const bool ht : {false, true}) {
+      double prev = 0.0;
+      for (const int cores : PaperCoreCounts()) {
+        if (gpw[{cores, f, ht}] < prev * 0.97) monotone = false;  // small dips ok
+        prev = gpw[{cores, f, ht}];
+      }
+    }
+  }
+  std::printf("GFLOPS/W rises with cores (within 3%% dips): %s\n",
+              monotone ? "PASS" : "FAIL");
+  pass &= monotone;
+
+  // (c) Rank correlation with the paper's 138 published values.
+  std::vector<double> ours, paper;
+  for (const auto& row : PaperGpwTable()) {
+    ours.push_back(gpw[{row.cores, GHzToKiloHertz(row.ghz), row.ht}]);
+    paper.push_back(row.gflops_per_watt);
+  }
+  const double rho = SpearmanRank(ours, paper);
+  std::printf("Spearman rank correlation vs paper Tables 4-6: %.4f %s\n", rho,
+              rho > 0.95 ? "PASS" : "FAIL");
+  pass &= rho > 0.95;
+
+  return pass ? 0 : 1;
+}

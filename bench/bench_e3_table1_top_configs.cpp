@@ -1,0 +1,70 @@
+// E3 — Table 1: the 13 best configurations by GFLOPS/W, with the
+// normalised "GFLOPS/watt %" column (relative to the standard
+// configuration) and the performance ratio, exactly as the paper lays the
+// table out. Grey rows (HT on) are marked "t", the standard configuration
+// is flagged.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace eco;
+  using namespace eco::bench;
+  std::printf("E3: top configurations by GFLOPS/W (paper Table 1)\n\n");
+
+  auto records = RunSweep(PaperSweepConfigurations(), /*sort=*/true);
+  if (records.empty()) return 1;
+
+  // The paper normalises against the standard Slurm configuration:
+  // 32 cores @ max frequency (2.5 GHz), and its performance column against
+  // the standard run's GFLOPS.
+  const chronus::BenchmarkRecord* standard = nullptr;
+  for (const auto& r : records) {
+    if (r.config.cores == 32 && r.config.frequency == kHz(2'500'000) &&
+        r.config.threads_per_core == 1) {
+      standard = &r;
+    }
+  }
+  if (standard == nullptr) return 1;
+  const double std_gpw = standard->GflopsPerWatt();
+  const double std_gflops = standard->gflops;
+
+  TextTable table({"Cores", "GHz", "HT", "GFLOPS/W", "GFLOPS/W %",
+                   "Performance %", "paper GFLOPS/W", "note"});
+  for (std::size_t i = 0; i < records.size() && i < 13; ++i) {
+    const auto& r = records[i];
+    const bool ht = r.config.threads_per_core > 1;
+    const bool is_standard = &r == standard;
+    const double paper = PaperGpw(r.config.cores,
+                                  KiloHertzToGHz(r.config.frequency), ht);
+    table.AddRow({std::to_string(r.config.cores), Ghz(r.config.frequency),
+                  ht ? "t" : "f", FormatDouble(r.GflopsPerWatt(), 4),
+                  FormatDouble(r.GflopsPerWatt() / std_gpw, 2),
+                  FormatDouble(r.gflops / std_gflops, 2),
+                  paper > 0 ? FormatDouble(paper, 4) : "-",
+                  is_standard ? "standard config" : ""});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Paper headline: the best configuration is 32c @ 2.2 GHz without HT,
+  // ~13 % better GFLOPS/W than standard at only ~2 % performance loss.
+  const auto& best = records.front();
+  const double gain = best.GflopsPerWatt() / std_gpw - 1.0;
+  const double perf_loss = 1.0 - best.gflops / std_gflops;
+  std::printf("best configuration: %s\n", best.config.ToString().c_str());
+  std::printf("GFLOPS/W gain vs standard: %.1f%% (paper: 13%%)\n",
+              gain * 100.0);
+  std::printf("performance cost: %.1f%% (paper: 2%%)\n", perf_loss * 100.0);
+
+  bool pass = best.config.cores == 32 &&
+              best.config.frequency == kHz(2'200'000) &&
+              best.config.threads_per_core == 1;
+  pass &= gain > 0.08 && gain < 0.20;
+  pass &= perf_loss < 0.06;
+  std::printf("shape check (best = 32c@2.2 no-HT, gain 8-20%%, perf loss <6%%): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// E4 — Tables 4/5/6: the full 138-row GFLOPS/W listing, sorted descending,
+// printed next to the paper's published value for every row, with rank
+// fidelity metrics at the end.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace eco;
+  using namespace eco::bench;
+  std::printf("E4: full configuration sweep (paper Tables 4-6, 138 rows)\n\n");
+
+  auto records = RunSweep(PaperSweepConfigurations(), /*sort=*/true);
+  if (records.empty()) return 1;
+
+  TextTable table({"Cores", "GHz", "GFLOPS p/ watt", "Hyper-thread",
+                   "paper value", "paper rank"});
+  // Pre-compute paper ranks (descending by gpw).
+  const auto& paper_rows = PaperGpwTable();
+  auto paper_rank = [&](int cores, double ghz, bool ht) {
+    for (std::size_t i = 0; i < paper_rows.size(); ++i) {
+      const auto& row = paper_rows[i];
+      if (row.cores == cores && std::abs(row.ghz - ghz) < 1e-9 &&
+          row.ht == ht) {
+        return static_cast<int>(i + 1);
+      }
+    }
+    return 0;
+  };
+
+  for (const auto& r : records) {
+    const bool ht = r.config.threads_per_core > 1;
+    const double ghz = KiloHertzToGHz(r.config.frequency);
+    const double paper = PaperGpw(r.config.cores, ghz, ht);
+    table.AddRow({std::to_string(r.config.cores), Ghz(r.config.frequency),
+                  FormatDouble(r.GflopsPerWatt(), 6), ht ? "True" : "False",
+                  paper > 0 ? FormatDouble(paper, 6) : "-",
+                  std::to_string(paper_rank(r.config.cores, ghz, ht))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("rows reproduced: %zu (paper: %zu)\n\n", records.size(),
+              paper_rows.size());
+
+  // Fidelity: Spearman rank correlation and top/bottom agreement.
+  std::vector<double> ours, paper;
+  for (const auto& row : paper_rows) {
+    for (const auto& r : records) {
+      if (r.config.cores == row.cores &&
+          std::abs(KiloHertzToGHz(r.config.frequency) - row.ghz) < 1e-9 &&
+          (r.config.threads_per_core > 1) == row.ht) {
+        ours.push_back(r.GflopsPerWatt());
+        paper.push_back(row.gflops_per_watt);
+      }
+    }
+  }
+  const double rho = SpearmanRank(ours, paper);
+  std::printf("Spearman rank correlation vs paper: %.4f\n", rho);
+
+  // Top-5 and bottom-5 of the paper must land in our top/bottom 15.
+  int top_hits = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto& p = paper_rows[static_cast<std::size_t>(i)];
+    for (int j = 0; j < 15 && j < static_cast<int>(records.size()); ++j) {
+      const auto& r = records[static_cast<std::size_t>(j)];
+      if (r.config.cores == p.cores &&
+          std::abs(KiloHertzToGHz(r.config.frequency) - p.ghz) < 1e-9 &&
+          (r.config.threads_per_core > 1) == p.ht) {
+        ++top_hits;
+      }
+    }
+  }
+  std::printf("paper top-5 found in our top-15: %d/5\n", top_hits);
+
+  const bool pass = rho > 0.95 && top_hits >= 4 &&
+                    records.size() == paper_rows.size();
+  std::printf("shape check (rho>0.95, top-5 overlap>=4, 138 rows): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// E7 — the submit-path constraint: Slurm gives a job-submit plugin very
+// little time ("Slurm has a very short time to make a decision when a job
+// is submitted ... and raises an error if a plugin takes too long", §3.1.2)
+// — which is why Chronus pre-loads models to local disk and why our
+// SlurmConfigService caches deserialized models in memory.
+//
+// Uses google-benchmark to measure job_submit latency in three regimes:
+// plugin skipping (no opt-in), predicting from the warm in-memory cache,
+// and the cold path that parses the pre-loaded model file.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "chronus/env.hpp"
+#include "plugin/job_submit_eco.hpp"
+#include "slurm/job_desc.hpp"
+
+namespace {
+
+using namespace eco;
+
+struct Fixture {
+  chronus::ChronusEnv env;
+  std::string script;
+
+  Fixture() {
+    env = bench::MakePaperEnv();
+    const std::vector<chronus::Configuration> sweep = {
+        {32, 1, kHz(2'200'000)}, {32, 1, kHz(2'500'000)},
+        {16, 1, kHz(2'200'000)}, {32, 2, kHz(2'200'000)},
+    };
+    const auto meta = chronus::RunFullPipeline(env, sweep, "random-tree");
+    if (!meta.ok()) std::abort();
+    plugin::SetChronusGateway(env.gateway);
+    script = "#!/bin/bash\nsrun --mpi=pmix_v4 ../hpcg/build/bin/xhpcg\n";
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+slurm::JobRequest MakeRequest(const Fixture& fixture, bool opted_in) {
+  slurm::JobRequest request;
+  request.num_tasks = 32;
+  request.comment = opted_in ? "chronus" : "plain";
+  request.script = fixture.script;
+  return request;
+}
+
+void BM_JobSubmit_NotOptedIn(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const auto request = MakeRequest(fixture, false);
+  for (auto _ : state) {
+    slurm::JobDescWrapper wrapper(request, 1);
+    char* err = nullptr;
+    benchmark::DoNotOptimize(
+        plugin::EcoPluginOps()->job_submit(wrapper.desc(), 0, &err));
+  }
+}
+BENCHMARK(BM_JobSubmit_NotOptedIn);
+
+void BM_JobSubmit_WarmModelCache(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const auto request = MakeRequest(fixture, true);
+  // Prime the cache once.
+  {
+    slurm::JobDescWrapper wrapper(request, 1);
+    char* err = nullptr;
+    plugin::EcoPluginOps()->job_submit(wrapper.desc(), 0, &err);
+  }
+  for (auto _ : state) {
+    slurm::JobDescWrapper wrapper(request, 1);
+    char* err = nullptr;
+    benchmark::DoNotOptimize(
+        plugin::EcoPluginOps()->job_submit(wrapper.desc(), 0, &err));
+  }
+}
+BENCHMARK(BM_JobSubmit_WarmModelCache);
+
+void BM_JobSubmit_ColdModelLoad(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const auto request = MakeRequest(fixture, true);
+  for (auto _ : state) {
+    // Drop the in-memory cache each round: this measures the pre-loaded
+    // file parse (the paper's fast path), not the in-memory cache.
+    fixture.env.slurm_config->ClearCache();
+    slurm::JobDescWrapper wrapper(request, 1);
+    char* err = nullptr;
+    benchmark::DoNotOptimize(
+        plugin::EcoPluginOps()->job_submit(wrapper.desc(), 0, &err));
+  }
+}
+BENCHMARK(BM_JobSubmit_ColdModelLoad);
+
+void BM_SlurmConfigPredictOnly(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const std::string system_hash = fixture.env.gateway->system_hash();
+  const std::string binary_hash = fixture.env.runner->binary_hash();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.env.slurm_config->Run(system_hash, binary_hash));
+  }
+}
+BENCHMARK(BM_SlurmConfigPredictOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

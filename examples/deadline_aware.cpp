@@ -1,0 +1,71 @@
+// §6.2.1 future work: "giving a deadline as an input in sbatch, and the
+// model finds the best configuration that still finishes before the
+// deadline" — the paper's Vestas Monday-morning-simulation scenario.
+//
+// After benchmarking, the DeadlineService is asked for the most
+// energy-efficient configuration under a range of deadlines, showing the
+// efficiency/urgency trade-off tightening as the deadline approaches.
+//
+//   $ ./deadline_aware
+#include <cstdio>
+
+#include "chronus/env.hpp"
+#include "chronus/optimizers.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+int main() {
+  using namespace eco;
+  Logger::Instance().SetLevel(LogLevel::kWarn);
+
+  chronus::EnvOptions options;
+  options.runner.target_seconds = 1109.0;  // paper-scale ~18.5 min runs
+  auto env = chronus::MakeSimEnv(options);
+
+  // Benchmark a spread of configurations with distinct speed/efficiency
+  // trade-offs.
+  std::vector<chronus::Configuration> sweep;
+  for (const int cores : {8, 16, 24, 32}) {
+    for (const KiloHertz f : {kHz(1'500'000), kHz(2'200'000), kHz(2'500'000)}) {
+      sweep.push_back({cores, 1, f});
+    }
+  }
+  std::printf("benchmarking %zu configurations...\n", sweep.size());
+  auto records = env.benchmark->Run(sweep);
+  if (!records.ok()) {
+    std::printf("benchmark failed: %s\n", records.message().c_str());
+    return 1;
+  }
+  const int system_id = env.benchmark->last_system_id();
+
+  auto optimizer = chronus::ModelFactory::Make("brute-force");
+  if (!optimizer.ok() ||
+      !(*optimizer)->Train(*env.repository->ListBenchmarks(system_id)).ok()) {
+    return 1;
+  }
+  chronus::DeadlineService deadline_service(env.repository, *optimizer);
+
+  std::printf("\n%-12s %-16s %-12s %-14s\n", "deadline", "chosen config",
+              "runtime", "GFLOPS/W");
+  for (const double deadline :
+       {4000.0, 2000.0, 1500.0, 1350.0, 1250.0, 1150.0, 600.0}) {
+    auto choice = deadline_service.Choose(system_id, deadline);
+    if (!choice.ok()) continue;
+    // Look up the measured numbers for the chosen configuration.
+    double runtime = 0.0, gpw = 0.0;
+    for (const auto& b : *records) {
+      if (b.config == *choice) {
+        runtime = b.duration_s;
+        gpw = b.GflopsPerWatt();
+      }
+    }
+    std::printf("%-12s %-16s %-12s %-14.4f\n",
+                FormatHms(deadline).c_str(), choice->ToString().c_str(),
+                FormatHms(runtime).c_str(), gpw);
+  }
+  std::printf(
+      "\nloose deadlines pick the efficient 2.2 GHz configurations; tight\n"
+      "ones force the fast 2.5 GHz standard — the miles-per-gallon trade\n"
+      "from the paper's introduction, automated.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The complete paper workflow, end to end (§3.1.2 + Figure 4):
+//
+//   1. chronus benchmark      — sweep configurations, sampling IPMI
+//   2. chronus init-model     — train an optimizer, upload to blob storage
+//   3. chronus load-model     — pre-load onto the head node
+//   4. sbatch --comment chronus  — a user job, rewritten by job_submit_eco
+//
+// and finally the energy report comparing the rewritten job with what the
+// user originally asked for.
+//
+//   $ ./eco_pipeline [workdir]
+#include <cstdio>
+
+#include "chronus/env.hpp"
+#include "common/log.hpp"
+#include "plugin/job_submit_eco.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eco;
+  Logger::Instance().SetLevel(LogLevel::kInfo);
+
+  chronus::EnvOptions options;
+  options.runner.target_seconds = 300.0;
+  if (argc > 1) {
+    options.workdir = argv[1];  // persist database/blobs/settings to disk
+    options.repository = chronus::RepositoryKind::kMiniDb;
+  }
+  auto env = chronus::MakeSimEnv(options);
+
+  // 1-2-3: benchmark a focused sweep, train a random forest, pre-load it.
+  const std::vector<chronus::Configuration> sweep = {
+      {32, 1, kHz(1'500'000)}, {32, 2, kHz(1'500'000)},
+      {32, 1, kHz(2'200'000)}, {32, 2, kHz(2'200'000)},
+      {32, 1, kHz(2'500'000)}, {32, 2, kHz(2'500'000)},
+      {30, 1, kHz(2'200'000)}, {28, 1, kHz(2'200'000)},
+      {16, 1, kHz(2'200'000)}, {16, 1, kHz(2'500'000)},
+  };
+  std::printf("== chronus benchmark (%zu configurations) ==\n", sweep.size());
+  auto meta = chronus::RunFullPipeline(env, sweep, "random-tree");
+  if (!meta.ok()) {
+    std::printf("pipeline failed: %s\n", meta.message().c_str());
+    return 1;
+  }
+  std::printf("model %d (%s) trained and pre-loaded\n\n", meta->id,
+              meta->type.c_str());
+
+  // 4: enable the plugin in "slurmctld" and submit a user job.
+  plugin::SetChronusGateway(env.gateway);
+  if (!env.cluster->plugins().Load(plugin::EcoPluginOps()).ok()) return 1;
+
+  std::printf("== user submits: sbatch --ntasks=32 --threads-per-core=2 "
+              "--comment \"chronus\" ==\n");
+  slurm::JobRequest request;
+  request.name = "users-hpcg";
+  request.num_tasks = 32;
+  request.threads_per_core = 2;       // the sloppy default
+  request.comment = "chronus";        // the paper's opt-in
+  request.script =
+      "#!/bin/bash\nsrun --mpi=pmix_v4 ../hpcg/build/bin/xhpcg\n";
+  request.time_limit_s = 7200.0;
+  request.workload = slurm::WorkloadSpec::Hpcg(
+      hpcg::HpcgProblem::Official(),
+      hpcg::HpcgPerfModel(env.cluster->node(0).params().perf)
+          .IterationsForDuration(hpcg::HpcgProblem::Official(), 300.0));
+
+  auto rewritten = env.cluster->RunJobToCompletion(request);
+  if (!rewritten.ok()) {
+    std::printf("job failed: %s\n", rewritten.message().c_str());
+    return 1;
+  }
+
+  std::printf("\njob %u ran as: %d tasks, %d thread(s)/core, %.1f GHz\n",
+              rewritten->id, rewritten->request.num_tasks,
+              rewritten->request.threads_per_core,
+              KiloHertzToGHz(rewritten->request.cpu_freq_max));
+
+  // Counterfactual: the same job without the opt-in comment.
+  slurm::JobRequest plain = request;
+  plain.comment = "";
+  auto original = env.cluster->RunJobToCompletion(plain);
+  if (!original.ok()) return 1;
+
+  std::printf("\n%-22s %10s %10s %10s %10s\n", "", "GFLOPS", "kJ (sys)",
+              "kJ (cpu)", "runtime s");
+  std::printf("%-22s %10.3f %10.1f %10.1f %10.0f\n", "as submitted",
+              original->gflops, original->system_joules / 1000.0,
+              original->cpu_joules / 1000.0, original->RunSeconds());
+  std::printf("%-22s %10.3f %10.1f %10.1f %10.0f\n", "eco plugin rewrite",
+              rewritten->gflops, rewritten->system_joules / 1000.0,
+              rewritten->cpu_joules / 1000.0, rewritten->RunSeconds());
+  std::printf("\nsystem energy saved: %.1f%%\n",
+              (1.0 - rewritten->system_joules / original->system_joules) * 100);
+
+  env.cluster->plugins().Unload("job_submit/eco");
+  plugin::SetChronusGateway(nullptr);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// §6.2.3 future work: multi-node support. The paper's plugin only handles
+// single-node systems; the simulator's cluster already schedules multi-node
+// allocations and aggregates per-node BMC power, so this example runs a
+// 4-node MPI-style HPCG job at the standard vs efficient configuration and
+// reports fleet-level power from each node's BMC.
+//
+//   $ ./multi_node
+#include <cstdio>
+
+#include "chronus/env.hpp"
+#include "common/log.hpp"
+#include "ipmi/bmc.hpp"
+
+int main() {
+  using namespace eco;
+  Logger::Instance().SetLevel(LogLevel::kWarn);
+
+  chronus::EnvOptions options;
+  options.cluster.nodes = 4;
+  auto env = chronus::MakeSimEnv(options);
+  auto& cluster = *env.cluster;
+
+  // One BMC per node, like a rack of SR650s.
+  std::vector<ipmi::BmcSimulator> bmcs;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    bmcs.emplace_back(&cluster.node(i), ipmi::BmcParams{}, Rng(100 + i));
+  }
+
+  const auto run = [&](KiloHertz freq) {
+    slurm::JobRequest request;
+    request.name = "mpi-hpcg-4node";
+    request.min_nodes = 4;
+    request.num_tasks = 128;  // 32 ranks per node, weak scaling
+    request.threads_per_core = 1;
+    request.cpu_freq_min = request.cpu_freq_max = freq;
+    request.time_limit_s = 7200.0;
+    request.workload = slurm::WorkloadSpec::Hpcg(
+        hpcg::HpcgProblem::Official(),
+        hpcg::HpcgPerfModel(cluster.node(0).params().perf)
+            .IterationsForDuration(hpcg::HpcgProblem::Official(), 300.0));
+
+    auto submitted = cluster.Submit(request);
+    if (!submitted.ok()) {
+      std::printf("submit failed: %s\n", submitted.message().c_str());
+      return slurm::JobRecord{};
+    }
+    // Mid-run: read every node's BMC, like a rack-level power view.
+    cluster.RunUntil(cluster.Now() + 120.0);
+    double rack_watts = 0.0;
+    std::printf("  rack power mid-run @ %.1f GHz:", KiloHertzToGHz(freq));
+    for (std::size_t i = 0; i < bmcs.size(); ++i) {
+      const double w = bmcs[i].ReadTotalPower().value;
+      rack_watts += w;
+      std::printf(" node%zu=%.0fW", i, w);
+    }
+    std::printf("  total=%.0fW\n", rack_watts);
+    cluster.RunUntilIdle();
+    return *cluster.GetJob(*submitted);
+  };
+
+  std::printf("4-node, 128-rank HPCG (weak scaling, 32 ranks/node)\n\n");
+  const auto standard = run(kHz(2'500'000));
+  const auto efficient = run(kHz(2'200'000));
+  if (standard.id == 0 || efficient.id == 0) return 1;
+
+  const auto report = [](const char* name, const slurm::JobRecord& job) {
+    std::printf("%-12s nodes=%d  %.2f GFLOPS  %.0f s  %.1f kJ (sys, all nodes)"
+                "  %.4f GFLOPS/W\n",
+                name, job.allocated_nodes, job.gflops, job.RunSeconds(),
+                job.system_joules / 1000.0, job.GflopsPerWatt());
+  };
+  report("standard:", standard);
+  report("efficient:", efficient);
+  std::printf("\nfleet energy saved at 2.2 GHz: %.1f%% — the single-node\n"
+              "result (11%% in the paper) carries over to multi-node weak\n"
+              "scaling because each node sees the same memory-bound regime.\n",
+              (1.0 - efficient.system_joules / standard.system_joules) * 100);
+  return 0;
+}

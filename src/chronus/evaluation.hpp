@@ -1,0 +1,34 @@
+// Model quality evaluation: k-fold cross-validation of an Optimizer type
+// over a set of benchmark records. This quantifies the paper's §6.1.3
+// "simple model" concern — how well does each model type actually predict
+// GFLOPS/W on configurations it has not seen?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chronus/domain.hpp"
+#include "common/error.hpp"
+
+namespace eco::chronus {
+
+struct ModelEvaluation {
+  std::string type;
+  int folds = 0;
+  std::size_t samples = 0;
+  double r_squared = 0.0;  // out-of-fold R²
+  double rmse = 0.0;       // out-of-fold RMSE (GFLOPS/W units)
+  // Rank regret: measured GFLOPS/W lost by trusting each fold-model's top
+  // pick instead of the measured optimum, averaged over folds (fraction).
+  double mean_regret = 0.0;
+};
+
+// Runs k-fold CV (deterministic shuffling by `seed`). Needs at least
+// `folds` records; brute-force is evaluated too (its out-of-fold predictions
+// fail on unseen configs, which scores it honestly).
+Result<ModelEvaluation> EvaluateModel(const std::string& type,
+                                      const std::vector<BenchmarkRecord>& data,
+                                      int folds = 5,
+                                      std::uint64_t seed = 2023);
+
+}  // namespace eco::chronus

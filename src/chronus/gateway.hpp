@@ -1,0 +1,35 @@
+// The boundary job_submit_eco calls across.
+//
+// On real hardware the plugin shells out to `chronus slurm-config
+// SYSTEM_HASH BINARY_HASH` and reads JSON from stdout (§3.1.2, §4.2). In
+// process, the same contract is a pair of callables. Wire() binds them to a
+// SlurmConfigService + SettingsService + procfs — exactly the dependencies
+// the CLI command would use.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "chronus/services.hpp"
+#include "sysinfo/procfs.hpp"
+
+namespace eco::chronus {
+
+struct ChronusGateway {
+  // `chronus slurm-config <system_hash> <binary_hash>` -> configuration JSON.
+  std::function<Result<std::string>(const std::string&, const std::string&)>
+      slurm_config;
+  // The head node's system hash (cpuinfo+meminfo through simple_hash).
+  std::function<std::string()> system_hash;
+  // Plugin activation state from settings.
+  std::function<PluginState()> state;
+
+  static std::shared_ptr<ChronusGateway> Wire(
+      std::shared_ptr<SlurmConfigService> config_service,
+      std::shared_ptr<SettingsService> settings_service,
+      std::shared_ptr<sysinfo::VirtualProcFs> procfs);
+};
+
+}  // namespace eco::chronus

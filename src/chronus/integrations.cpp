@@ -1,0 +1,160 @@
+#include "chronus/integrations.hpp"
+
+#include "common/log.hpp"
+#include "hw/power_model.hpp"
+#include "slurm/sbatch.hpp"
+#include "sysinfo/lscpu.hpp"
+#include "sysinfo/simple_hash.hpp"
+
+namespace eco::chronus {
+
+Result<TelemetrySample> IpmiSystemService::Sample() {
+  if (bmc_ == nullptr) {
+    return Result<TelemetrySample>::Error("ipmi: no BMC attached");
+  }
+  TelemetrySample sample;
+  sample.system_watts = bmc_->ReadTotalPower().value;
+  sample.cpu_watts = bmc_->ReadCpuPower().value;
+  sample.cpu_temp = bmc_->ReadCpuTemp().value;
+  return sample;
+}
+
+Result<TelemetrySample> AggregateSystemService::Sample() {
+  if (bmcs_.empty()) {
+    return Result<TelemetrySample>::Error("aggregate: no BMCs attached");
+  }
+  TelemetrySample sample;
+  double temp_sum = 0.0;
+  for (ipmi::BmcSimulator* bmc : bmcs_) {
+    sample.system_watts += bmc->ReadTotalPower().value;
+    sample.cpu_watts += bmc->ReadCpuPower().value;
+    temp_sum += bmc->ReadCpuTemp().value;
+  }
+  // Power sums across the rack; temperature reports the hottest-proxy mean.
+  sample.cpu_temp = temp_sum / static_cast<double>(bmcs_.size());
+  return sample;
+}
+
+Result<SystemRecord> LscpuSystemInfo::Gather() {
+  if (procfs_ == nullptr) {
+    return Result<SystemRecord>::Error("lscpu: no procfs attached");
+  }
+  const sysinfo::LscpuInfo info = sysinfo::ReadLscpu(*procfs_);
+  if (info.cores <= 0 || info.frequencies.empty()) {
+    return Result<SystemRecord>::Error("lscpu: could not parse system info");
+  }
+  SystemRecord record;
+  record.cpu_name = info.cpu_name;
+  record.cores = info.cores;
+  record.threads_per_core = info.threads_per_core;
+  record.frequencies = info.frequencies;
+  record.ram_bytes = info.ram_bytes;
+  record.system_hash = sysinfo::HashToString(procfs_->SystemHash());
+  return record;
+}
+
+SimulatedHpcgRunner::SimulatedHpcgRunner(slurm::ClusterSim* cluster,
+                                         SimulatedRunnerOptions options)
+    : cluster_(cluster),
+      options_(options),
+      bmc_(&cluster->node(0), ipmi::BmcParams{}, Rng(options.bmc_seed)) {}
+
+std::string SimulatedHpcgRunner::binary_hash() const {
+  // Must match what job_submit_eco computes at submit time: the hash of the
+  // executable the script sruns (§4.2.1). The plugin cannot see the problem
+  // size — a model is keyed by binary identity alone, exactly the paper's
+  // simple-model limitation (§6.1.3).
+  return sysinfo::HashToString(sysinfo::SimpleHash(options_.hpcg_path));
+}
+
+Result<RunResult> SimulatedHpcgRunner::Run(const Configuration& config) {
+  // 1. Render the batch script exactly as the paper's Chronus does
+  //    (Listing 6) and parse it back into a request — the script is the
+  //    interface.
+  last_script_ = slurm::GenerateHpcgScript(config.cores, config.frequency,
+                                           config.threads_per_core,
+                                           options_.hpcg_path);
+  slurm::JobRequest base;
+  base.name = "HPCG_BENCHMARK";
+  base.time_limit_s = options_.time_limit_s;
+  auto request = slurm::ParseSbatchScript(last_script_, base);
+  if (!request.ok()) return Result<RunResult>::Error(request.message());
+
+  const hpcg::HpcgPerfModel perf(cluster_->node(0).params().perf);
+  request->workload = slurm::WorkloadSpec::Hpcg(
+      options_.problem,
+      perf.IterationsForDuration(options_.problem, options_.target_seconds));
+
+  // 2. Sample the BMC while the job runs (§3.1.2 benchmark step 2).
+  ipmi::IpmiSampler sampler(&cluster_->queue(), &bmc_,
+                            options_.sample_interval_s);
+  sampler.Start();
+  auto job = cluster_->RunJobToCompletion(std::move(*request));
+  sampler.Stop();
+  trace_ = sampler.trace();
+  if (!job.ok()) return Result<RunResult>::Error(job.message());
+
+  // 3. Fold the trace + job record into the benchmark result
+  //    (§3.1.2 benchmark step 3).
+  const ipmi::TraceStats stats = trace_.Stats();
+  RunResult result;
+  result.gflops = job->gflops;
+  result.duration_s = job->RunSeconds();
+  result.system_kilojoules = stats.system_kilojoules;
+  result.cpu_kilojoules = stats.cpu_kilojoules;
+  result.avg_system_watts = stats.avg_system_watts;
+  result.avg_cpu_watts = stats.avg_cpu_watts;
+  result.avg_cpu_temp = stats.avg_cpu_temp;
+  result.power_samples = stats.samples;
+  ECO_INFO << "GFLOP/s rating found: " << result.gflops << " ("
+           << config.ToString() << ", " << result.avg_system_watts
+           << " W avg)";
+  return result;
+}
+
+RealHpcgRunner::RealHpcgRunner(RealRunnerOptions options) : options_(options) {}
+
+std::string RealHpcgRunner::binary_hash() const {
+  const std::string identity =
+      "real-hpcg:" + std::to_string(options_.geometry.nx) + "x" +
+      std::to_string(options_.geometry.ny) + "x" +
+      std::to_string(options_.geometry.nz);
+  return sysinfo::HashToString(sysinfo::SimpleHash(identity));
+}
+
+Result<RunResult> RealHpcgRunner::Run(const Configuration& config) {
+  hpcg::BenchmarkOptions bench;
+  bench.geometry = options_.geometry;
+  bench.iterations_per_set = options_.iterations_per_set;
+  bench.sets = options_.sets;
+  last_report_ = hpcg::RunBenchmark(bench);
+  if (!last_report_.symmetry_ok) {
+    return Result<RunResult>::Error("real hpcg: operator symmetry check failed");
+  }
+
+  // Power cannot be measured on this host; estimate from the calibrated
+  // model at the requested configuration so the record is complete.
+  const hw::PowerModel power(hw::PowerModelParams::Epyc7502P());
+  const double watts =
+      power
+          .SystemPower(config.cores, config.frequency,
+                       config.threads_per_core > 1, 1.0,
+                       /*cpu_temp_celsius=*/60.0)
+          .system_watts;
+
+  RunResult result;
+  result.gflops = last_report_.gflops;
+  result.duration_s = last_report_.total_seconds;
+  result.avg_system_watts = watts;
+  result.avg_cpu_watts =
+      power.CpuPower(config.cores, config.frequency,
+                     config.threads_per_core > 1, 1.0);
+  result.system_kilojoules = watts * last_report_.total_seconds / 1000.0;
+  result.cpu_kilojoules =
+      result.avg_cpu_watts * last_report_.total_seconds / 1000.0;
+  result.avg_cpu_temp = 60.0;
+  result.power_samples = 0;
+  return result;
+}
+
+}  // namespace eco::chronus

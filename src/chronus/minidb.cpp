@@ -1,0 +1,170 @@
+#include "chronus/minidb.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace eco::chronus {
+
+MiniDb::MiniDb(std::string path) : path_(std::move(path)) {}
+
+// On-disk format: one CSV document where every record carries a type tag in
+// its first cell — "T",<table-name> starts a table, "H",<columns...> is its
+// header, "R",<cells...> is a data row. Because everything goes through the
+// CSV codec, cell values containing newlines, commas, quotes, or text that
+// looks like a section marker round-trip safely (the property fuzzer caught
+// a line-oriented earlier format tripping over exactly those).
+Status MiniDb::Open() {
+  if (path_.empty()) return Status::Ok();
+  std::ifstream in(path_);
+  if (!in) return Status::Ok();  // fresh database
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto parsed = CsvParse(buffer.str());
+  if (!parsed.ok()) return Status::Error("minidb: " + parsed.message());
+
+  tables_.clear();
+  Table* current = nullptr;
+  for (const CsvRow& record : *parsed) {
+    if (record.empty()) continue;
+    const std::string& tag = record[0];
+    if (tag == "T") {
+      if (record.size() < 2) return Status::Error("minidb: bad table record");
+      current = &tables_[record[1]];
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::Error("minidb: record before any table declaration");
+    }
+    if (tag == "H") {
+      current->columns.assign(record.begin() + 1, record.end());
+      continue;
+    }
+    if (tag != "R") return Status::Error("minidb: unknown record tag " + tag);
+    DbRow row;
+    for (std::size_t c = 1; c < record.size() && c - 1 < current->columns.size();
+         ++c) {
+      row[current->columns[c - 1]] = record[c];
+    }
+    long long id = 0;
+    if (ParseInt64(row["id"], id)) {
+      current->next_id = std::max(current->next_id, static_cast<int>(id) + 1);
+    }
+    current->rows.push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status MiniDb::Flush() const {
+  if (path_.empty()) return Status::Ok();
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Error("minidb: cannot write " + tmp);
+    for (const auto& [name, table] : tables_) {
+      out << CsvEncodeRow({"T", name}) << '\n';
+      CsvRow header;
+      header.push_back("H");
+      header.insert(header.end(), table.columns.begin(), table.columns.end());
+      out << CsvEncodeRow(header) << '\n';
+      for (const auto& row : table.rows) {
+        CsvRow cells;
+        cells.reserve(table.columns.size() + 1);
+        cells.push_back("R");
+        for (const auto& col : table.columns) {
+          const auto it = row.find(col);
+          cells.push_back(it == row.end() ? "" : it->second);
+        }
+        out << CsvEncodeRow(cells) << '\n';
+      }
+    }
+    if (!out.good()) return Status::Error("minidb: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::Error("minidb: rename failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+Result<int> MiniDb::Insert(const std::string& table_name, DbRow row) {
+  Table& table = tables_[table_name];
+  const int id = table.next_id++;
+  row["id"] = std::to_string(id);
+  for (const auto& [key, value] : row) {
+    (void)value;
+    if (std::find(table.columns.begin(), table.columns.end(), key) ==
+        table.columns.end()) {
+      table.columns.push_back(key);
+    }
+  }
+  table.rows.push_back(std::move(row));
+  return id;
+}
+
+Status MiniDb::Update(const std::string& table_name, int id, DbRow row) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) return Status::Error("minidb: no table " + table_name);
+  for (auto& existing : it->second.rows) {
+    long long row_id = 0;
+    const auto id_it = existing.find("id");
+    if (id_it != existing.end() && ParseInt64(id_it->second, row_id) &&
+        row_id == id) {
+      row["id"] = std::to_string(id);
+      for (const auto& [key, value] : row) {
+        (void)value;
+        if (std::find(it->second.columns.begin(), it->second.columns.end(),
+                      key) == it->second.columns.end()) {
+          it->second.columns.push_back(key);
+        }
+      }
+      existing = std::move(row);
+      return Status::Ok();
+    }
+  }
+  return Status::Error("minidb: no row id " + std::to_string(id));
+}
+
+Result<std::vector<DbRow>> MiniDb::SelectAll(const std::string& table) const {
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return std::vector<DbRow>{};
+  return it->second.rows;
+}
+
+Result<DbRow> MiniDb::SelectById(const std::string& table, int id) const {
+  const auto rows = Where(table, "id", std::to_string(id));
+  if (rows.empty()) {
+    return Result<DbRow>::Error("minidb: no row id " + std::to_string(id) +
+                                " in " + table);
+  }
+  return rows.front();
+}
+
+std::vector<DbRow> MiniDb::Where(const std::string& table,
+                                 const std::string& column,
+                                 const std::string& value) const {
+  std::vector<DbRow> out;
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return out;
+  for (const auto& row : it->second.rows) {
+    const auto cell = row.find(column);
+    if (cell != row.end() && cell->second == value) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<std::string> MiniDb::Tables() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace eco::chronus

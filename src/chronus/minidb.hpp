@@ -1,0 +1,57 @@
+// MiniDb — a small file-backed table store standing in for the paper's
+// SQLite repository (no external dependency available here; DESIGN.md
+// records the substitution).
+//
+// Data model: named tables of string-valued rows with an auto-increment "id"
+// column. Persistence is a single text file of CSV sections, written
+// atomically (tmp file + rename) on Flush. Good for thousands of rows —
+// plenty for benchmark metadata.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eco::chronus {
+
+using DbRow = std::map<std::string, std::string>;
+
+class MiniDb {
+ public:
+  // Empty path = in-memory only (Flush becomes a no-op).
+  explicit MiniDb(std::string path = "");
+
+  // Loads an existing file; missing file is fine (fresh database).
+  Status Open();
+  // Persists atomically.
+  Status Flush() const;
+
+  // Inserts, assigning the auto-increment id (also stored in the row under
+  // "id"). Returns the id.
+  Result<int> Insert(const std::string& table, DbRow row);
+  // Overwrites the row with this id; error if absent.
+  Status Update(const std::string& table, int id, DbRow row);
+
+  [[nodiscard]] Result<std::vector<DbRow>> SelectAll(const std::string& table) const;
+  [[nodiscard]] Result<DbRow> SelectById(const std::string& table, int id) const;
+  [[nodiscard]] std::vector<DbRow> Where(const std::string& table,
+                                         const std::string& column,
+                                         const std::string& value) const;
+
+  [[nodiscard]] std::vector<std::string> Tables() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct Table {
+    std::vector<std::string> columns;  // union of seen keys, insertion order
+    std::vector<DbRow> rows;
+    int next_id = 1;
+  };
+
+  std::string path_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace eco::chronus

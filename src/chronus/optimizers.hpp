@@ -1,0 +1,97 @@
+// The three Optimizer implementations the paper ships (§3.2 Figure 5,
+// `chronus init-model --model [brute-force|linear-regression|random-tree]`)
+// plus the ModelFactory that maps the persisted type string back to an
+// implementation (§4.1 Listing 2).
+//
+// All three predict GFLOPS/W from a (cores, threads_per_core, frequency)
+// configuration, trained on BenchmarkRecords.
+#pragma once
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "chronus/interfaces.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
+
+namespace eco::chronus {
+
+// Exhaustive lookup of measured configurations; the best configuration is
+// the best *measured* one. Predict() fails for configurations that were
+// never benchmarked — precise but zero generalisation.
+class BruteForceOptimizer : public OptimizerInterface {
+ public:
+  static std::string Name() { return "brute-force"; }
+  [[nodiscard]] std::string type() const override { return Name(); }
+
+  Status Train(const std::vector<BenchmarkRecord>& benchmarks) override;
+  Result<double> Predict(const Configuration& config) const override;
+  Result<Configuration> BestConfiguration(
+      const std::vector<Configuration>& candidates) const override;
+
+  [[nodiscard]] Json Serialize() const override;
+  Status Deserialize(const Json& json) override;
+
+ private:
+  using Key = std::tuple<int, int, KiloHertz>;
+  static Key MakeKey(const Configuration& c) {
+    return {c.cores, c.threads_per_core, c.frequency};
+  }
+  std::map<Key, double> table_;  // config -> mean measured GFLOPS/W
+};
+
+class LinearRegressionOptimizer : public OptimizerInterface {
+ public:
+  explicit LinearRegressionOptimizer(ml::LinearRegressionParams params = {});
+  static std::string Name() { return "linear-regression"; }
+  [[nodiscard]] std::string type() const override { return Name(); }
+
+  Status Train(const std::vector<BenchmarkRecord>& benchmarks) override;
+  Result<double> Predict(const Configuration& config) const override;
+  Result<Configuration> BestConfiguration(
+      const std::vector<Configuration>& candidates) const override;
+
+  [[nodiscard]] Json Serialize() const override;
+  Status Deserialize(const Json& json) override;
+
+ private:
+  ml::LinearRegression model_;
+};
+
+class RandomForestOptimizer : public OptimizerInterface {
+ public:
+  explicit RandomForestOptimizer(ml::ForestParams params = {});
+  static std::string Name() { return "random-tree"; }
+  [[nodiscard]] std::string type() const override { return Name(); }
+
+  Status Train(const std::vector<BenchmarkRecord>& benchmarks) override;
+  Result<double> Predict(const Configuration& config) const override;
+  Result<Configuration> BestConfiguration(
+      const std::vector<Configuration>& candidates) const override;
+
+  [[nodiscard]] Json Serialize() const override;
+  Status Deserialize(const Json& json) override;
+
+ private:
+  ml::RandomForest model_;
+};
+
+// Feature vector shared by the learned optimizers.
+std::vector<double> ConfigurationFeatures(const Configuration& config);
+
+class ModelFactory {
+ public:
+  // Known type strings, in CLI order.
+  static std::vector<std::string> KnownTypes();
+  // Fresh, untrained optimizer of the given type.
+  static Result<OptimizerPtr> Make(const std::string& type);
+  // Wraps a trained optimizer into the storage envelope
+  // {"type": ..., "payload": ...}.
+  static Json Pack(const OptimizerInterface& optimizer);
+  // Reconstructs an optimizer from an envelope.
+  static Result<OptimizerPtr> Unpack(const Json& envelope);
+};
+
+}  // namespace eco::chronus

@@ -1,0 +1,160 @@
+#include "chronus/repo_codec.hpp"
+
+#include "common/strings.hpp"
+
+namespace eco::chronus {
+namespace {
+
+std::string GetString(const DbRow& row, const std::string& key) {
+  const auto it = row.find(key);
+  return it == row.end() ? "" : it->second;
+}
+
+bool GetInt(const DbRow& row, const std::string& key, long long& out) {
+  return ParseInt64(GetString(row, key), out);
+}
+
+bool GetDouble(const DbRow& row, const std::string& key, double& out) {
+  return ParseDouble(GetString(row, key), out);
+}
+
+}  // namespace
+
+DbRow SystemToRow(const SystemRecord& system) {
+  DbRow row;
+  if (system.id >= 0) row["id"] = std::to_string(system.id);
+  row["cpu_name"] = system.cpu_name;
+  row["cores"] = std::to_string(system.cores);
+  row["threads_per_core"] = std::to_string(system.threads_per_core);
+  std::vector<std::string> freqs;
+  freqs.reserve(system.frequencies.size());
+  for (const KiloHertz f : system.frequencies) freqs.push_back(std::to_string(f));
+  row["frequencies"] = Join(freqs, ";");
+  row["ram_bytes"] = std::to_string(system.ram_bytes);
+  row["system_hash"] = system.system_hash;
+  return row;
+}
+
+Result<SystemRecord> RowToSystem(const DbRow& row) {
+  SystemRecord system;
+  long long v = 0;
+  if (GetInt(row, "id", v)) system.id = static_cast<int>(v);
+  system.cpu_name = GetString(row, "cpu_name");
+  if (!GetInt(row, "cores", v)) {
+    return Result<SystemRecord>::Error("system row: bad cores");
+  }
+  system.cores = static_cast<int>(v);
+  if (GetInt(row, "threads_per_core", v)) {
+    system.threads_per_core = static_cast<int>(v);
+  }
+  for (const auto& token : Split(GetString(row, "frequencies"), ';')) {
+    long long khz = 0;
+    if (ParseInt64(token, khz) && khz > 0) {
+      system.frequencies.push_back(static_cast<KiloHertz>(khz));
+    }
+  }
+  if (GetInt(row, "ram_bytes", v)) {
+    system.ram_bytes = static_cast<std::uint64_t>(v);
+  }
+  system.system_hash = GetString(row, "system_hash");
+  return system;
+}
+
+DbRow BenchmarkToRow(const BenchmarkRecord& b) {
+  DbRow row;
+  if (b.id >= 0) row["id"] = std::to_string(b.id);
+  row["system_id"] = std::to_string(b.system_id);
+  row["application"] = b.application;
+  row["binary_hash"] = b.binary_hash;
+  row["cores"] = std::to_string(b.config.cores);
+  row["threads_per_core"] = std::to_string(b.config.threads_per_core);
+  row["frequency"] = std::to_string(b.config.frequency);
+  row["gflops"] = FormatDouble(b.gflops, 6);
+  row["duration_s"] = FormatDouble(b.duration_s, 3);
+  row["system_kj"] = FormatDouble(b.system_kilojoules, 4);
+  row["cpu_kj"] = FormatDouble(b.cpu_kilojoules, 4);
+  row["avg_system_w"] = FormatDouble(b.avg_system_watts, 3);
+  row["avg_cpu_w"] = FormatDouble(b.avg_cpu_watts, 3);
+  row["avg_cpu_temp"] = FormatDouble(b.avg_cpu_temp, 2);
+  return row;
+}
+
+Result<BenchmarkRecord> RowToBenchmark(const DbRow& row) {
+  BenchmarkRecord b;
+  long long v = 0;
+  if (GetInt(row, "id", v)) b.id = static_cast<int>(v);
+  if (!GetInt(row, "system_id", v)) {
+    return Result<BenchmarkRecord>::Error("benchmark row: bad system_id");
+  }
+  b.system_id = static_cast<int>(v);
+  b.application = GetString(row, "application");
+  b.binary_hash = GetString(row, "binary_hash");
+  if (GetInt(row, "cores", v)) b.config.cores = static_cast<int>(v);
+  if (GetInt(row, "threads_per_core", v)) {
+    b.config.threads_per_core = static_cast<int>(v);
+  }
+  if (GetInt(row, "frequency", v)) {
+    b.config.frequency = static_cast<KiloHertz>(v);
+  }
+  GetDouble(row, "gflops", b.gflops);
+  GetDouble(row, "duration_s", b.duration_s);
+  GetDouble(row, "system_kj", b.system_kilojoules);
+  GetDouble(row, "cpu_kj", b.cpu_kilojoules);
+  GetDouble(row, "avg_system_w", b.avg_system_watts);
+  GetDouble(row, "avg_cpu_w", b.avg_cpu_watts);
+  GetDouble(row, "avg_cpu_temp", b.avg_cpu_temp);
+  return b;
+}
+
+DbRow ModelMetaToRow(const ModelMeta& meta) {
+  DbRow row;
+  if (meta.id >= 0) row["id"] = std::to_string(meta.id);
+  row["system_id"] = std::to_string(meta.system_id);
+  row["type"] = meta.type;
+  row["application"] = meta.application;
+  row["binary_hash"] = meta.binary_hash;
+  row["blob_path"] = meta.blob_path;
+  row["created_at"] = FormatDouble(meta.created_at, 3);
+  return row;
+}
+
+Result<ModelMeta> RowToModelMeta(const DbRow& row) {
+  ModelMeta meta;
+  long long v = 0;
+  if (GetInt(row, "id", v)) meta.id = static_cast<int>(v);
+  if (!GetInt(row, "system_id", v)) {
+    return Result<ModelMeta>::Error("model row: bad system_id");
+  }
+  meta.system_id = static_cast<int>(v);
+  meta.type = GetString(row, "type");
+  meta.application = GetString(row, "application");
+  meta.binary_hash = GetString(row, "binary_hash");
+  meta.blob_path = GetString(row, "blob_path");
+  GetDouble(row, "created_at", meta.created_at);
+  return meta;
+}
+
+const std::vector<std::string>& SystemColumns() {
+  static const std::vector<std::string> cols = {
+      "id",          "cpu_name",  "cores", "threads_per_core",
+      "frequencies", "ram_bytes", "system_hash"};
+  return cols;
+}
+
+const std::vector<std::string>& BenchmarkColumns() {
+  static const std::vector<std::string> cols = {
+      "id",         "system_id", "application", "binary_hash",
+      "cores",      "threads_per_core", "frequency", "gflops",
+      "duration_s", "system_kj", "cpu_kj",      "avg_system_w",
+      "avg_cpu_w",  "avg_cpu_temp"};
+  return cols;
+}
+
+const std::vector<std::string>& ModelColumns() {
+  static const std::vector<std::string> cols = {
+      "id", "system_id", "type", "application", "binary_hash", "blob_path",
+      "created_at"};
+  return cols;
+}
+
+}  // namespace eco::chronus

@@ -1,0 +1,26 @@
+// Row codecs shared by the CSV and MiniDb repositories: domain struct <->
+// flat string map. Keeping the codecs in one place guarantees the two
+// repository backends are wire-compatible with each other.
+#pragma once
+
+#include "chronus/domain.hpp"
+#include "chronus/minidb.hpp"
+#include "common/error.hpp"
+
+namespace eco::chronus {
+
+DbRow SystemToRow(const SystemRecord& system);
+Result<SystemRecord> RowToSystem(const DbRow& row);
+
+DbRow BenchmarkToRow(const BenchmarkRecord& benchmark);
+Result<BenchmarkRecord> RowToBenchmark(const DbRow& row);
+
+DbRow ModelMetaToRow(const ModelMeta& meta);
+Result<ModelMeta> RowToModelMeta(const DbRow& row);
+
+// Canonical column orders (used by the CSV repository headers).
+const std::vector<std::string>& SystemColumns();
+const std::vector<std::string>& BenchmarkColumns();
+const std::vector<std::string>& ModelColumns();
+
+}  // namespace eco::chronus

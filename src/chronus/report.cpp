@@ -1,0 +1,96 @@
+#include "chronus/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace eco::chronus {
+
+Result<std::string> GenerateSystemReport(RepositoryInterface& repository,
+                                         int system_id) {
+  auto system = repository.GetSystem(system_id);
+  if (!system.ok()) return Result<std::string>::Error(system.message());
+  auto benchmarks = repository.ListBenchmarks(system_id);
+  if (!benchmarks.ok()) return Result<std::string>::Error(benchmarks.message());
+  auto models = repository.ListModels();
+  if (!models.ok()) return Result<std::string>::Error(models.message());
+
+  std::ostringstream out;
+  out << "# Energy report: " << system->cpu_name << "\n\n";
+  out << "- system id: " << system->id << " (hash `" << system->system_hash
+      << "`)\n";
+  out << "- " << system->cores << " cores x " << system->threads_per_core
+      << " threads/core, " << FormatDouble(BytesToGiB(
+             static_cast<double>(system->ram_bytes)), 0) << " GiB RAM\n";
+  std::vector<std::string> freqs;
+  for (const KiloHertz f : system->frequencies) {
+    freqs.push_back(FormatDouble(KiloHertzToGHz(f), 1) + " GHz");
+  }
+  out << "- frequencies: " << Join(freqs, ", ") << "\n";
+  out << "- benchmarks recorded: " << benchmarks->size() << "\n\n";
+
+  if (benchmarks->empty()) {
+    out << "_No benchmarks yet — run `chronus benchmark`._\n";
+    return out.str();
+  }
+
+  std::vector<BenchmarkRecord> sorted = *benchmarks;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BenchmarkRecord& a, const BenchmarkRecord& b) {
+              return a.GflopsPerWatt() > b.GflopsPerWatt();
+            });
+
+  // Baseline: the measured configuration closest to "all cores at max
+  // frequency" (what Slurm runs without the plugin).
+  const KiloHertz max_freq = system->frequencies.empty()
+                                 ? 0
+                                 : system->frequencies.back();
+  const BenchmarkRecord* baseline = nullptr;
+  for (const auto& b : sorted) {
+    if (b.config.frequency == max_freq &&
+        b.config.cores == system->cores && b.config.threads_per_core == 1) {
+      baseline = &b;
+    }
+  }
+
+  out << "## Configurations by GFLOPS/W\n\n";
+  out << "| rank | cores | GHz | threads/core | GFLOPS | avg W | GFLOPS/W |\n";
+  out << "|---|---|---|---|---|---|---|\n";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto& b = sorted[i];
+    out << "| " << i + 1 << " | " << b.config.cores << " | "
+        << FormatDouble(KiloHertzToGHz(b.config.frequency), 1) << " | "
+        << b.config.threads_per_core << " | " << FormatDouble(b.gflops, 3)
+        << " | " << FormatDouble(b.avg_system_watts, 1) << " | "
+        << FormatDouble(b.GflopsPerWatt(), 5) << " |"
+        << (baseline == &b ? "  <- standard config" : "") << "\n";
+  }
+
+  const auto& best = sorted.front();
+  out << "\n## Headline\n\n";
+  out << "- best configuration: **" << best.config.ToString() << "** at "
+      << FormatDouble(best.GflopsPerWatt(), 5) << " GFLOPS/W\n";
+  if (baseline != nullptr && baseline != &best &&
+      baseline->GflopsPerWatt() > 0.0) {
+    const double gain = best.GflopsPerWatt() / baseline->GflopsPerWatt() - 1.0;
+    const double perf = best.gflops / baseline->gflops;
+    out << "- vs the standard configuration ("
+        << baseline->config.ToString() << "): **"
+        << FormatDouble(gain * 100.0, 1) << " %** better GFLOPS/W at "
+        << FormatDouble(perf * 100.0, 1) << " % of the performance\n";
+  }
+
+  out << "\n## Models\n\n";
+  bool any = false;
+  for (const auto& m : *models) {
+    if (m.system_id != system_id) continue;
+    any = true;
+    out << "- model " << m.id << ": `" << m.type << "` trained for `"
+        << m.application << "` (blob: " << m.blob_path << ")\n";
+  }
+  if (!any) out << "_No models yet — run `chronus init-model`._\n";
+  return out.str();
+}
+
+}  // namespace eco::chronus

@@ -1,0 +1,16 @@
+// Markdown report generator: everything the repository knows about one
+// system, rendered for humans — the benchmark table sorted by efficiency,
+// the headline saving vs. the max-frequency default, and the trained
+// models. (`chronus report --system N` on the CLI.)
+#pragma once
+
+#include <string>
+
+#include "chronus/interfaces.hpp"
+
+namespace eco::chronus {
+
+Result<std::string> GenerateSystemReport(RepositoryInterface& repository,
+                                         int system_id);
+
+}  // namespace eco::chronus

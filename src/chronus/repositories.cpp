@@ -1,0 +1,253 @@
+#include "chronus/repositories.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "chronus/repo_codec.hpp"
+
+namespace eco::chronus {
+namespace {
+
+constexpr const char* kSystems = "systems";
+constexpr const char* kBenchmarks = "benchmarks";
+constexpr const char* kModels = "models";
+
+template <typename T, typename Decoder>
+Result<std::vector<T>> DecodeRows(const std::vector<DbRow>& rows,
+                                  Decoder decode) {
+  std::vector<T> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    auto decoded = decode(row);
+    if (!decoded.ok()) return Result<std::vector<T>>::Error(decoded.message());
+    out.push_back(std::move(decoded.value()));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MiniDb
+
+MiniDbRepository::MiniDbRepository(const std::string& path) : db_(path) {
+  db_.Open();  // best-effort; a corrupt file surfaces on first query instead
+}
+
+Result<int> MiniDbRepository::SaveSystem(const SystemRecord& system) {
+  // Deduplicate on system hash — re-registering the same machine returns the
+  // existing id (the CLI flow in Figure 8 depends on this).
+  if (!system.system_hash.empty()) {
+    const auto existing = db_.Where(kSystems, "system_hash", system.system_hash);
+    if (!existing.empty()) {
+      auto decoded = RowToSystem(existing.front());
+      if (decoded.ok()) return decoded->id;
+    }
+  }
+  auto id = db_.Insert(kSystems, SystemToRow(system));
+  if (id.ok()) db_.Flush();
+  return id;
+}
+
+Result<SystemRecord> MiniDbRepository::GetSystem(int id) {
+  auto row = db_.SelectById(kSystems, id);
+  if (!row.ok()) return Result<SystemRecord>::Error(row.message());
+  return RowToSystem(*row);
+}
+
+Result<SystemRecord> MiniDbRepository::FindSystemByHash(const std::string& hash) {
+  const auto rows = db_.Where(kSystems, "system_hash", hash);
+  if (rows.empty()) {
+    return Result<SystemRecord>::Error("repository: no system with hash " + hash);
+  }
+  return RowToSystem(rows.front());
+}
+
+Result<std::vector<SystemRecord>> MiniDbRepository::ListSystems() {
+  auto rows = db_.SelectAll(kSystems);
+  if (!rows.ok()) return Result<std::vector<SystemRecord>>::Error(rows.message());
+  return DecodeRows<SystemRecord>(*rows, RowToSystem);
+}
+
+Result<int> MiniDbRepository::SaveBenchmark(const BenchmarkRecord& benchmark) {
+  auto id = db_.Insert(kBenchmarks, BenchmarkToRow(benchmark));
+  if (id.ok()) db_.Flush();
+  return id;
+}
+
+Result<std::vector<BenchmarkRecord>> MiniDbRepository::ListBenchmarks(
+    int system_id) {
+  const auto rows = db_.Where(kBenchmarks, "system_id", std::to_string(system_id));
+  return DecodeRows<BenchmarkRecord>(rows, RowToBenchmark);
+}
+
+Result<int> MiniDbRepository::SaveModelMeta(const ModelMeta& meta) {
+  auto id = db_.Insert(kModels, ModelMetaToRow(meta));
+  if (id.ok()) db_.Flush();
+  return id;
+}
+
+Result<ModelMeta> MiniDbRepository::GetModelMeta(int id) {
+  auto row = db_.SelectById(kModels, id);
+  if (!row.ok()) return Result<ModelMeta>::Error(row.message());
+  return RowToModelMeta(*row);
+}
+
+Result<std::vector<ModelMeta>> MiniDbRepository::ListModels() {
+  auto rows = db_.SelectAll(kModels);
+  if (!rows.ok()) return Result<std::vector<ModelMeta>>::Error(rows.message());
+  return DecodeRows<ModelMeta>(*rows, RowToModelMeta);
+}
+
+// ------------------------------------------------------------------- CSV
+
+CsvRepository::CsvRepository(std::string directory) : dir_(std::move(directory)) {
+  if (!dir_.empty() && dir_.back() != '/') dir_ += '/';
+}
+
+Result<std::vector<DbRow>> CsvRepository::LoadTable(
+    const std::string& file, const std::vector<std::string>& columns) {
+  auto parsed = CsvReadFile(dir_ + file);
+  if (!parsed.ok()) return std::vector<DbRow>{};  // missing file = empty table
+  std::vector<DbRow> rows;
+  const auto& raw = *parsed;
+  for (std::size_t i = 1; i < raw.size(); ++i) {  // row 0 is the header
+    DbRow row;
+    for (std::size_t c = 0; c < columns.size() && c < raw[i].size(); ++c) {
+      row[columns[c]] = raw[i][c];
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status CsvRepository::StoreTable(const std::string& file,
+                                 const std::vector<std::string>& columns,
+                                 const std::vector<DbRow>& rows) {
+  std::vector<CsvRow> out;
+  out.push_back(CsvRow(columns.begin(), columns.end()));
+  for (const auto& row : rows) {
+    CsvRow cells;
+    for (const auto& col : columns) {
+      const auto it = row.find(col);
+      cells.push_back(it == row.end() ? "" : it->second);
+    }
+    out.push_back(std::move(cells));
+  }
+  return CsvWriteFile(dir_ + file, out);
+}
+
+int CsvRepository::NextId(const std::vector<DbRow>& rows) {
+  int next = 1;
+  for (const auto& row : rows) {
+    long long id = 0;
+    const auto it = row.find("id");
+    if (it != row.end() && ParseInt64(it->second, id)) {
+      next = std::max(next, static_cast<int>(id) + 1);
+    }
+  }
+  return next;
+}
+
+Result<int> CsvRepository::SaveSystem(const SystemRecord& system) {
+  auto rows = LoadTable("systems.csv", SystemColumns());
+  if (!rows.ok()) return Result<int>::Error(rows.message());
+  if (!system.system_hash.empty()) {
+    for (const auto& row : *rows) {
+      const auto it = row.find("system_hash");
+      if (it != row.end() && it->second == system.system_hash) {
+        auto decoded = RowToSystem(row);
+        if (decoded.ok()) return decoded->id;
+      }
+    }
+  }
+  const int id = NextId(*rows);
+  SystemRecord with_id = system;
+  with_id.id = id;
+  rows->push_back(SystemToRow(with_id));
+  const Status stored = StoreTable("systems.csv", SystemColumns(), *rows);
+  if (!stored.ok()) return Result<int>::Error(stored.message());
+  return id;
+}
+
+Result<SystemRecord> CsvRepository::GetSystem(int id) {
+  auto systems = ListSystems();
+  if (!systems.ok()) return Result<SystemRecord>::Error(systems.message());
+  for (const auto& s : *systems) {
+    if (s.id == id) return s;
+  }
+  return Result<SystemRecord>::Error("repository: no system id " +
+                                     std::to_string(id));
+}
+
+Result<SystemRecord> CsvRepository::FindSystemByHash(const std::string& hash) {
+  auto systems = ListSystems();
+  if (!systems.ok()) return Result<SystemRecord>::Error(systems.message());
+  for (const auto& s : *systems) {
+    if (s.system_hash == hash) return s;
+  }
+  return Result<SystemRecord>::Error("repository: no system with hash " + hash);
+}
+
+Result<std::vector<SystemRecord>> CsvRepository::ListSystems() {
+  auto rows = LoadTable("systems.csv", SystemColumns());
+  if (!rows.ok()) return Result<std::vector<SystemRecord>>::Error(rows.message());
+  return DecodeRows<SystemRecord>(*rows, RowToSystem);
+}
+
+Result<int> CsvRepository::SaveBenchmark(const BenchmarkRecord& benchmark) {
+  auto rows = LoadTable("benchmarks.csv", BenchmarkColumns());
+  if (!rows.ok()) return Result<int>::Error(rows.message());
+  const int id = NextId(*rows);
+  BenchmarkRecord with_id = benchmark;
+  with_id.id = id;
+  rows->push_back(BenchmarkToRow(with_id));
+  const Status stored = StoreTable("benchmarks.csv", BenchmarkColumns(), *rows);
+  if (!stored.ok()) return Result<int>::Error(stored.message());
+  return id;
+}
+
+Result<std::vector<BenchmarkRecord>> CsvRepository::ListBenchmarks(
+    int system_id) {
+  auto rows = LoadTable("benchmarks.csv", BenchmarkColumns());
+  if (!rows.ok()) {
+    return Result<std::vector<BenchmarkRecord>>::Error(rows.message());
+  }
+  auto all = DecodeRows<BenchmarkRecord>(*rows, RowToBenchmark);
+  if (!all.ok()) return all;
+  std::vector<BenchmarkRecord> filtered;
+  for (auto& b : *all) {
+    if (b.system_id == system_id) filtered.push_back(std::move(b));
+  }
+  return filtered;
+}
+
+Result<int> CsvRepository::SaveModelMeta(const ModelMeta& meta) {
+  auto rows = LoadTable("models.csv", ModelColumns());
+  if (!rows.ok()) return Result<int>::Error(rows.message());
+  const int id = NextId(*rows);
+  ModelMeta with_id = meta;
+  with_id.id = id;
+  rows->push_back(ModelMetaToRow(with_id));
+  const Status stored = StoreTable("models.csv", ModelColumns(), *rows);
+  if (!stored.ok()) return Result<int>::Error(stored.message());
+  return id;
+}
+
+Result<ModelMeta> CsvRepository::GetModelMeta(int id) {
+  auto models = ListModels();
+  if (!models.ok()) return Result<ModelMeta>::Error(models.message());
+  for (const auto& m : *models) {
+    if (m.id == id) return m;
+  }
+  return Result<ModelMeta>::Error("repository: no model id " +
+                                  std::to_string(id));
+}
+
+Result<std::vector<ModelMeta>> CsvRepository::ListModels() {
+  auto rows = LoadTable("models.csv", ModelColumns());
+  if (!rows.ok()) return Result<std::vector<ModelMeta>>::Error(rows.message());
+  return DecodeRows<ModelMeta>(*rows, RowToModelMeta);
+}
+
+}  // namespace eco::chronus

@@ -1,0 +1,83 @@
+#include "chronus/storage.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace eco::chronus {
+namespace fs = std::filesystem;
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::Error("storage: mkdir failed: " + path + ": " +
+                               ec.message());
+  return Status::Ok();
+}
+
+Status WriteWholeFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Status::Error("storage: cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out.good()) return Status::Error("storage: write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Result<std::string>::Error("storage: cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+EtcStorage::EtcStorage(std::string root) : root_(std::move(root)) {
+  if (!root_.empty() && root_.back() == '/') root_.pop_back();
+  EnsureDirectory(root_);
+}
+
+std::string EtcStorage::ResolvePath(const std::string& name) const {
+  if (!name.empty() && name.front() == '/') return name;  // already absolute
+  return root_ + "/" + name;
+}
+
+Result<Json> EtcStorage::LoadSettings() {
+  auto text = ReadWholeFile(ResolvePath("settings.json"));
+  if (!text.ok()) return Json(JsonObject{});  // fresh install: empty settings
+  return Json::Parse(*text);
+}
+
+Status EtcStorage::SaveSettings(const Json& settings) {
+  return WriteWholeFile(ResolvePath("settings.json"), settings.Dump(2) + "\n");
+}
+
+Status EtcStorage::WriteFile(const std::string& name, const std::string& data) {
+  return WriteWholeFile(ResolvePath(name), data);
+}
+
+Result<std::string> EtcStorage::ReadFile(const std::string& name) {
+  return ReadWholeFile(ResolvePath(name));
+}
+
+LocalBlobStorage::LocalBlobStorage(std::string root) : root_(std::move(root)) {
+  if (!root_.empty() && root_.back() == '/') root_.pop_back();
+  EnsureDirectory(root_);
+}
+
+Result<std::string> LocalBlobStorage::Save(const std::string& name,
+                                           const std::string& content) {
+  const std::string path = root_ + "/" + name;
+  const Status written = WriteWholeFile(path, content);
+  if (!written.ok()) return Result<std::string>::Error(written.message());
+  return path;
+}
+
+Result<std::string> LocalBlobStorage::Load(const std::string& path) {
+  // Paths from Save() are absolute-ish already; bare names resolve under root.
+  if (path.find('/') == std::string::npos) {
+    return ReadWholeFile(root_ + "/" + path);
+  }
+  return ReadWholeFile(path);
+}
+
+}  // namespace eco::chronus

@@ -1,0 +1,47 @@
+// Storage integrations:
+//  - EtcStorage: the LocalStorage implementation (paper: "ETC Storage") —
+//    settings.json plus pre-loaded model files under a root directory
+//    (/etc/chronus on a real system; any directory here).
+//  - LocalBlobStorage: the FileRepository implementation — serialized
+//    optimizers as files under ./optimizers (§3.2 "File Repository"); the
+//    paper notes NFS/S3 could implement the same interface.
+#pragma once
+
+#include <string>
+
+#include "chronus/interfaces.hpp"
+
+namespace eco::chronus {
+
+class EtcStorage : public LocalStorageInterface {
+ public:
+  explicit EtcStorage(std::string root);
+
+  Result<Json> LoadSettings() override;
+  Status SaveSettings(const Json& settings) override;
+  [[nodiscard]] std::string ResolvePath(const std::string& name) const override;
+  Status WriteFile(const std::string& name, const std::string& data) override;
+  Result<std::string> ReadFile(const std::string& name) override;
+
+ private:
+  std::string root_;
+};
+
+class LocalBlobStorage : public FileRepositoryInterface {
+ public:
+  explicit LocalBlobStorage(std::string root);
+
+  Result<std::string> Save(const std::string& name,
+                           const std::string& content) override;
+  Result<std::string> Load(const std::string& path) override;
+
+ private:
+  std::string root_;
+};
+
+// Filesystem helpers shared by the storage backends and the CLI.
+Status EnsureDirectory(const std::string& path);
+Status WriteWholeFile(const std::string& path, const std::string& data);
+Result<std::string> ReadWholeFile(const std::string& path);
+
+}  // namespace eco::chronus

@@ -1,0 +1,121 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace eco {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string CsvEncodeRow(const CsvRow& row) {
+  // A lone empty field must be quoted: a bare empty line is a record
+  // separator to the parser, so [""] would otherwise vanish on round-trip.
+  if (row.size() == 1 && row[0].empty()) return "\"\"";
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += NeedsQuoting(row[i]) ? QuoteField(row[i]) : row[i];
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> CsvParse(const std::string& text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto flush_field = [&] {
+    row.push_back(field);
+    field.clear();
+  };
+  const auto flush_row = [&] {
+    flush_field();
+    rows.push_back(row);
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Result<std::vector<CsvRow>>::Error(
+              "csv: quote inside unquoted field");
+        }
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        flush_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // swallow; \n terminates the row
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) flush_row();
+        break;
+      default:
+        field.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Result<std::vector<CsvRow>>::Error("csv: unterminated quoted field");
+  }
+  if (row_has_content || !field.empty() || !row.empty()) flush_row();
+  return rows;
+}
+
+Status CsvWriteFile(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Error("csv: cannot open for write: " + path);
+  for (const auto& row : rows) out << CsvEncodeRow(row) << '\n';
+  if (!out.good()) return Status::Error("csv: write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<CsvRow>> CsvReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Result<std::vector<CsvRow>>::Error("csv: cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CsvParse(buffer.str());
+}
+
+}  // namespace eco

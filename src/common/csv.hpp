@@ -1,0 +1,27 @@
+// CSV reader / writer.
+//
+// Chronus's paper implementation ships a CSV Repository next to the SQLite
+// one; this codec backs our CsvRepository. It supports RFC-4180 quoting
+// (commas / quotes / newlines inside quoted fields) — enough to round-trip
+// arbitrary benchmark metadata.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eco {
+
+using CsvRow = std::vector<std::string>;
+
+// Serialises one row, quoting fields that need it.
+std::string CsvEncodeRow(const CsvRow& row);
+// Parses a full document (possibly with quoted embedded newlines).
+Result<std::vector<CsvRow>> CsvParse(const std::string& text);
+
+// Convenience file helpers.
+Status CsvWriteFile(const std::string& path, const std::vector<CsvRow>& rows);
+Result<std::vector<CsvRow>> CsvReadFile(const std::string& path);
+
+}  // namespace eco

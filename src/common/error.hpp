@@ -1,0 +1,68 @@
+// Lightweight status / result types used across the library.
+//
+// The library avoids exceptions on hot simulation paths (per the C++ Core
+// Guidelines advice to use error codes at module boundaries where callers are
+// expected to branch on failure). `Status` carries an error message; `Result<T>`
+// is a `Status` plus a value on success.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace eco {
+
+class Status {
+ public:
+  Status() = default;
+  static Status Ok() { return Status{}; }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  static Result<T> Error(std::string message) {
+    return Result<T>(Status::Error(std::move(message)));
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok() && value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const std::string& message() const { return status_.message(); }
+
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace eco

@@ -1,0 +1,86 @@
+// Minimal JSON value / parser / serialiser.
+//
+// The paper's wire formats are JSON: the `--configurations` file passed to
+// `chronus benchmark`, the configuration object `chronus slurm-config` returns
+// to job_submit_eco, and /etc/chronus/settings.json. This is a small,
+// dependency-free implementation covering exactly the JSON the system emits
+// and consumes (objects, arrays, strings, numbers, booleans, null; UTF-8
+// passthrough; \uXXXX escapes decoded for the BMP).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eco {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic, which keeps serialised settings and
+// golden-file tests stable.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  // NOLINTBEGIN(google-explicit-constructor): value-type conversions wanted.
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  Json(long long v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  [[nodiscard]] long long as_int(long long fallback = 0) const {
+    return is_number() ? static_cast<long long>(number_) : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const JsonArray& as_array() const { return array_; }
+  [[nodiscard]] const JsonObject& as_object() const { return object_; }
+  [[nodiscard]] JsonArray& mutable_array() { return array_; }
+  [[nodiscard]] JsonObject& mutable_object() { return object_; }
+
+  // Object member access; returns a shared null for missing keys.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  [[nodiscard]] std::string Dump(int indent = 0) const;
+
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace eco

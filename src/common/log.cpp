@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace eco {
+namespace {
+std::mutex& SinkMutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() = default;
+
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  sink_ = std::move(sink);
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::fprintf(stderr, "%-5s %s\n", LogLevelName(level), message.c_str());
+}
+
+}  // namespace eco

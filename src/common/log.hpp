@@ -1,0 +1,74 @@
+// Minimal leveled logger modelled on the Chronus log output the paper shows
+// (Figure 1): "[14:16:53] INFO GFLOP/s rating found: 9.34829".
+//
+// The logger is process-global, thread-safe, and writes to stderr by default;
+// a sink can be swapped in for tests. Logging below the active level costs a
+// single atomic load.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace eco {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_.store(static_cast<int>(level)); }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load());
+  }
+  // Replaces the output sink; pass nullptr to restore the stderr sink.
+  void SetSink(Sink sink);
+
+  [[nodiscard]] bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load();
+  }
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  Sink sink_;
+};
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace eco
+
+#define ECO_LOG(level)                                  \
+  if (!::eco::Logger::Instance().Enabled(level)) {      \
+  } else                                                \
+    ::eco::internal::LogLine(level)
+
+#define ECO_DEBUG ECO_LOG(::eco::LogLevel::kDebug)
+#define ECO_INFO ECO_LOG(::eco::LogLevel::kInfo)
+#define ECO_WARN ECO_LOG(::eco::LogLevel::kWarn)
+#define ECO_ERROR ECO_LOG(::eco::LogLevel::kError)

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (IPMI sensor noise, random-forest bootstrap,
+// genetic-algorithm mutation, workload generators) draw from an explicitly
+// seeded Rng instance so that every test, bench, and example is reproducible
+// run-to-run. The generator is xoshiro256**, seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+
+namespace eco {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform on [0, 2^64).
+  std::uint64_t NextU64();
+  // Uniform on [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+  // Uniform on [0, 1).
+  double NextDouble();
+  // Uniform on [lo, hi).
+  double Uniform(double lo, double hi);
+  // Standard normal via Box–Muller (cached second variate).
+  double NextGaussian();
+  // Normal with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev);
+  // Uniform integer on [lo, hi] inclusive.
+  int UniformInt(int lo, int hi);
+  // Bernoulli trial.
+  bool Chance(double p);
+
+  // Forks an independent stream (useful to give each component its own
+  // deterministic stream derived from one master seed).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace eco

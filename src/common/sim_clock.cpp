@@ -1,0 +1,64 @@
+#include "common/sim_clock.hpp"
+
+#include <algorithm>
+
+namespace eco {
+
+std::uint64_t EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  Event ev;
+  ev.when = std::max(when, now_);
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.cb = std::move(cb);
+  queue_.push(std::move(ev));
+  live_ids_.insert(next_id_ - 1);
+  return next_id_ - 1;
+}
+
+std::uint64_t EventQueue::ScheduleAfter(SimTime delay, Callback cb) {
+  return ScheduleAt(now_ + std::max(0.0, delay), std::move(cb));
+}
+
+bool EventQueue::Cancel(std::uint64_t id) {
+  // Already fired or already cancelled (or never existed): report failure
+  // and leave the bookkeeping untouched.
+  return live_ids_.erase(id) > 0;
+}
+
+bool EventQueue::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (live_ids_.erase(ev.id) == 0) continue;  // cancelled: skip silently
+    now_ = ev.when;
+    ev.cb(now_);
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::RunUntil(SimTime horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Drop cancelled tombstones so the horizon check sees the live head
+    // (otherwise Step() could skip past a tombstone and run an event that
+    // lies beyond the horizon).
+    while (!queue_.empty() && live_ids_.count(queue_.top().id) == 0) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > horizon) break;
+    if (Step()) ++executed;
+  }
+  // Even when no event is left at/before the horizon, time advances to it so
+  // callers can interleave RunUntil with manual sampling.
+  now_ = std::max(now_, horizon);
+  return executed;
+}
+
+std::size_t EventQueue::RunAll() {
+  std::size_t executed = 0;
+  while (Step()) ++executed;
+  return executed;
+}
+
+}  // namespace eco

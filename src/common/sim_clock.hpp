@@ -1,0 +1,63 @@
+// Discrete-event simulation core.
+//
+// The cluster simulator, the IPMI sampler, and Chronus's benchmark loop all
+// share one virtual clock. Events are (time, sequence, callback) tuples; ties
+// break in insertion order so simulations are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace eco {
+
+// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  // Schedules `cb` at absolute time `when` (clamped to now for past times).
+  // Returns an id usable with Cancel().
+  std::uint64_t ScheduleAt(SimTime when, Callback cb);
+  std::uint64_t ScheduleAfter(SimTime delay, Callback cb);
+
+  // Cancels a pending event; returns false if already fired or unknown.
+  bool Cancel(std::uint64_t id);
+
+  // Runs the next event; returns false if the queue is empty.
+  bool Step();
+  // Runs until the queue drains or `horizon` is passed (events scheduled at
+  // exactly `horizon` still run). Returns the number of events executed.
+  std::size_t RunUntil(SimTime horizon);
+  std::size_t RunAll();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return live_ids_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return live_ids_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    Callback cb;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Ids of scheduled events that have neither fired nor been cancelled.
+  // Cancelled events stay in the priority queue and are dropped when popped.
+  std::unordered_set<std::uint64_t> live_ids_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace eco

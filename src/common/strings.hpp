@@ -1,0 +1,29 @@
+// Small string utilities shared by the CSV/JSON codecs, the CLI, and the
+// virtual procfs formatters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eco {
+
+std::vector<std::string> Split(std::string_view text, char sep);
+// Split on whitespace runs, dropping empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+std::string Trim(std::string_view text);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string ToLower(std::string_view text);
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Parsers returning false on malformed input rather than throwing.
+bool ParseInt64(std::string_view text, long long& out);
+bool ParseDouble(std::string_view text, double& out);
+
+// printf-style double formatting helpers used by the report tables.
+std::string FormatDouble(double v, int precision);
+// Formats seconds as H:MM:SS (Table 2's "0:18:47" runtime format).
+std::string FormatHms(double seconds);
+
+}  // namespace eco

@@ -1,0 +1,27 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables/figures and prints
+// it in a fixed-width layout comparable side-by-side with the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eco {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Renders with a header rule; columns are sized to the widest cell.
+  [[nodiscard]] std::string Render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eco

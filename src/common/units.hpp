@@ -1,0 +1,33 @@
+// Unit helpers. Physical quantities are carried as doubles in SI units
+// (watts, joules, seconds, hertz); these helpers make call sites read in the
+// units the paper uses (kHz from sysfs, GHz in tables, kJ in Table 2).
+#pragma once
+
+#include <cstdint>
+
+namespace eco {
+
+// Frequencies in this code base are stored in kilohertz, matching Linux's
+// cpufreq sysfs interface and the paper's JSON configuration format
+// ("frequency": 2200000).
+using KiloHertz = std::uint64_t;
+
+constexpr KiloHertz kHz(std::uint64_t v) { return v; }
+constexpr double KiloHertzToGHz(KiloHertz f) {
+  return static_cast<double>(f) / 1.0e6;
+}
+constexpr KiloHertz GHzToKiloHertz(double ghz) {
+  return static_cast<KiloHertz>(ghz * 1.0e6 + 0.5);
+}
+
+constexpr double JoulesToKiloJoules(double j) { return j / 1000.0; }
+constexpr double WattsToKiloWatts(double w) { return w / 1000.0; }
+
+constexpr double BytesToGiB(double bytes) {
+  return bytes / (1024.0 * 1024.0 * 1024.0);
+}
+constexpr std::uint64_t GiB(std::uint64_t n) {
+  return n * 1024ull * 1024ull * 1024ull;
+}
+
+}  // namespace eco

@@ -1,0 +1,45 @@
+// End-to-end mini-HPCG benchmark driver, following the reference benchmark's
+// phases: problem setup, validation (operator symmetry, preconditioner
+// effectiveness), then repeated timed 50-iteration CG sets, and a final
+// GFLOP/s rating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hpcg/cg.hpp"
+#include "hpcg/geometry.hpp"
+
+namespace eco::hpcg {
+
+struct BenchmarkOptions {
+  Geometry geometry{16, 16, 16};
+  int iterations_per_set = 50;
+  int sets = 1;
+  // Stop adding sets once this much wall time has elapsed (0 = run `sets`).
+  double time_budget_seconds = 0.0;
+};
+
+struct BenchmarkReport {
+  bool symmetry_ok = false;
+  double symmetry_error = 0.0;
+  // Iterations to reach 1e-6 relative residual, plain CG vs MG-preconditioned
+  // CG (the preconditioner must pay for itself).
+  int unpreconditioned_iterations = 0;
+  int preconditioned_iterations = 0;
+  int sets_run = 0;
+  std::uint64_t total_flops = 0;
+  double total_seconds = 0.0;
+  double gflops = 0.0;
+  double final_residual = 0.0;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+// Runs the full benchmark. Deterministic given the options.
+BenchmarkReport RunBenchmark(const BenchmarkOptions& options);
+
+// Operator symmetry check: |x'Ay - y'Ax| / (|x||y|) for pseudo-random x, y.
+double SymmetryError(const Geometry& geo);
+
+}  // namespace eco::hpcg

@@ -1,0 +1,85 @@
+#include "hpcg/cg.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "hpcg/stencil.hpp"
+
+namespace eco::hpcg {
+
+CgSolver::CgSolver(const Geometry& geo, CgOptions options)
+    : geo_(geo), options_(options), mg_(geo) {
+  const auto n = static_cast<std::size_t>(geo.size());
+  r_.assign(n, 0.0);
+  z_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  ap_.assign(n, 0.0);
+}
+
+CgResult CgSolver::Solve(const Vec& b, Vec& x) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+
+  CgResult result;
+  const std::size_t n = b.size();
+  std::uint64_t flops = 0;
+
+  // r = b - A x
+  SpMV(geo_, x, ap_);
+  Waxpby(1.0, b, -1.0, ap_, r_);
+  flops += SpMVFlops(geo_) + WaxpbyFlops(n);
+
+  double norm_r = Norm2(r_);
+  flops += DotFlops(n);
+  result.initial_residual = norm_r;
+  const double stop = options_.tolerance * norm_r;
+
+  double rtz = 0.0;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    if (options_.tolerance > 0.0 && norm_r <= stop) {
+      result.converged = true;
+      break;
+    }
+    // z = M^{-1} r
+    if (options_.preconditioned) {
+      mg_.Apply(r_, z_, flops);
+    } else {
+      z_ = r_;
+    }
+
+    const double rtz_old = rtz;
+    rtz = Dot(r_, z_);
+    flops += DotFlops(n);
+
+    if (iter == 0) {
+      p_ = z_;
+    } else {
+      const double beta = rtz / rtz_old;
+      Waxpby(1.0, z_, beta, p_, p_);
+      flops += WaxpbyFlops(n);
+    }
+
+    SpMV(geo_, p_, ap_);
+    const double pap = Dot(p_, ap_);
+    flops += SpMVFlops(geo_) + DotFlops(n);
+    if (pap <= 0.0) break;  // loss of positive definiteness (numerical)
+
+    const double alpha = rtz / pap;
+    Waxpby(1.0, x, alpha, p_, x);
+    Waxpby(1.0, r_, -alpha, ap_, r_);
+    flops += 2 * WaxpbyFlops(n);
+
+    norm_r = Norm2(r_);
+    flops += DotFlops(n);
+    ++result.iterations;
+  }
+
+  if (options_.tolerance > 0.0 && norm_r <= stop) result.converged = true;
+  result.final_residual = norm_r;
+  result.flops = flops;
+  result.seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace eco::hpcg

@@ -1,0 +1,48 @@
+// Preconditioned conjugate-gradient driver — the computational core of HPCG
+// ("a simple additive Schwarz, symmetric Gauss-Seidel preconditioned
+// conjugate gradient solver", paper §3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "hpcg/geometry.hpp"
+#include "hpcg/multigrid.hpp"
+#include "hpcg/vector_ops.hpp"
+
+namespace eco::hpcg {
+
+struct CgOptions {
+  int max_iterations = 50;
+  double tolerance = 0.0;  // 0 => run all iterations, like HPCG's timed sets
+  bool preconditioned = true;
+};
+
+struct CgResult {
+  int iterations = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  bool converged = false;        // only meaningful when tolerance > 0
+  std::uint64_t flops = 0;
+  double seconds = 0.0;          // wall time of the solve
+  [[nodiscard]] double Gflops() const {
+    return seconds > 0.0 ? static_cast<double>(flops) / seconds / 1e9 : 0.0;
+  }
+};
+
+class CgSolver {
+ public:
+  explicit CgSolver(const Geometry& geo, CgOptions options = {});
+
+  // Solves A x = b starting from x (usually zero). Overwrites x.
+  CgResult Solve(const Vec& b, Vec& x);
+
+  [[nodiscard]] const Geometry& geometry() const { return geo_; }
+
+ private:
+  Geometry geo_;
+  CgOptions options_;
+  Multigrid mg_;
+  Vec r_, z_, p_, ap_;
+};
+
+}  // namespace eco::hpcg

@@ -1,0 +1,98 @@
+// Rank-decomposed HPCG: the distributed-memory structure of the reference
+// benchmark, executed in-process (no MPI on this machine; DESIGN.md records
+// the substitution).
+//
+// The global grid is split over a px × py × pz processor grid; every rank
+// owns a local block and a one-cell halo. Each CG iteration does what the
+// MPI code does:
+//
+//   halo exchange  ->  local 27-point SpMV
+//   local dots     ->  allreduce (here: a straight sum over ranks)
+//   preconditioner ->  rank-local SymGS on the current halo — the "simple
+//                      additive Schwarz, symmetric Gauss-Seidel" the paper
+//                      quotes from the HPCG spec (§3.2): each rank smooths
+//                      its own block; coupling only flows through the halo.
+//
+// Properties exercised by the tests: unpreconditioned distributed CG is
+// bitwise-equivalent to serial CG on the same global problem (halo exchange
+// makes SpMV exact); the Schwarz preconditioner converges, matches serial
+// SymGS exactly at 1 rank, and degrades gracefully with more ranks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpcg/geometry.hpp"
+#include "hpcg/vector_ops.hpp"
+
+namespace eco::hpcg {
+
+// A vector distributed over ranks: per-rank storage includes the halo
+// (local dims + 2 in every direction); owned cells live at offset 1.
+class DistributedGrid {
+ public:
+  // Global problem of (local.nx·px, local.ny·py, local.nz·pz), every rank
+  // owning an identical `local` block.
+  DistributedGrid(const Geometry& local, int px, int py, int pz);
+
+  [[nodiscard]] int ranks() const { return px_ * py_ * pz_; }
+  [[nodiscard]] const Geometry& local() const { return local_; }
+  [[nodiscard]] Geometry global() const {
+    return {local_.nx * px_, local_.ny * py_, local_.nz * pz_};
+  }
+  // Storage geometry of one rank (local + halo).
+  [[nodiscard]] Geometry padded() const {
+    return {local_.nx + 2, local_.ny + 2, local_.nz + 2};
+  }
+
+  // Fresh distributed vector (all ranks, halos included, zeroed).
+  [[nodiscard]] std::vector<Vec> MakeVector() const;
+
+  // Scatters a global-geometry vector into owned cells / gathers it back.
+  void Scatter(const Vec& global, std::vector<Vec>& dist) const;
+  void Gather(const std::vector<Vec>& dist, Vec& global) const;
+
+  // Fills every rank's halo from the owning neighbours (26 directions).
+  // Cells outside the global domain are set to 0 — which matches the
+  // serial stencil's boundary truncation.
+  void ExchangeHalo(std::vector<Vec>& dist) const;
+
+  // y = A x with a fresh halo exchange (x's halos are updated).
+  void SpMV(std::vector<Vec>& x, std::vector<Vec>& y) const;
+
+  // Additive-Schwarz smoother: one rank-local symmetric Gauss–Seidel sweep
+  // per rank using the current halo of r (exchanged first), updating z.
+  void SchwarzSymGS(std::vector<Vec>& r, std::vector<Vec>& z) const;
+
+  // Allreduce-style dot product over owned cells only.
+  [[nodiscard]] double Dot(const std::vector<Vec>& a,
+                           const std::vector<Vec>& b) const;
+  // w = alpha·x + beta·y over owned cells (halos left stale).
+  void Waxpby(double alpha, const std::vector<Vec>& x, double beta,
+              const std::vector<Vec>& y, std::vector<Vec>& w) const;
+
+ private:
+  // Rank coordinates / ids.
+  [[nodiscard]] int RankId(int rx, int ry, int rz) const {
+    return (rz * py_ + ry) * px_ + rx;
+  }
+
+  Geometry local_;
+  int px_, py_, pz_;
+};
+
+struct DistributedCgResult {
+  int iterations = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  bool converged = false;
+};
+
+// Preconditioned CG on the distributed problem. `b` and `x` are
+// global-geometry vectors (scattered/gathered internally).
+DistributedCgResult DistributedCgSolve(const DistributedGrid& grid,
+                                       const Vec& b, Vec& x,
+                                       int max_iterations, double tolerance,
+                                       bool preconditioned);
+
+}  // namespace eco::hpcg

@@ -1,0 +1,41 @@
+// Structured 3-D grid geometry for the miniature HPCG solver.
+//
+// HPCG's operator is the 27-point finite-difference Laplacian on a regular
+// grid: diagonal 26, all neighbours -1, with rows truncated at the boundary
+// (so the matrix stays symmetric positive definite). The implementation here
+// is matrix-free: the stencil kernels enumerate neighbours from the geometry
+// instead of storing 27 values per row.
+#pragma once
+
+#include <cstdint>
+
+namespace eco::hpcg {
+
+struct Geometry {
+  int nx = 16;
+  int ny = 16;
+  int nz = 16;
+
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(nx) * ny * nz;
+  }
+
+  [[nodiscard]] std::int64_t Index(int ix, int iy, int iz) const {
+    return (static_cast<std::int64_t>(iz) * ny + iy) * nx + ix;
+  }
+
+  [[nodiscard]] bool Inside(int ix, int iy, int iz) const {
+    return ix >= 0 && ix < nx && iy >= 0 && iy < ny && iz >= 0 && iz < nz;
+  }
+
+  // True when every dimension is even and >= 4, i.e. one more multigrid
+  // coarsening level is possible.
+  [[nodiscard]] bool Coarsenable() const {
+    return nx % 2 == 0 && ny % 2 == 0 && nz % 2 == 0 && nx >= 4 && ny >= 4 &&
+           nz >= 4;
+  }
+
+  [[nodiscard]] Geometry Coarse() const { return {nx / 2, ny / 2, nz / 2}; }
+};
+
+}  // namespace eco::hpcg

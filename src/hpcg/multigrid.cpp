@@ -1,0 +1,97 @@
+#include "hpcg/multigrid.hpp"
+
+namespace eco::hpcg {
+
+Multigrid::Multigrid(const Geometry& fine, int max_levels) {
+  geos_.push_back(fine);
+  while (static_cast<int>(geos_.size()) < max_levels &&
+         geos_.back().Coarsenable()) {
+    geos_.push_back(geos_.back().Coarse());
+  }
+  const auto n_levels = geos_.size();
+  residual_.resize(n_levels);
+  coarse_r_.resize(n_levels);
+  coarse_z_.resize(n_levels);
+  az_.resize(n_levels);
+  for (std::size_t level = 0; level < n_levels; ++level) {
+    const auto n = static_cast<std::size_t>(geos_[level].size());
+    residual_[level].assign(n, 0.0);
+    az_[level].assign(n, 0.0);
+    if (level + 1 < n_levels) {
+      const auto nc = static_cast<std::size_t>(geos_[level + 1].size());
+      coarse_r_[level].assign(nc, 0.0);
+      coarse_z_[level].assign(nc, 0.0);
+    }
+  }
+}
+
+void Multigrid::Apply(const Vec& r, Vec& z, std::uint64_t& flops) {
+  Fill(z, 0.0);
+  Cycle(0, r, z, flops);
+}
+
+void Multigrid::Cycle(int level, const Vec& r, Vec& z, std::uint64_t& flops) {
+  const Geometry& geo = geos_[level];
+  // Pre-smooth (z starts at zero on entry at every level).
+  SymGS(geo, r, z);
+  flops += SymGSFlops(geo);
+
+  if (level + 1 < levels()) {
+    // residual = r - A z
+    SpMV(geo, z, az_[level]);
+    Waxpby(1.0, r, -1.0, az_[level], residual_[level]);
+    flops += SpMVFlops(geo) + WaxpbyFlops(residual_[level].size());
+
+    Restrict(level, residual_[level], coarse_r_[level]);
+    Fill(coarse_z_[level], 0.0);
+    Cycle(level + 1, coarse_r_[level], coarse_z_[level], flops);
+    Prolong(level, coarse_z_[level], z);
+
+    // Post-smooth.
+    SymGS(geo, r, z);
+    flops += SymGSFlops(geo);
+  }
+}
+
+void Multigrid::Restrict(int fine_level, const Vec& fine_residual,
+                         Vec& coarse_r) const {
+  const Geometry& fine = geos_[fine_level];
+  const Geometry& coarse = geos_[fine_level + 1];
+  for (int iz = 0; iz < coarse.nz; ++iz) {
+    for (int iy = 0; iy < coarse.ny; ++iy) {
+      for (int ix = 0; ix < coarse.nx; ++ix) {
+        coarse_r[coarse.Index(ix, iy, iz)] =
+            fine_residual[fine.Index(2 * ix, 2 * iy, 2 * iz)];
+      }
+    }
+  }
+}
+
+void Multigrid::Prolong(int fine_level, const Vec& coarse_z, Vec& fine_z) const {
+  const Geometry& fine = geos_[fine_level];
+  const Geometry& coarse = geos_[fine_level + 1];
+  for (int iz = 0; iz < coarse.nz; ++iz) {
+    for (int iy = 0; iy < coarse.ny; ++iy) {
+      for (int ix = 0; ix < coarse.nx; ++ix) {
+        fine_z[fine.Index(2 * ix, 2 * iy, 2 * iz)] +=
+            coarse_z[coarse.Index(ix, iy, iz)];
+      }
+    }
+  }
+}
+
+std::uint64_t Multigrid::CycleFlops() const {
+  std::uint64_t flops = 0;
+  for (int level = 0; level < levels(); ++level) {
+    const Geometry& geo = geos_[level];
+    flops += SymGSFlops(geo);  // pre-smooth
+    if (level + 1 < levels()) {
+      flops += SpMVFlops(geo) +
+               WaxpbyFlops(static_cast<std::size_t>(geo.size()));
+      flops += SymGSFlops(geo);  // post-smooth
+    }
+  }
+  return flops;
+}
+
+}  // namespace eco::hpcg

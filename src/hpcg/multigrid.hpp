@@ -1,0 +1,44 @@
+// Multigrid V-cycle preconditioner, mirroring reference HPCG:
+// up to 4 levels, each level doing one pre-smooth SymGS, a residual
+// restriction by injection to the half-resolution grid, a recursive solve,
+// prolongation (point injection add-back), and one post-smooth SymGS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpcg/geometry.hpp"
+#include "hpcg/stencil.hpp"
+#include "hpcg/vector_ops.hpp"
+
+namespace eco::hpcg {
+
+class Multigrid {
+ public:
+  // Builds a hierarchy starting at `fine`, coarsening while the geometry
+  // halves cleanly, up to `max_levels` levels (HPCG uses 4).
+  explicit Multigrid(const Geometry& fine, int max_levels = 4);
+
+  [[nodiscard]] int levels() const { return static_cast<int>(geos_.size()); }
+  [[nodiscard]] const Geometry& geometry(int level) const { return geos_[level]; }
+
+  // z = M^{-1} r on the finest level. Accumulates FLOPs into `flops`.
+  void Apply(const Vec& r, Vec& z, std::uint64_t& flops);
+
+  // FLOPs of one full V-cycle (constant per hierarchy).
+  [[nodiscard]] std::uint64_t CycleFlops() const;
+
+ private:
+  void Cycle(int level, const Vec& r, Vec& z, std::uint64_t& flops);
+  void Restrict(int fine_level, const Vec& fine_residual, Vec& coarse_r) const;
+  void Prolong(int fine_level, const Vec& coarse_z, Vec& fine_z) const;
+
+  std::vector<Geometry> geos_;
+  // Scratch vectors per level, reused across applications.
+  std::vector<Vec> residual_;  // r - A z on this level
+  std::vector<Vec> coarse_r_;  // restricted residual (next level's rhs)
+  std::vector<Vec> coarse_z_;  // next level's correction
+  std::vector<Vec> az_;        // A z scratch
+};
+
+}  // namespace eco::hpcg

@@ -1,0 +1,78 @@
+#include "hpcg/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eco::hpcg {
+
+HpcgPerfModel::HpcgPerfModel(PerfModelParams params) : params_(params) {
+  const double n = params_.reference_cores;
+  const double eps = FrequencyElasticity(params_.reference_cores);
+  scale_ = params_.reference_gflops /
+           (std::pow(n, params_.core_exponent) *
+            std::pow(params_.reference_ghz, eps));
+}
+
+double HpcgPerfModel::FrequencyElasticity(int cores) const {
+  const double n = std::max(1, cores);
+  return params_.eps_floor +
+         (1.0 - params_.eps_floor) * std::exp(-(n - 1.0) / params_.eps_decay);
+}
+
+double HpcgPerfModel::Gflops(int cores, KiloHertz f, bool ht) const {
+  if (cores <= 0) return 0.0;
+  const double f_ghz = KiloHertzToGHz(f);
+  if (f_ghz <= 0.0) return 0.0;
+  const double eps = FrequencyElasticity(cores);
+  double g = scale_ * std::pow(static_cast<double>(cores), params_.core_exponent) *
+             std::pow(f_ghz, eps);
+  if (ht) {
+    const double h = 1.0 + params_.ht_gain * std::exp(-cores / params_.ht_gain_decay) -
+                     params_.ht_penalty * cores / 32.0;
+    g *= h;
+  }
+  return g;
+}
+
+double HpcgPerfModel::MeanUtilization(int cores, KiloHertz f, bool ht) const {
+  // Issue density: achieved FLOPS over compute capability. Memory-bound runs
+  // stall often, but stalled cores still clock — the power model's stall
+  // fraction covers that; here we only report the issue-rate component.
+  const double f_ghz = KiloHertzToGHz(f);
+  const double capacity =
+      std::max(1e-9, cores * params_.compute_gflops_per_ghz * f_ghz);
+  const double density = Gflops(cores, f, ht) / capacity;
+  // HPCG never idles a core outright; clamp into a plausible band.
+  return std::clamp(0.55 + 0.45 * std::min(1.0, density), 0.0, 1.0);
+}
+
+double HpcgPerfModel::UtilizationAt(double t_seconds, int cores, KiloHertz f,
+                                    bool ht) const {
+  const double mean = MeanUtilization(cores, f, ht);
+  const double f_ghz = KiloHertzToGHz(f);
+  const double amp =
+      params_.phase_amp_base +
+      params_.phase_amp_per_ghz_above_knee * std::max(0.0, f_ghz - params_.knee_ghz);
+  const double phase =
+      std::sin(2.0 * M_PI * t_seconds / params_.phase_period_s) * 0.5 +
+      std::sin(2.0 * M_PI * t_seconds / (params_.phase_period_s * 0.37)) * 0.5;
+  return std::clamp(mean * (1.0 - amp * (0.5 + 0.5 * phase)), 0.0, 1.0);
+}
+
+double HpcgPerfModel::TotalFlops(const HpcgProblem& problem, int cores,
+                                 int iterations) {
+  return static_cast<double>(problem.LocalPoints()) * cores * iterations *
+         HpcgProblem::kFlopsPerPointPerIteration;
+}
+
+int HpcgPerfModel::IterationsForDuration(const HpcgProblem& problem,
+                                         double target_seconds) const {
+  const double ref_gflops = params_.reference_gflops;
+  const double flops_per_iter = static_cast<double>(problem.LocalPoints()) *
+                                params_.reference_cores *
+                                HpcgProblem::kFlopsPerPointPerIteration;
+  const double iters = target_seconds * ref_gflops * 1e9 / flops_per_iter;
+  return std::max(1, static_cast<int>(std::llround(iters)));
+}
+
+}  // namespace eco::hpcg

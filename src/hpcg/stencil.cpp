@@ -1,0 +1,87 @@
+#include "hpcg/stencil.hpp"
+
+namespace eco::hpcg {
+namespace {
+
+constexpr double kDiag = 26.0;
+
+// Sums x over the (up to 26) neighbours of (ix,iy,iz).
+inline double NeighbourSum(const Geometry& geo, const Vec& x, int ix, int iy,
+                           int iz) {
+  double sum = 0.0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int z = iz + dz;
+    if (z < 0 || z >= geo.nz) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = iy + dy;
+      if (y < 0 || y >= geo.ny) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int xx = ix + dx;
+        if (xx < 0 || xx >= geo.nx) continue;
+        sum += x[geo.Index(xx, y, z)];
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int NeighbourCount(const Geometry& geo, int ix, int iy, int iz) {
+  const auto extent = [](int i, int n) { return (i > 0 ? 1 : 0) + 1 + (i + 1 < n ? 1 : 0); };
+  return extent(ix, geo.nx) * extent(iy, geo.ny) * extent(iz, geo.nz) - 1;
+}
+
+void SpMV(const Geometry& geo, const Vec& x, Vec& y) {
+#if defined(_OPENMP)
+#pragma omp parallel for collapse(2) schedule(static)
+#endif
+  for (int iz = 0; iz < geo.nz; ++iz) {
+    for (int iy = 0; iy < geo.ny; ++iy) {
+      for (int ix = 0; ix < geo.nx; ++ix) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        y[i] = kDiag * x[i] - NeighbourSum(geo, x, ix, iy, iz);
+      }
+    }
+  }
+}
+
+void SymGS(const Geometry& geo, const Vec& r, Vec& z) {
+  // Forward sweep.
+  for (int iz = 0; iz < geo.nz; ++iz) {
+    for (int iy = 0; iy < geo.ny; ++iy) {
+      for (int ix = 0; ix < geo.nx; ++ix) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        z[i] = (r[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
+      }
+    }
+  }
+  // Backward sweep.
+  for (int iz = geo.nz - 1; iz >= 0; --iz) {
+    for (int iy = geo.ny - 1; iy >= 0; --iy) {
+      for (int ix = geo.nx - 1; ix >= 0; --ix) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        z[i] = (r[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
+      }
+    }
+  }
+}
+
+std::uint64_t NonZeros(const Geometry& geo) {
+  std::uint64_t nnz = 0;
+  for (int iz = 0; iz < geo.nz; ++iz) {
+    for (int iy = 0; iy < geo.ny; ++iy) {
+      for (int ix = 0; ix < geo.nx; ++ix) {
+        nnz += 1 + static_cast<std::uint64_t>(NeighbourCount(geo, ix, iy, iz));
+      }
+    }
+  }
+  return nnz;
+}
+
+std::uint64_t SpMVFlops(const Geometry& geo) { return 2ull * NonZeros(geo); }
+
+std::uint64_t SymGSFlops(const Geometry& geo) { return 4ull * NonZeros(geo); }
+
+}  // namespace eco::hpcg

@@ -1,0 +1,32 @@
+// Matrix-free 27-point stencil kernels: SpMV and the symmetric Gauss–Seidel
+// smoother HPCG uses as its preconditioner building block.
+#pragma once
+
+#include <cstdint>
+
+#include "hpcg/geometry.hpp"
+#include "hpcg/vector_ops.hpp"
+
+namespace eco::hpcg {
+
+// Number of off-diagonal neighbours of point (ix,iy,iz) (≤ 26; fewer at the
+// boundary). The diagonal entry is always 26.0 regardless, keeping the
+// operator diagonally dominant, symmetric and positive definite.
+int NeighbourCount(const Geometry& geo, int ix, int iy, int iz);
+
+// y = A x.
+void SpMV(const Geometry& geo, const Vec& x, Vec& y);
+
+// One symmetric Gauss–Seidel sweep (forward then backward) on A z = r,
+// updating z in place. This is HPCG's smoother; it is inherently sequential
+// within a sweep, exactly like the reference implementation's per-rank sweep.
+void SymGS(const Geometry& geo, const Vec& r, Vec& z);
+
+// FLOP costs (HPCG conventions: 2 flops per stored nonzero for SpMV, and
+// forward+backward Gauss–Seidel costs twice an SpMV).
+std::uint64_t SpMVFlops(const Geometry& geo);
+std::uint64_t SymGSFlops(const Geometry& geo);
+// Total stored nonzeros of the boundary-truncated operator.
+std::uint64_t NonZeros(const Geometry& geo);
+
+}  // namespace eco::hpcg

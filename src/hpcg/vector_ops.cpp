@@ -1,0 +1,35 @@
+#include "hpcg/vector_ops.hpp"
+
+#include <cmath>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace eco::hpcg {
+
+double Dot(const Vec& x, const Vec& y) {
+  double sum = 0.0;
+  const std::size_t n = x.size();
+#if defined(_OPENMP)
+#pragma omp parallel for reduction(+ : sum) schedule(static)
+#endif
+  for (std::size_t i = 0; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w) {
+  const std::size_t n = x.size();
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t i = 0; i < n; ++i) w[i] = alpha * x[i] + beta * y[i];
+}
+
+void Fill(Vec& x, double value) {
+  for (auto& v : x) v = value;
+}
+
+double Norm2(const Vec& x) { return std::sqrt(Dot(x, x)); }
+
+}  // namespace eco::hpcg

@@ -1,0 +1,26 @@
+// Dense vector kernels (BLAS-1 subset) with FLOP accounting.
+//
+// Every kernel returns/accumulates its FLOP count so the solver can report a
+// genuine GFLOP/s rating like the reference HPCG does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eco::hpcg {
+
+using Vec = std::vector<double>;
+
+// y'x. 2n flops.
+double Dot(const Vec& x, const Vec& y);
+// w = alpha*x + beta*y. 3n flops (HPCG convention).
+void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w);
+void Fill(Vec& x, double value);
+// Euclidean norm via Dot.
+double Norm2(const Vec& x);
+
+// FLOP costs of the kernels, for the solver's rating.
+inline std::uint64_t DotFlops(std::size_t n) { return 2ull * n; }
+inline std::uint64_t WaxpbyFlops(std::size_t n) { return 3ull * n; }
+
+}  // namespace eco::hpcg

@@ -1,0 +1,69 @@
+#include "hw/cpu_spec.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace eco::hw {
+
+KiloHertz CpuSpec::MinFrequency() const {
+  return available_frequencies.empty() ? 0 : available_frequencies.front();
+}
+
+KiloHertz CpuSpec::MaxFrequency() const {
+  return available_frequencies.empty() ? 0 : available_frequencies.back();
+}
+
+KiloHertz CpuSpec::NearestFrequency(KiloHertz f) const {
+  if (available_frequencies.empty()) return 0;
+  KiloHertz best = available_frequencies.front();
+  auto distance = [f](KiloHertz candidate) {
+    return candidate > f ? candidate - f : f - candidate;
+  };
+  for (const KiloHertz candidate : available_frequencies) {
+    if (distance(candidate) < distance(best)) best = candidate;
+  }
+  return best;
+}
+
+bool CpuSpec::SupportsFrequency(KiloHertz f) const {
+  return std::find(available_frequencies.begin(), available_frequencies.end(),
+                   f) != available_frequencies.end();
+}
+
+MachineSpec MachineSpec::Epyc7502P(std::string hostname) {
+  MachineSpec spec;
+  spec.hostname = std::move(hostname);
+  spec.cpu.model_name = "AMD EPYC 7502P 32-Core Processor";
+  spec.cpu.cores = 32;
+  spec.cpu.threads_per_core = 2;
+  spec.cpu.available_frequencies = {kHz(1'500'000), kHz(2'200'000),
+                                    kHz(2'500'000)};
+  spec.ram_bytes = GiB(256);
+  return spec;
+}
+
+MachineSpec MachineSpec::XeonGold6230(std::string hostname) {
+  MachineSpec spec;
+  spec.hostname = std::move(hostname);
+  spec.cpu.model_name = "Intel(R) Xeon(R) Gold 6230 CPU @ 2.10GHz";
+  spec.cpu.cores = 20;
+  spec.cpu.threads_per_core = 2;
+  spec.cpu.available_frequencies = {kHz(1'000'000), kHz(1'400'000),
+                                    kHz(1'800'000), kHz(2'100'000),
+                                    kHz(2'500'000)};
+  spec.ram_bytes = GiB(192);
+  return spec;
+}
+
+MachineSpec MachineSpec::TestNode(std::string hostname) {
+  MachineSpec spec;
+  spec.hostname = std::move(hostname);
+  spec.cpu.model_name = "Test CPU 4-Core";
+  spec.cpu.cores = 4;
+  spec.cpu.threads_per_core = 2;
+  spec.cpu.available_frequencies = {kHz(1'000'000), kHz(2'000'000)};
+  spec.ram_bytes = GiB(16);
+  return spec;
+}
+
+}  // namespace eco::hw

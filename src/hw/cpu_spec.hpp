@@ -1,0 +1,49 @@
+// Hardware description of the simulated node.
+//
+// The paper's testbed is a Lenovo ThinkSystem SR650 with an AMD EPYC 7502P
+// (32 cores, 2 threads/core, cpufreq frequencies {1.5, 2.2, 2.5} GHz) and
+// 256 GB of RAM. `MachineSpec::Epyc7502P()` reproduces that machine; smaller
+// profiles exist for fast tests and the multi-node example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace eco::hw {
+
+struct CpuSpec {
+  std::string model_name;
+  int cores = 1;
+  int threads_per_core = 1;
+  // Sorted ascending, in kHz (mirrors scaling_available_frequencies).
+  std::vector<KiloHertz> available_frequencies;
+
+  [[nodiscard]] KiloHertz MinFrequency() const;
+  [[nodiscard]] KiloHertz MaxFrequency() const;
+  // Closest supported frequency to `f` (ties resolve downward). Mirrors how
+  // cpufreq clamps userspace requests to the frequency table.
+  [[nodiscard]] KiloHertz NearestFrequency(KiloHertz f) const;
+  [[nodiscard]] bool SupportsFrequency(KiloHertz f) const;
+  [[nodiscard]] int MaxThreads() const { return cores * threads_per_core; }
+};
+
+struct MachineSpec {
+  std::string hostname;
+  CpuSpec cpu;
+  std::uint64_t ram_bytes = 0;
+
+  // The paper's single test node.
+  static MachineSpec Epyc7502P(std::string hostname = "host114");
+  // A small 4-core node for fast unit tests.
+  static MachineSpec TestNode(std::string hostname = "testnode");
+  // A contrasting production profile ("All supercomputers are built
+  // differently", §3.1): 20 cores, HT, a five-step frequency ladder —
+  // exercises Chronus's multi-system handling with a distinct system hash
+  // and candidate space.
+  static MachineSpec XeonGold6230(std::string hostname = "xeonnode");
+};
+
+}  // namespace eco::hw

@@ -1,0 +1,81 @@
+#include "hw/dvfs.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace eco::hw {
+
+const char* GovernorName(Governor g) {
+  switch (g) {
+    case Governor::kPerformance:
+      return "performance";
+    case Governor::kOndemand:
+      return "ondemand";
+    case Governor::kPowersave:
+      return "powersave";
+    case Governor::kUserspace:
+      return "userspace";
+  }
+  return "?";
+}
+
+bool ParseGovernor(const std::string& name, Governor& out) {
+  const std::string lower = ToLower(name);
+  if (lower == "performance") {
+    out = Governor::kPerformance;
+  } else if (lower == "ondemand") {
+    out = Governor::kOndemand;
+  } else if (lower == "powersave") {
+    out = Governor::kPowersave;
+  } else if (lower == "userspace") {
+    out = Governor::kUserspace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DvfsPolicy::DvfsPolicy(const CpuSpec& cpu, Governor governor, DvfsParams params)
+    : cpu_(cpu), governor_(governor), params_(params) {
+  switch (governor_) {
+    case Governor::kPowersave:
+      freq_ = cpu_.MinFrequency();
+      break;
+    case Governor::kPerformance:
+    case Governor::kOndemand:
+    case Governor::kUserspace:
+      freq_ = cpu_.MaxFrequency();
+      break;
+  }
+}
+
+void DvfsPolicy::Pin(KiloHertz f) { freq_ = cpu_.NearestFrequency(f); }
+
+KiloHertz DvfsPolicy::Step(double utilization) {
+  switch (governor_) {
+    case Governor::kPerformance:
+      freq_ = cpu_.MaxFrequency();
+      break;
+    case Governor::kPowersave:
+      freq_ = cpu_.MinFrequency();
+      break;
+    case Governor::kUserspace:
+      break;  // pinned
+    case Governor::kOndemand: {
+      const auto& table = cpu_.available_frequencies;
+      if (utilization >= params_.up_threshold) {
+        freq_ = cpu_.MaxFrequency();
+      } else if (utilization < params_.down_threshold) {
+        // Step down one level per sample, like the kernel governor's
+        // conservative descent.
+        const auto it = std::find(table.begin(), table.end(), freq_);
+        if (it != table.end() && it != table.begin()) freq_ = *(it - 1);
+      }
+      break;
+    }
+  }
+  return freq_;
+}
+
+}  // namespace eco::hw

@@ -1,0 +1,57 @@
+// DVFS governor models.
+//
+// Slurm's default behaviour (the paper's baseline) corresponds to the
+// `performance` governor — all cores at maximum frequency. The related work
+// [21] compares against Linux `ondemand`. The eco plugin effectively selects
+// `userspace` with a pinned frequency via the job's --cpu-freq bounds.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "hw/cpu_spec.hpp"
+
+namespace eco::hw {
+
+enum class Governor { kPerformance, kOndemand, kPowersave, kUserspace };
+
+const char* GovernorName(Governor g);
+// Parses a governor name; returns false for unknown names.
+bool ParseGovernor(const std::string& name, Governor& out);
+
+struct DvfsParams {
+  // `ondemand` re-evaluates at this cadence.
+  double sampling_interval_s = 1.0;
+  // Above this utilization ondemand jumps straight to max frequency.
+  double up_threshold = 0.80;
+  // Below this it steps down one frequency level per sample.
+  double down_threshold = 0.40;
+};
+
+// Stateful frequency selector for one CPU package.
+class DvfsPolicy {
+ public:
+  DvfsPolicy(const CpuSpec& cpu, Governor governor, DvfsParams params = {});
+
+  [[nodiscard]] Governor governor() const { return governor_; }
+  [[nodiscard]] KiloHertz frequency() const { return freq_; }
+  [[nodiscard]] double sampling_interval() const {
+    return params_.sampling_interval_s;
+  }
+
+  // Pins the frequency (userspace governor). The request is clamped to the
+  // nearest supported frequency, mirroring cpufreq.
+  void Pin(KiloHertz f);
+
+  // One governor sampling step given the current utilization; returns the
+  // frequency to run at until the next step.
+  KiloHertz Step(double utilization);
+
+ private:
+  CpuSpec cpu_;
+  Governor governor_;
+  DvfsParams params_;
+  KiloHertz freq_;
+};
+
+}  // namespace eco::hw

@@ -1,0 +1,51 @@
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eco::hw {
+
+double PowerModel::Voltage(KiloHertz f) const {
+  const double f_ghz = KiloHertzToGHz(f);
+  const double knee_ghz = KiloHertzToGHz(params_.voltage_floor_freq);
+  if (f_ghz <= knee_ghz) return params_.voltage_floor_volts;
+  return params_.voltage_floor_volts +
+         params_.voltage_slope_per_ghz * (f_ghz - knee_ghz);
+}
+
+double PowerModel::CpuPower(int active_cores, KiloHertz f, bool ht,
+                            double utilization) const {
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  if (active_cores <= 0) return params_.uncore_idle_watts;
+
+  const double f_ghz = KiloHertzToGHz(f);
+  const double v = Voltage(f);
+  const double dyn_scale =
+      params_.stall_power_fraction +
+      (1.0 - params_.stall_power_fraction) * utilization;
+  double per_core = params_.core_static_watts +
+                    params_.core_dynamic_coeff * f_ghz * v * v * dyn_scale;
+  if (ht) per_core *= params_.ht_power_factor;
+
+  const double uncore =
+      params_.uncore_base_watts + params_.uncore_per_ghz_watts * f_ghz;
+  return uncore + per_core * active_cores;
+}
+
+double PowerModel::FanPower(double cpu_temp_celsius) const {
+  const double above = std::max(0.0, cpu_temp_celsius - params_.fan_knee_celsius);
+  return params_.fan_base_watts + params_.fan_per_celsius_watts * above;
+}
+
+PowerBreakdown PowerModel::SystemPower(int active_cores, KiloHertz f, bool ht,
+                                       double utilization,
+                                       double cpu_temp_celsius) const {
+  PowerBreakdown out;
+  out.cpu_watts = CpuPower(active_cores, f, ht, utilization);
+  out.fan_watts = FanPower(cpu_temp_celsius);
+  out.platform_watts = params_.platform_watts;
+  out.system_watts = out.cpu_watts + out.fan_watts + out.platform_watts;
+  return out;
+}
+
+}  // namespace eco::hw

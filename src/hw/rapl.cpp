@@ -1,0 +1,30 @@
+#include "hw/rapl.hpp"
+
+#include <cmath>
+
+namespace eco::hw {
+
+void RaplCounter::Accumulate(double watts, double dt_seconds) {
+  if (watts <= 0.0 || dt_seconds <= 0.0) return;
+  const double joules = watts * dt_seconds;
+  true_joules_ += joules;
+  residual_units_ += joules / joules_per_unit_;
+  const double whole = std::floor(residual_units_);
+  total_units_ += static_cast<std::uint64_t>(whole);
+  residual_units_ -= whole;
+}
+
+std::uint32_t RaplCounter::ReadMsr() const {
+  return static_cast<std::uint32_t>(total_units_ & 0xffffffffull);
+}
+
+double RaplCounter::DeltaJoules(std::uint32_t prev_msr,
+                                std::uint32_t curr_msr) const {
+  const std::uint64_t delta_units =
+      curr_msr >= prev_msr
+          ? static_cast<std::uint64_t>(curr_msr - prev_msr)
+          : (1ull << 32) - prev_msr + curr_msr;  // one wraparound
+  return static_cast<double>(delta_units) * joules_per_unit_;
+}
+
+}  // namespace eco::hw

@@ -1,0 +1,46 @@
+// RAPL (Running Average Power Limit) energy-counter simulator.
+//
+// Intel/AMD expose package energy through an MSR that counts in
+// energy-status units (typically 61 µJ) in a 32-bit register — so the
+// counter wraps every few hours under load, and consumers must unwrap.
+// Slurm's acct_gather_energy/rapl reads exactly this counter; modelling the
+// wraparound here means the plugin and its tests exercise the same failure
+// mode real deployments hit.
+#pragma once
+
+#include <cstdint>
+
+namespace eco::hw {
+
+class RaplCounter {
+ public:
+  // Default unit: 2^-14 J ≈ 61 µJ (ENERGY_STATUS_UNITS on most parts).
+  explicit RaplCounter(double joules_per_unit = 1.0 / 16384.0)
+      : joules_per_unit_(joules_per_unit) {}
+
+  // Accrues `watts` for `dt_seconds` into the counter (called from the node
+  // simulation's energy tap).
+  void Accumulate(double watts, double dt_seconds);
+
+  // The raw 32-bit MSR value (wraps!).
+  [[nodiscard]] std::uint32_t ReadMsr() const;
+
+  // Total joules accumulated since construction (ground truth, no wrap).
+  [[nodiscard]] double TrueJoules() const { return true_joules_; }
+
+  [[nodiscard]] double joules_per_unit() const { return joules_per_unit_; }
+
+  // Helper for consumers: given the previous and current raw MSR readings,
+  // the unwrapped delta in joules (assumes at most one wrap between reads).
+  [[nodiscard]] double DeltaJoules(std::uint32_t prev_msr,
+                                   std::uint32_t curr_msr) const;
+
+ private:
+  double joules_per_unit_;
+  double true_joules_ = 0.0;
+  // Fractional units not yet visible in the integer counter.
+  double residual_units_ = 0.0;
+  std::uint64_t total_units_ = 0;
+};
+
+}  // namespace eco::hw

@@ -1,0 +1,19 @@
+#include "hw/thermal.hpp"
+
+#include <cmath>
+
+namespace eco::hw {
+
+double ThermalModel::SteadyState(double cpu_watts) const {
+  return params_.ambient_celsius +
+         params_.thermal_resistance_k_per_w * cpu_watts;
+}
+
+void ThermalModel::Advance(double dt_seconds, double cpu_watts) {
+  if (dt_seconds <= 0.0) return;
+  const double target = SteadyState(cpu_watts);
+  const double decay = std::exp(-dt_seconds / params_.time_constant_s);
+  temp_ = target + (temp_ - target) * decay;
+}
+
+}  // namespace eco::hw

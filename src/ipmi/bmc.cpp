@@ -1,0 +1,71 @@
+#include "ipmi/bmc.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace eco::ipmi {
+
+BmcSimulator::BmcSimulator(const PowerSource* source, BmcParams params, Rng rng)
+    : source_(source), params_(params), rng_(rng) {}
+
+double BmcSimulator::Quantize(double watts) const {
+  return params_.quantize_watts ? std::round(watts) : watts;
+}
+
+SensorReading BmcSimulator::ReadTotalPower() {
+  const double w = source_->SystemWatts() * params_.gain +
+                   rng_.Gaussian(0.0, params_.noise_stddev_watts);
+  return {"Total_Power", Quantize(std::max(0.0, w)), "Watts"};
+}
+
+SensorReading BmcSimulator::ReadCpuPower() {
+  const double w = source_->CpuWatts() * params_.gain +
+                   rng_.Gaussian(0.0, params_.noise_stddev_watts);
+  return {"CPU_Power", Quantize(std::max(0.0, w)), "Watts"};
+}
+
+SensorReading BmcSimulator::ReadCpuTemp() {
+  const double t =
+      source_->CpuTempCelsius() + rng_.Gaussian(0.0, params_.temp_noise_stddev);
+  return {"CPU_Temp", std::round(t * 10.0) / 10.0, "degrees C"};
+}
+
+std::vector<SensorReading> BmcSimulator::SdrList() {
+  return {ReadTotalPower(), ReadCpuPower(), ReadCpuTemp()};
+}
+
+std::string BmcSimulator::RenderSdr(const std::vector<SensorReading>& sdr) {
+  std::string out;
+  for (const auto& reading : sdr) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-16s | %10.1f %s\n",
+                  reading.name.c_str(), reading.value, reading.unit.c_str());
+    out += line;
+  }
+  return out;
+}
+
+Wattmeter::Wattmeter(const PowerSource* source, WattmeterParams params)
+    : source_(source), params_(params) {}
+
+double Wattmeter::TotalAcWatts() const {
+  return source_->SystemWatts() / params_.psu_efficiency;
+}
+
+std::vector<double> Wattmeter::PerPsuWatts() const {
+  const double total = TotalAcWatts();
+  if (params_.psu_count <= 1) return {total};
+  std::vector<double> out(params_.psu_count, 0.0);
+  // Split with the configured imbalance between the first two supplies.
+  const double half = total / params_.psu_count;
+  out[0] = half * (1.0 - params_.psu_imbalance);
+  out[1] = half * (1.0 + params_.psu_imbalance);
+  for (int i = 2; i < params_.psu_count; ++i) out[i] = half;
+  // Keep the sum exact.
+  double assigned = 0.0;
+  for (int i = 0; i + 1 < params_.psu_count; ++i) assigned += out[i];
+  out.back() = total - assigned;
+  return out;
+}
+
+}  // namespace eco::ipmi

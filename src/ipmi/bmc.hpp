@@ -1,0 +1,90 @@
+// Baseboard Management Controller (BMC) simulator.
+//
+// The paper samples node power through IPMI from the BMC (§3.1.2 step 2,
+// §5.1): `ipmitool sdr list | grep Total` returning e.g. "Total_Power | 258
+// Watts". The BMC measures the DC side after the PSUs, quantised to whole
+// watts and with mild sensor noise; a reference wattmeter on the AC side
+// reads ~6 % higher because of PSU conversion losses (Eq. 1 reports a 5.96 %
+// difference). Both instruments are modelled here against a PowerSource —
+// the simulated node implements that interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eco::ipmi {
+
+// Instantaneous ground truth the instruments observe. Implemented by the
+// simulated node (slurm::NodeSim).
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+  // True DC system draw in watts at the current simulation instant.
+  [[nodiscard]] virtual double SystemWatts() const = 0;
+  [[nodiscard]] virtual double CpuWatts() const = 0;
+  [[nodiscard]] virtual double CpuTempCelsius() const = 0;
+};
+
+struct SensorReading {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+struct BmcParams {
+  double noise_stddev_watts = 1.2;
+  double temp_noise_stddev = 0.3;
+  // Multiplicative sensor calibration error (1.0 = perfect).
+  double gain = 1.0;
+  bool quantize_watts = true;  // IPMI reports whole watts
+};
+
+class BmcSimulator {
+ public:
+  BmcSimulator(const PowerSource* source, BmcParams params, Rng rng);
+
+  // Individual sensor reads (one IPMI transaction each).
+  [[nodiscard]] SensorReading ReadTotalPower();
+  [[nodiscard]] SensorReading ReadCpuPower();
+  [[nodiscard]] SensorReading ReadCpuTemp();
+
+  // `ipmitool sdr list`-style dump of all sensors.
+  [[nodiscard]] std::vector<SensorReading> SdrList();
+  // Rendered like the paper's Figure 13 terminal output.
+  [[nodiscard]] static std::string RenderSdr(const std::vector<SensorReading>& sdr);
+
+ private:
+  double Quantize(double watts) const;
+
+  const PowerSource* source_;
+  BmcParams params_;
+  Rng rng_;
+};
+
+struct WattmeterParams {
+  int psu_count = 2;
+  // AC->DC conversion efficiency; the wattmeter reads DC/efficiency.
+  double psu_efficiency = 0.9437;
+  // Load imbalance between the two PSUs (the paper measured 129.7 W vs
+  // 143.7 W on the same box).
+  double psu_imbalance = 0.051;
+};
+
+// AC-side digital wattmeter — the §5.1 ground-truth instrument.
+class Wattmeter {
+ public:
+  Wattmeter(const PowerSource* source, WattmeterParams params);
+
+  // Total AC draw across both PSUs.
+  [[nodiscard]] double TotalAcWatts() const;
+  // Per-PSU readings (sums to TotalAcWatts()).
+  [[nodiscard]] std::vector<double> PerPsuWatts() const;
+
+ private:
+  const PowerSource* source_;
+  WattmeterParams params_;
+};
+
+}  // namespace eco::ipmi

@@ -1,0 +1,34 @@
+#include "ml/dataset.hpp"
+
+#include <cmath>
+
+namespace eco::ml {
+
+double RSquared(const std::vector<double>& predictions,
+                const std::vector<double>& targets) {
+  if (targets.empty() || predictions.size() != targets.size()) return 0.0;
+  double mean = 0.0;
+  for (double t : targets) mean += t;
+  mean /= static_cast<double>(targets.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ss_res += (targets[i] - predictions[i]) * (targets[i] - predictions[i]);
+    ss_tot += (targets[i] - mean) * (targets[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets) {
+  if (targets.empty() || predictions.size() != targets.size()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(targets.size()));
+}
+
+}  // namespace eco::ml

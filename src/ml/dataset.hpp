@@ -1,0 +1,32 @@
+// Supervised-regression dataset shared by the ML models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eco::ml {
+
+struct Dataset {
+  // features[i] is the i-th sample's feature vector; all rows equal length.
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+
+  [[nodiscard]] std::size_t size() const { return targets.size(); }
+  [[nodiscard]] std::size_t feature_count() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  void Add(std::vector<double> x, double y) {
+    features.push_back(std::move(x));
+    targets.push_back(y);
+  }
+};
+
+// Coefficient of determination of predictions vs targets; 1.0 is perfect.
+double RSquared(const std::vector<double>& predictions,
+                const std::vector<double>& targets);
+// Root mean squared error.
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets);
+
+}  // namespace eco::ml

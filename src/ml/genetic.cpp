@@ -1,0 +1,98 @@
+#include "ml/genetic.hpp"
+
+#include <algorithm>
+
+namespace eco::ml {
+
+GeneticResult GeneticOptimizer::Optimize(
+    const std::vector<int>& gene_cardinalities, const FitnessFn& fitness) {
+  GeneticResult result;
+  if (gene_cardinalities.empty()) return result;
+
+  Rng rng(params_.seed);
+  const std::size_t genes = gene_cardinalities.size();
+
+  const auto random_genome = [&] {
+    Genome g(genes);
+    for (std::size_t i = 0; i < genes; ++i) {
+      g[i] = static_cast<int>(
+          rng.NextBounded(static_cast<std::uint64_t>(gene_cardinalities[i])));
+    }
+    return g;
+  };
+
+  std::vector<Genome> population;
+  std::vector<double> scores;
+  population.reserve(static_cast<std::size_t>(params_.population));
+  for (int i = 0; i < params_.population; ++i) {
+    population.push_back(random_genome());
+  }
+
+  const auto evaluate = [&] {
+    scores.resize(population.size());
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      scores[i] = fitness(population[i]);
+      ++result.evaluations;
+    }
+  };
+
+  const auto tournament = [&]() -> const Genome& {
+    std::size_t best = rng.NextBounded(population.size());
+    for (int i = 1; i < params_.tournament_size; ++i) {
+      const std::size_t challenger = rng.NextBounded(population.size());
+      if (scores[challenger] > scores[best]) best = challenger;
+    }
+    return population[best];
+  };
+
+  evaluate();
+  for (int gen = 0; gen < params_.generations; ++gen) {
+    // Rank current population (indices sorted by descending score).
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+    result.history.push_back(scores[order.front()]);
+    if (scores[order.front()] > result.best_fitness || result.best.empty()) {
+      result.best_fitness = scores[order.front()];
+      result.best = population[order.front()];
+    }
+
+    std::vector<Genome> next;
+    next.reserve(population.size());
+    for (int e = 0; e < params_.elites && e < static_cast<int>(order.size());
+         ++e) {
+      next.push_back(population[order[static_cast<std::size_t>(e)]]);
+    }
+    while (next.size() < population.size()) {
+      Genome child = tournament();
+      if (rng.Chance(params_.crossover_rate)) {
+        const Genome& other = tournament();
+        for (std::size_t i = 0; i < genes; ++i) {
+          if (rng.Chance(0.5)) child[i] = other[i];
+        }
+      }
+      for (std::size_t i = 0; i < genes; ++i) {
+        if (rng.Chance(params_.mutation_rate)) {
+          child[i] = static_cast<int>(rng.NextBounded(
+              static_cast<std::uint64_t>(gene_cardinalities[i])));
+        }
+      }
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    evaluate();
+  }
+
+  // Final sweep for the best individual.
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (scores[i] > result.best_fitness || result.best.empty()) {
+      result.best_fitness = scores[i];
+      result.best = population[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace eco::ml

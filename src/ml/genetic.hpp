@@ -1,0 +1,55 @@
+// Genetic-algorithm optimizer over small integer-encoded configuration
+// spaces.
+//
+// This reproduces the related-work baseline the paper compares against in
+// Table 3 — "Energy-Optimal Configurations for Single-Node HPC Applications"
+// [21] uses a GA to search (cores, frequency, threads) for minimum energy.
+// The GA is generic: genomes are vectors of integers, each gene bounded by a
+// per-gene cardinality, and fitness is a caller-supplied function (higher is
+// better). Tournament selection, uniform crossover, per-gene mutation,
+// elitism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eco::ml {
+
+struct GeneticParams {
+  int population = 24;
+  int generations = 30;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.15;
+  int tournament_size = 3;
+  int elites = 2;
+  std::uint64_t seed = 7;
+};
+
+using Genome = std::vector<int>;
+using FitnessFn = std::function<double(const Genome&)>;
+
+struct GeneticResult {
+  Genome best;
+  double best_fitness = 0.0;
+  int evaluations = 0;
+  // Best fitness after each generation (for convergence plots/tests).
+  std::vector<double> history;
+};
+
+class GeneticOptimizer {
+ public:
+  explicit GeneticOptimizer(GeneticParams params = {}) : params_(params) {}
+
+  // `gene_cardinalities[i]` is the number of values gene i may take
+  // (gene value in [0, cardinality)).
+  GeneticResult Optimize(const std::vector<int>& gene_cardinalities,
+                         const FitnessFn& fitness);
+
+ private:
+  GeneticParams params_;
+};
+
+}  // namespace eco::ml

@@ -1,0 +1,48 @@
+#include "ml/importance.hpp"
+
+#include "common/rng.hpp"
+
+namespace eco::ml {
+namespace {
+
+double ModelRmse(const PredictFn& predict,
+                 const std::vector<std::vector<double>>& features,
+                 const std::vector<double>& targets) {
+  std::vector<double> predictions;
+  predictions.reserve(features.size());
+  for (const auto& row : features) predictions.push_back(predict(row));
+  return Rmse(predictions, targets);
+}
+
+}  // namespace
+
+FeatureImportance PermutationImportance(const PredictFn& predict,
+                                        const Dataset& data, int repeats,
+                                        std::uint64_t seed) {
+  FeatureImportance result;
+  const std::size_t k = data.feature_count();
+  const std::size_t n = data.size();
+  result.rmse_increase.assign(k, 0.0);
+  if (n < 2 || k == 0) return result;
+
+  result.baseline_rmse = ModelRmse(predict, data.features, data.targets);
+
+  Rng rng(seed);
+  for (std::size_t feature = 0; feature < k; ++feature) {
+    double total = 0.0;
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      auto shuffled = data.features;
+      // Fisher–Yates over just this column.
+      for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = rng.NextBounded(i);
+        std::swap(shuffled[i - 1][feature], shuffled[j][feature]);
+      }
+      total += ModelRmse(predict, shuffled, data.targets);
+    }
+    result.rmse_increase[feature] =
+        total / repeats - result.baseline_rmse;
+  }
+  return result;
+}
+
+}  // namespace eco::ml

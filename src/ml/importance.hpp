@@ -1,0 +1,30 @@
+// Permutation feature importance: how much does a model's error grow when
+// one feature column is shuffled? Model-agnostic (works on any predict
+// callable), so it scores linear, forest, and optimizer-backed models
+// identically. Used to answer "which knob actually drives GFLOPS/W —
+// cores, frequency, or hyper-threading?".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace eco::ml {
+
+using PredictFn = std::function<double(const std::vector<double>&)>;
+
+struct FeatureImportance {
+  // Per feature: increase in RMSE when that feature is permuted, averaged
+  // over `repeats` shuffles. Larger = more important. Can be slightly
+  // negative for irrelevant features (noise).
+  std::vector<double> rmse_increase;
+  double baseline_rmse = 0.0;
+};
+
+FeatureImportance PermutationImportance(const PredictFn& predict,
+                                        const Dataset& data, int repeats = 5,
+                                        std::uint64_t seed = 17);
+
+}  // namespace eco::ml

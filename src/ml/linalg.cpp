@@ -1,0 +1,91 @@
+#include "ml/linalg.hpp"
+
+#include <cmath>
+
+namespace eco::ml {
+
+Matrix Gram(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  Matrix g(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < n; ++r) sum += x(r, i) * x(r, j);
+      g(i, j) = sum;
+      g(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> TransposeMultiply(const Matrix& x,
+                                      const std::vector<double>& y) {
+  std::vector<double> out(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) out[c] += x(r, c) * y[r];
+  }
+  return out;
+}
+
+std::vector<double> Multiply(const Matrix& x, const std::vector<double>& b) {
+  std::vector<double> out(x.rows(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) sum += x(r, c) * b[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b,
+                                          double ridge) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Result<std::vector<double>>::Error("cholesky: shape mismatch");
+  }
+  // Factor A + ridge·I = L L'.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j) + (i == j ? ridge : 0.0);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Result<std::vector<double>>::Error(
+              "cholesky: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward solve L z = b.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * z[k];
+    z[i] = sum / l(i, i);
+  }
+  // Backward solve L' w = z.
+  std::vector<double> w(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * w[k];
+    w[ii] = sum / l(ii, ii);
+  }
+  return w;
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& x,
+                                              const std::vector<double>& y,
+                                              double ridge) {
+  if (x.rows() != y.size()) {
+    return Result<std::vector<double>>::Error("lsq: shape mismatch");
+  }
+  return CholeskySolve(Gram(x), TransposeMultiply(x, y), ridge);
+}
+
+}  // namespace eco::ml

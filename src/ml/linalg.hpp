@@ -1,0 +1,54 @@
+// Small dense linear algebra kernels backing the linear-regression optimizer:
+// row-major matrices, normal-equations assembly, and a Cholesky SPD solve
+// with ridge regularisation (which also keeps rank-deficient design matrices
+// solvable, e.g. when every benchmark ran at the same frequency).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eco::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// X'X (cols×cols Gram matrix).
+Matrix Gram(const Matrix& x);
+// X'y.
+std::vector<double> TransposeMultiply(const Matrix& x, const std::vector<double>& y);
+// X b.
+std::vector<double> Multiply(const Matrix& x, const std::vector<double>& b);
+
+// Solves (A + ridge·I) w = b for symmetric positive definite A via Cholesky.
+// Fails if the regularised matrix is not positive definite.
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b,
+                                          double ridge = 0.0);
+
+// Least squares via normal equations: argmin |X w - y|² + ridge |w|².
+Result<std::vector<double>> SolveLeastSquares(const Matrix& x,
+                                              const std::vector<double>& y,
+                                              double ridge = 1e-8);
+
+}  // namespace eco::ml

@@ -1,0 +1,118 @@
+#include "ml/linear_regression.hpp"
+
+#include <cmath>
+
+#include "ml/linalg.hpp"
+
+namespace eco::ml {
+
+std::vector<double> LinearRegression::Expand(const std::vector<double>& x) const {
+  std::vector<double> out;
+  out.push_back(1.0);  // intercept
+  for (double v : x) out.push_back(v);
+  if (params_.polynomial_degree >= 2) {
+    for (double v : x) out.push_back(v * v);
+    if (params_.interactions) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        for (std::size_t j = i + 1; j < x.size(); ++j) {
+          out.push_back(x[i] * x[j]);
+        }
+      }
+    }
+  }
+  if (params_.polynomial_degree >= 3) {
+    for (double v : x) out.push_back(v * v * v);
+  }
+  return out;
+}
+
+Status LinearRegression::Fit(const Dataset& data) {
+  if (data.size() == 0) return Status::Error("linreg: empty dataset");
+
+  std::vector<std::vector<double>> expanded;
+  expanded.reserve(data.size());
+  for (const auto& row : data.features) expanded.push_back(Expand(row));
+  const std::size_t k = expanded.front().size();
+  const std::size_t n = expanded.size();
+
+  // Standardise (skip the intercept column).
+  feature_mean_.assign(k, 0.0);
+  feature_scale_.assign(k, 1.0);
+  for (std::size_t c = 1; c < k; ++c) {
+    double mean = 0.0;
+    for (const auto& row : expanded) mean += row[c];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const auto& row : expanded) var += (row[c] - mean) * (row[c] - mean);
+    var /= static_cast<double>(n);
+    feature_mean_[c] = mean;
+    feature_scale_[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+
+  Matrix x(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      x(r, c) = (expanded[r][c] - feature_mean_[c]) / feature_scale_[c];
+    }
+  }
+
+  auto solved = SolveLeastSquares(x, data.targets, params_.ridge);
+  if (!solved.ok()) return solved.status();
+  weights_ = std::move(solved.value());
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double LinearRegression::Predict(const std::vector<double>& features) const {
+  if (!fitted_) return 0.0;
+  const std::vector<double> expanded = Expand(features);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < weights_.size() && c < expanded.size(); ++c) {
+    sum += weights_[c] * (expanded[c] - feature_mean_[c]) / feature_scale_[c];
+  }
+  return sum;
+}
+
+Json LinearRegression::ToJson() const {
+  JsonObject obj;
+  obj["ridge"] = params_.ridge;
+  obj["degree"] = params_.polynomial_degree;
+  obj["interactions"] = params_.interactions;
+  JsonArray weights, means, scales;
+  for (double w : weights_) weights.push_back(w);
+  for (double m : feature_mean_) means.push_back(m);
+  for (double s : feature_scale_) scales.push_back(s);
+  obj["weights"] = std::move(weights);
+  obj["feature_mean"] = std::move(means);
+  obj["feature_scale"] = std::move(scales);
+  return Json(std::move(obj));
+}
+
+Result<LinearRegression> LinearRegression::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Result<LinearRegression>::Error("linreg: expected object");
+  }
+  LinearRegressionParams params;
+  params.ridge = json.at("ridge").as_number(1e-6);
+  params.polynomial_degree = static_cast<int>(json.at("degree").as_int(2));
+  params.interactions = json.at("interactions").as_bool(true);
+  LinearRegression model(params);
+  for (const auto& w : json.at("weights").as_array()) {
+    model.weights_.push_back(w.as_number());
+  }
+  for (const auto& m : json.at("feature_mean").as_array()) {
+    model.feature_mean_.push_back(m.as_number());
+  }
+  for (const auto& s : json.at("feature_scale").as_array()) {
+    model.feature_scale_.push_back(s.as_number());
+  }
+  if (model.weights_.empty() ||
+      model.weights_.size() != model.feature_mean_.size() ||
+      model.weights_.size() != model.feature_scale_.size()) {
+    return Result<LinearRegression>::Error("linreg: inconsistent weights");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+}  // namespace eco::ml

@@ -1,0 +1,49 @@
+// Ridge linear regression with optional polynomial feature expansion —
+// Chronus's "linear-regression" Optimizer backend.
+//
+// The GFLOPS/W surface is far from linear in (cores, frequency, ht), so the
+// model expands features to degree-2 polynomials plus interaction terms by
+// default; with raw features only it reproduces the weakness the paper's
+// "Simple model" limitation (§6.1.3) alludes to. Features are standardised
+// before fitting so the ridge penalty acts uniformly.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "ml/dataset.hpp"
+
+namespace eco::ml {
+
+struct LinearRegressionParams {
+  double ridge = 1e-6;
+  int polynomial_degree = 2;   // 1 = raw features
+  bool interactions = true;    // pairwise cross terms
+};
+
+class LinearRegression {
+ public:
+  explicit LinearRegression(LinearRegressionParams params = {})
+      : params_(params) {}
+
+  Status Fit(const Dataset& data);
+  [[nodiscard]] double Predict(const std::vector<double>& features) const;
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+  [[nodiscard]] Json ToJson() const;
+  static Result<LinearRegression> FromJson(const Json& json);
+
+ private:
+  [[nodiscard]] std::vector<double> Expand(const std::vector<double>& x) const;
+
+  LinearRegressionParams params_;
+  bool fitted_ = false;
+  std::vector<double> weights_;       // over expanded+standardised features
+  std::vector<double> feature_mean_;  // standardisation over expanded features
+  std::vector<double> feature_scale_;
+};
+
+}  // namespace eco::ml

@@ -1,0 +1,97 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+
+namespace eco::ml {
+
+Status RandomForest::Fit(const Dataset& data) {
+  if (data.size() == 0) return Status::Error("forest: empty dataset");
+  trees_.clear();
+
+  Rng rng(params_.seed);
+  TreeParams tree_params = params_.tree;
+  if (tree_params.max_features <= 0) {
+    tree_params.max_features = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(data.feature_count()))));
+  }
+
+  const std::size_t n = data.size();
+  const auto samples = static_cast<std::size_t>(
+      std::max<double>(1.0, params_.bootstrap_fraction * n));
+
+  // Out-of-bag bookkeeping: per row, sum of predictions from trees that did
+  // not train on it.
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<int> oob_count(n, 0);
+
+  for (int t = 0; t < params_.trees; ++t) {
+    std::vector<std::size_t> idx(samples);
+    std::vector<bool> in_bag(n, false);
+    for (auto& i : idx) {
+      i = rng.NextBounded(n);
+      in_bag[i] = true;
+    }
+    RegressionTree tree(tree_params);
+    Rng tree_rng = rng.Fork();
+    const Status fit = tree.FitIndices(data, idx, &tree_rng);
+    if (!fit.ok()) return fit;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_bag[i]) {
+        oob_sum[i] += tree.Predict(data.features[i]);
+        ++oob_count[i];
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  std::vector<double> oob_pred;
+  std::vector<double> oob_target;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (oob_count[i] > 0) {
+      oob_pred.push_back(oob_sum[i] / oob_count[i]);
+      oob_target.push_back(data.targets[i]);
+    }
+  }
+  oob_r2_ = oob_pred.empty() ? 0.0 : RSquared(oob_pred, oob_target);
+  return Status::Ok();
+}
+
+double RandomForest::Predict(const std::vector<double>& features) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+Json RandomForest::ToJson() const {
+  JsonObject obj;
+  obj["trees_requested"] = params_.trees;
+  obj["seed"] = static_cast<long long>(params_.seed);
+  obj["oob_r2"] = oob_r2_;
+  JsonArray trees;
+  for (const auto& tree : trees_) trees.push_back(tree.ToJson());
+  obj["trees"] = std::move(trees);
+  return Json(std::move(obj));
+}
+
+Result<RandomForest> RandomForest::FromJson(const Json& json) {
+  if (!json.is_object() || !json.at("trees").is_array()) {
+    return Result<RandomForest>::Error("forest: expected {trees: [...]}");
+  }
+  RandomForest forest;
+  forest.params_.trees = static_cast<int>(json.at("trees_requested").as_int(0));
+  forest.oob_r2_ = json.at("oob_r2").as_number();
+  for (const auto& t : json.at("trees").as_array()) {
+    auto tree = RegressionTree::FromJson(t);
+    if (!tree.ok()) return Result<RandomForest>::Error(tree.message());
+    forest.trees_.push_back(std::move(tree.value()));
+  }
+  if (forest.trees_.empty()) {
+    return Result<RandomForest>::Error("forest: no trees");
+  }
+  return forest;
+}
+
+}  // namespace eco::ml

@@ -1,0 +1,43 @@
+// Random forest regressor: bootstrap-aggregated CART trees with per-split
+// feature subsampling — the sklearn RandomForestRegressor equivalent the
+// paper lists as a Chronus Optimizer implementation.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace eco::ml {
+
+struct ForestParams {
+  int trees = 50;
+  TreeParams tree;           // tree.max_features 0 => sqrt(k) chosen at fit
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 2023;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestParams params = {}) : params_(params) {}
+
+  Status Fit(const Dataset& data);
+  [[nodiscard]] double Predict(const std::vector<double>& features) const;
+  [[nodiscard]] bool fitted() const { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+
+  // Out-of-bag R² estimate computed during Fit (NaN if unavailable).
+  [[nodiscard]] double oob_r_squared() const { return oob_r2_; }
+
+  [[nodiscard]] Json ToJson() const;
+  static Result<RandomForest> FromJson(const Json& json);
+
+ private:
+  ForestParams params_;
+  std::vector<RegressionTree> trees_;
+  double oob_r2_ = 0.0;
+};
+
+}  // namespace eco::ml

@@ -1,0 +1,31 @@
+// acct_gather_energy plugin implementations:
+//
+//  - acct_gather_energy/ipmi: polls a BMC's Total_Power and integrates it
+//    over wall (simulation) time — whole-node energy, what the paper's
+//    measurement setup corresponds to.
+//  - acct_gather_energy/rapl: reads the package RAPL MSR and unwraps the
+//    32-bit counter — CPU-only energy, cheaper to read, the usual
+//    alternative on clusters without BMC access.
+//
+// Both are C-ABI ops tables loadable into slurm::EnergyGatherHost. Sources
+// are attached process-globally, mirroring how the real plugins find their
+// device files.
+#pragma once
+
+#include "common/sim_clock.hpp"
+#include "hw/rapl.hpp"
+#include "ipmi/bmc.hpp"
+#include "slurm/plugin_api.h"
+
+namespace eco::plugin {
+
+// --- ipmi flavour. `clock` supplies timestamps and integration deltas.
+void SetIpmiEnergySource(ipmi::BmcSimulator* bmc, const EventQueue* clock);
+const acct_gather_energy_plugin_ops_t* IpmiEnergyOps();
+
+// --- rapl flavour.
+void SetRaplEnergySource(const hw::RaplCounter* counter,
+                         const EventQueue* clock);
+const acct_gather_energy_plugin_ops_t* RaplEnergyOps();
+
+}  // namespace eco::plugin

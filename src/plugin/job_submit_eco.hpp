@@ -1,0 +1,50 @@
+// job_submit_eco — the Slurm C plugin (§3.1.1, §4.2).
+//
+// Behaviour, mirroring the paper:
+//  - plugin state "user" (default): only jobs whose --comment contains
+//    "chronus" are rewritten (§3.3); "active": every job; "deactivated":
+//    none.
+//  - the system hash comes from /proc/cpuinfo + /proc/meminfo via
+//    simple_hash (§4.2.1); the binary hash identifies the executable the
+//    script sruns (the paper's constant-path shortcut, §6.1.2, is fixed by
+//    hashing the srun target).
+//  - Chronus is asked for the energy-efficient configuration and the
+//    descriptor's num_tasks / threads_per_core / cpu_freq_min / cpu_freq_max
+//    are rewritten (§4.2.2 Listing 4).
+//  - any failure leaves the job untouched and returns SLURM_SUCCESS — an eco
+//    plugin must never break production submissions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "chronus/gateway.hpp"
+#include "slurm/plugin_api.h"
+
+namespace eco::plugin {
+
+// Installs the gateway the plugin calls (nullptr detaches, making the plugin
+// inert). Must be set before the registry loads the plugin in tests that
+// expect rewriting.
+void SetChronusGateway(std::shared_ptr<chronus::ChronusGateway> gateway);
+
+// The ops table to hand to slurm::PluginRegistry::Load.
+const job_submit_plugin_ops_t* EcoPluginOps();
+
+// Instrumentation for the submit-latency experiment (E7) and tests.
+struct EcoPluginStats {
+  std::uint64_t calls = 0;
+  std::uint64_t modified = 0;
+  std::uint64_t skipped = 0;   // not opted in / deactivated / no gateway
+  std::uint64_t errors = 0;    // chronus lookup or parse failures
+  double total_seconds = 0.0;  // wall time inside job_submit
+};
+
+EcoPluginStats GetEcoPluginStats();
+void ResetEcoPluginStats();
+
+// Extracts the executable path from the script's srun line ("" if none) —
+// exposed for tests.
+std::string ExtractSrunBinary(const char* script);
+
+}  // namespace eco::plugin

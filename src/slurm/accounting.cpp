@@ -1,0 +1,83 @@
+#include "slurm/accounting.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace eco::slurm {
+
+void AccountingDb::Record(const JobRecord& job) { records_.push_back(job); }
+
+std::optional<JobRecord> AccountingDb::Find(JobId id) const {
+  for (const auto& r : records_) {
+    if (r.id == id) return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<JobRecord> AccountingDb::ByUser(std::uint32_t user_id) const {
+  std::vector<JobRecord> out;
+  for (const auto& r : records_) {
+    if (r.request.user_id == user_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<JobRecord> AccountingDb::ByState(JobState state) const {
+  std::vector<JobRecord> out;
+  for (const auto& r : records_) {
+    if (r.state == state) out.push_back(r);
+  }
+  return out;
+}
+
+AccountingTotals AccountingDb::Totals() const {
+  AccountingTotals totals;
+  totals.jobs = records_.size();
+  double first_submit = 0.0;
+  double last_end = 0.0;
+  bool any = false;
+  for (const auto& r : records_) {
+    totals.cpu_seconds += r.RunSeconds() * r.request.num_tasks;
+    totals.system_joules += r.system_joules;
+    totals.cpu_joules += r.cpu_joules;
+    if (r.state == JobState::kCompleted || r.state == JobState::kCancelled) {
+      totals.wait_seconds += r.WaitSeconds();
+    }
+    if (!any || r.submit_time < first_submit) first_submit = r.submit_time;
+    if (!any || r.end_time > last_end) last_end = r.end_time;
+    any = true;
+  }
+  if (any) totals.makespan_seconds = last_end - first_submit;
+  return totals;
+}
+
+Status AccountingDb::ExportCsv(const std::string& path) const {
+  std::vector<CsvRow> rows;
+  rows.push_back({"job_id", "name", "user", "state", "nodes", "tasks",
+                  "threads_per_core", "cpu_freq_khz", "submit", "start", "end",
+                  "system_kj", "cpu_kj", "gflops", "avg_cpu_temp"});
+  for (const auto& r : records_) {
+    rows.push_back({
+        std::to_string(r.id),
+        r.request.name,
+        std::to_string(r.request.user_id),
+        JobStateName(r.state),
+        std::to_string(r.allocated_nodes),
+        std::to_string(r.request.num_tasks),
+        std::to_string(r.request.threads_per_core),
+        std::to_string(r.request.cpu_freq_max),
+        FormatDouble(r.submit_time, 1),
+        FormatDouble(r.start_time, 1),
+        FormatDouble(r.end_time, 1),
+        FormatDouble(r.system_joules / 1000.0, 3),
+        FormatDouble(r.cpu_joules / 1000.0, 3),
+        FormatDouble(r.gflops, 4),
+        FormatDouble(r.avg_cpu_temp, 2),
+    });
+  }
+  return CsvWriteFile(path, rows);
+}
+
+}  // namespace eco::slurm

@@ -1,0 +1,460 @@
+#include "slurm/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "slurm/job_desc.hpp"
+
+namespace eco::slurm {
+
+ClusterSim::ClusterSim(ClusterConfig config)
+    : config_(config),
+      market_(config.market),
+      green_policy_(&market_, config.green),
+      priority_(config.priority_weights,
+                config.nodes * config.node.machine.cpu.cores) {
+  for (int i = 0; i < config_.nodes; ++i) {
+    std::string name = config_.node.machine.hostname;
+    if (config_.nodes > 1) name += "-" + std::to_string(i);
+    nodes_.push_back(std::make_unique<NodeSim>(name, config_.node, &queue_));
+  }
+}
+
+double ClusterSim::ClusterWatts() const {
+  double watts = 0.0;
+  for (const auto& node : nodes_) watts += node->SystemWatts();
+  return watts;
+}
+
+double ClusterSim::EstimateJobWatts(const JobRequest& request) const {
+  const hw::PowerModel model(config_.node.power);
+  const auto& cpu = config_.node.machine.cpu;
+  const int nodes = std::max(1, request.min_nodes);
+  const int tasks_per_node = std::max(1, request.num_tasks / nodes);
+  const KiloHertz freq =
+      request.cpu_freq_max > 0 ? cpu.NearestFrequency(request.cpu_freq_max)
+                               : cpu.MaxFrequency();
+  // Incremental draw over the idle node: the cap policy adds this to the
+  // currently observed cluster power (which already includes idle nodes).
+  // Steady state: fully utilised, thermally settled (~60 °C fans).
+  const double busy =
+      model.SystemPower(tasks_per_node, freq, request.threads_per_core > 1,
+                        1.0, 60.0)
+          .system_watts;
+  const double idle = model.SystemPower(0, cpu.MinFrequency(), false, 0.0,
+                                        model.params().fan_knee_celsius)
+                          .system_watts;
+  return std::max(0.0, busy - idle) * nodes;
+}
+
+Result<std::vector<JobId>> ClusterSim::SubmitArray(const JobRequest& request,
+                                                   int count) {
+  if (count < 1) {
+    return Result<std::vector<JobId>>::Error("array: count must be >= 1");
+  }
+  std::vector<JobId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int task = 0; task < count; ++task) {
+    JobRequest member = request;
+    member.name = request.name + "_" + std::to_string(task);
+    auto id = Submit(std::move(member));
+    if (!id.ok()) {
+      // Array semantics: reject the whole array on any member failure,
+      // cancelling the members already queued.
+      for (const JobId queued : ids) Cancel(queued);
+      return Result<std::vector<JobId>>::Error(id.message());
+    }
+    ids.push_back(*id);
+  }
+  const JobId array_id = ids.front();
+  for (int task = 0; task < count; ++task) {
+    auto& job = jobs_.at(ids[static_cast<std::size_t>(task)]);
+    job.array_job_id = array_id;
+    job.array_task_id = task;
+  }
+  return ids;
+}
+
+int ClusterSim::FreeNodes() const {
+  int free = 0;
+  for (const auto& node : nodes_) {
+    if (node->idle()) ++free;
+  }
+  return free;
+}
+
+std::vector<std::size_t> ClusterSim::PickFreeNodes(int count) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size() && static_cast<int>(out.size()) < count;
+       ++i) {
+    if (nodes_[i]->idle()) out.push_back(i);
+  }
+  return out;
+}
+
+const PartitionConfig* ClusterSim::ResolvePartition(
+    const std::string& name) const {
+  if (config_.partitions.empty()) return nullptr;
+  if (name.empty()) {
+    for (const auto& partition : config_.partitions) {
+      if (partition.is_default) return &partition;
+    }
+    return &config_.partitions.front();
+  }
+  for (const auto& partition : config_.partitions) {
+    if (partition.name == name) return &partition;
+  }
+  return nullptr;
+}
+
+Result<JobId> ClusterSim::Submit(JobRequest request) {
+  // Partition routing: unknown partitions are rejected like slurmctld's
+  // "invalid partition specified"; limits clamp the time limit.
+  const PartitionConfig* partition = ResolvePartition(
+      request.partition == "batch" ? std::string() : request.partition);
+  if (partition == nullptr) {
+    return Result<JobId>::Error("submit: invalid partition '" +
+                                request.partition + "'");
+  }
+  request.partition = partition->name;
+  request.time_limit_s = std::min(request.time_limit_s, partition->max_time_s);
+
+  // Validation a real slurmctld does before plugins run.
+  if (request.min_nodes < 1 ||
+      request.min_nodes > static_cast<int>(nodes_.size())) {
+    return Result<JobId>::Error("submit: bad node count " +
+                                std::to_string(request.min_nodes));
+  }
+  if (request.num_tasks < 1) {
+    return Result<JobId>::Error("submit: num_tasks must be >= 1");
+  }
+
+  const JobId id = next_id_++;
+
+  // The job-submit plugin pipeline sees (and may rewrite) the C descriptor.
+  JobDescWrapper wrapper(request, id);
+  const Status plugin_status =
+      plugins_.RunJobSubmit(wrapper.desc(), request.user_id);
+  if (!plugin_status.ok()) {
+    return Result<JobId>::Error(plugin_status.message());
+  }
+  JobRequest effective = wrapper.ToRequest(request);
+
+  // Post-plugin validation against the hardware.
+  const auto& cpu = config_.node.machine.cpu;
+  if (effective.num_tasks % effective.min_nodes != 0) {
+    return Result<JobId>::Error("submit: num_tasks not divisible by nodes");
+  }
+  const int tasks_per_node = effective.num_tasks / effective.min_nodes;
+  if (tasks_per_node > cpu.cores) {
+    return Result<JobId>::Error(
+        "submit: " + std::to_string(tasks_per_node) + " tasks/node exceed " +
+        std::to_string(cpu.cores) + " cores");
+  }
+  if (effective.threads_per_core < 1 ||
+      effective.threads_per_core > cpu.threads_per_core) {
+    return Result<JobId>::Error("submit: unsupported threads_per_core");
+  }
+
+  JobRecord job;
+  job.id = id;
+  job.submitted = request;
+  job.request = effective;
+  job.submit_time = queue_.now();
+  job.eligible_time = queue_.now();
+  job.state = JobState::kPending;
+
+  // Green-window hold (§6.2.4).
+  const bool wants_green =
+      effective.comment.find("green") != std::string::npos;
+  if (config_.enable_green_hold && wants_green &&
+      !green_policy_.IsGreen(queue_.now())) {
+    job.state = JobState::kHeld;
+    job.eligible_time = green_policy_.NextGreenTime(queue_.now());
+    queue_.ScheduleAt(job.eligible_time, [this, id](SimTime) {
+      auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.state != JobState::kHeld) return;
+      it->second.state = JobState::kPending;
+      pending_.push_back(id);
+      Dispatch();
+    });
+    ECO_INFO << "job " << id << " held for green window until "
+             << job.eligible_time;
+  } else {
+    pending_.push_back(id);
+  }
+
+  submit_order_[id] = submit_counter_++;
+  jobs_[id] = job;
+  Dispatch();
+  return id;
+}
+
+void ClusterSim::Dispatch() {
+  if (pending_.empty()) return;
+
+  // Dependency screening (afterok semantics): jobs whose dependencies can
+  // never complete are failed; jobs still waiting are left out of the plan.
+  for (const JobId id : std::vector<JobId>(pending_.begin(), pending_.end())) {
+    auto& job = jobs_.at(id);
+    bool doomed = false;
+    for (const JobId dep : job.request.depends_on) {
+      const auto it = jobs_.find(dep);
+      if (it == jobs_.end() || it->second.state == JobState::kFailed ||
+          it->second.state == JobState::kCancelled) {
+        doomed = true;
+        break;
+      }
+    }
+    if (doomed) {
+      ECO_WARN << "job " << id << " failed: DependencyNeverSatisfied";
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                     pending_.end());
+      FinalizeJob(job, JobState::kFailed);
+    }
+  }
+
+  std::vector<PlanInput> plan;
+  plan.reserve(pending_.size());
+  for (const JobId id : pending_) {
+    auto& job = jobs_.at(id);
+    // Still-waiting dependencies keep the job out of this pass.
+    bool waiting = false;
+    for (const JobId dep : job.request.depends_on) {
+      if (jobs_.at(dep).state != JobState::kCompleted) {
+        waiting = true;
+        break;
+      }
+    }
+    if (waiting) continue;
+    job.priority = config_.use_multifactor
+                       ? priority_.Compute(job, queue_.now(), fairshare_)
+                       : 0.0;
+    PlanInput input;
+    input.id = id;
+    input.nodes_needed = job.request.min_nodes;
+    input.time_limit_s = job.request.time_limit_s;
+    input.priority = job.priority;
+    input.tiebreak = submit_order_.at(id);
+    plan.push_back(input);
+  }
+
+  std::vector<RunningInput> running;
+  for (const auto& [id, run] : running_) {
+    const auto& job = jobs_.at(id);
+    RunningInput input;
+    input.nodes_held = static_cast<int>(run.node_indices.size());
+    input.expected_end = job.start_time + job.request.time_limit_s;
+    running.push_back(input);
+  }
+
+  const std::vector<JobId> to_start =
+      PlanSchedule(config_.policy, plan, running, FreeNodes(),
+                   static_cast<int>(nodes_.size()), queue_.now());
+
+  // Power-cap policy ([12]-style budget): track the projected cluster draw
+  // and skip jobs that would breach it; they stay queued for the next pass.
+  double projected_watts =
+      config_.power_cap_watts > 0.0 ? ClusterWatts() : 0.0;
+
+  for (const JobId id : to_start) {
+    auto& job = jobs_.at(id);
+    if (config_.power_cap_watts > 0.0) {
+      const double estimate = EstimateJobWatts(job.request);
+      if (projected_watts + estimate > config_.power_cap_watts) {
+        if (running_.empty()) {
+          // Nothing will ever free up budget: the job alone exceeds the cap.
+          ECO_WARN << "job " << id << " exceeds the power cap on an idle "
+                   << "cluster (" << estimate << " W > budget); failing it";
+          pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                         pending_.end());
+          FinalizeJob(job, JobState::kFailed);
+          continue;
+        }
+        ECO_DEBUG << "job " << id << " deferred by power cap ("
+                  << projected_watts + estimate << " W > "
+                  << config_.power_cap_watts << " W)";
+        continue;
+      }
+      projected_watts += estimate;
+    }
+    const auto node_idx = PickFreeNodes(job.request.min_nodes);
+    if (static_cast<int>(node_idx.size()) < job.request.min_nodes) continue;
+    const Status started = StartJob(job, node_idx);
+    if (started.ok()) {
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                     pending_.end());
+    } else {
+      ECO_WARN << "job " << id << " failed to start: " << started.message();
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                     pending_.end());
+      FinalizeJob(job, JobState::kFailed);
+    }
+  }
+}
+
+Status ClusterSim::StartJob(JobRecord& job,
+                            const std::vector<std::size_t>& node_idx) {
+  const int tasks_per_node = job.request.num_tasks / job.request.min_nodes;
+  RunningJob run;
+  run.node_indices = node_idx;
+  run.nodes_remaining = node_idx.size();
+
+  job.state = JobState::kRunning;
+  job.start_time = queue_.now();
+  job.node = nodes_[node_idx.front()]->name();
+  job.allocated_nodes = static_cast<int>(node_idx.size());
+
+  for (const std::size_t i : node_idx) {
+    const Status status = nodes_[i]->StartJob(
+        job, tasks_per_node,
+        [this](JobId id, const RunStats& stats) { OnNodeDone(id, stats); });
+    if (!status.ok()) {
+      // Roll back nodes already started.
+      for (const std::size_t j : node_idx) {
+        if (j == i) break;
+        nodes_[j]->CancelJob();
+      }
+      return status;
+    }
+  }
+
+  const JobId id = job.id;
+  run.timeout_event = queue_.ScheduleAfter(
+      job.request.time_limit_s, [this, id](SimTime) { OnTimeout(id); });
+  running_[id] = std::move(run);
+  return Status::Ok();
+}
+
+void ClusterSim::OnNodeDone(JobId id, const RunStats& stats) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  RunningJob& run = it->second;
+
+  run.aggregate.system_joules += stats.system_joules;
+  run.aggregate.cpu_joules += stats.cpu_joules;
+  run.aggregate.gflops += stats.gflops;
+  run.aggregate.avg_cpu_temp += stats.avg_cpu_temp;
+  run.aggregate.seconds = std::max(run.aggregate.seconds, stats.seconds);
+
+  if (--run.nodes_remaining > 0) return;
+
+  auto& job = jobs_.at(id);
+  job.system_joules = run.aggregate.system_joules;
+  job.cpu_joules = run.aggregate.cpu_joules;
+  job.gflops = run.aggregate.gflops;
+  job.avg_cpu_temp =
+      run.aggregate.avg_cpu_temp / static_cast<double>(run.node_indices.size());
+  queue_.Cancel(run.timeout_event);
+  running_.erase(it);
+  FinalizeJob(job, JobState::kCompleted);
+  Dispatch();
+}
+
+void ClusterSim::OnTimeout(JobId id) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  RunningJob& run = it->second;
+
+  auto& job = jobs_.at(id);
+  ECO_WARN << "job " << id << " hit its time limit; cancelling";
+  RunStats aggregate{};
+  for (const std::size_t i : run.node_indices) {
+    if (nodes_[i]->running_job() == id) {
+      const RunStats stats = nodes_[i]->CancelJob();
+      aggregate.system_joules += stats.system_joules;
+      aggregate.cpu_joules += stats.cpu_joules;
+      aggregate.gflops += stats.gflops;
+      aggregate.avg_cpu_temp += stats.avg_cpu_temp;
+      aggregate.seconds = std::max(aggregate.seconds, stats.seconds);
+    }
+  }
+  job.system_joules = aggregate.system_joules + run.aggregate.system_joules;
+  job.cpu_joules = aggregate.cpu_joules + run.aggregate.cpu_joules;
+  job.gflops = aggregate.gflops;
+  job.avg_cpu_temp =
+      aggregate.avg_cpu_temp / static_cast<double>(run.node_indices.size());
+  running_.erase(it);
+  FinalizeJob(job, JobState::kCancelled);
+  Dispatch();
+}
+
+void ClusterSim::FinalizeJob(JobRecord& job, JobState state) {
+  job.state = state;
+  job.end_time = queue_.now();
+  fairshare_.AddUsage(job.request.user_id,
+                      job.RunSeconds() * job.request.num_tasks, queue_.now());
+  accounting_.Record(job);
+}
+
+Status ClusterSim::Cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::Error("cancel: no such job");
+  JobRecord& job = it->second;
+  switch (job.state) {
+    case JobState::kPending:
+    case JobState::kHeld:
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                     pending_.end());
+      FinalizeJob(job, JobState::kCancelled);
+      Dispatch();  // dependents of a cancelled job must fail promptly
+      return Status::Ok();
+    case JobState::kRunning: {
+      auto run_it = running_.find(id);
+      if (run_it != running_.end()) {
+        for (const std::size_t i : run_it->second.node_indices) {
+          if (nodes_[i]->running_job() == id) nodes_[i]->CancelJob();
+        }
+        queue_.Cancel(run_it->second.timeout_event);
+        running_.erase(run_it);
+      }
+      FinalizeJob(job, JobState::kCancelled);
+      Dispatch();
+      return Status::Ok();
+    }
+    default:
+      return Status::Error("cancel: job already finished");
+  }
+}
+
+std::vector<JobRecord> ClusterSim::Queue() const {
+  std::vector<JobRecord> out;
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    if (job.state == JobState::kPending || job.state == JobState::kHeld ||
+        job.state == JobState::kRunning) {
+      out.push_back(job);
+    }
+  }
+  return out;
+}
+
+std::optional<JobRecord> ClusterSim::GetJob(JobId id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ClusterSim::RunUntilIdle() { queue_.RunAll(); }
+
+void ClusterSim::RunUntil(SimTime horizon) { queue_.RunUntil(horizon); }
+
+Result<JobRecord> ClusterSim::RunJobToCompletion(JobRequest request) {
+  auto submitted = Submit(std::move(request));
+  if (!submitted.ok()) return Result<JobRecord>::Error(submitted.message());
+  const JobId id = submitted.value();
+  while (true) {
+    const auto job = GetJob(id);
+    if (!job.has_value()) return Result<JobRecord>::Error("job vanished");
+    if (job->state == JobState::kCompleted) return *job;
+    if (job->state == JobState::kFailed || job->state == JobState::kCancelled) {
+      return Result<JobRecord>::Error(std::string("job ended ") +
+                                      JobStateName(job->state));
+    }
+    if (!queue_.Step()) {
+      return Result<JobRecord>::Error("simulation stalled before completion");
+    }
+  }
+}
+
+}  // namespace eco::slurm

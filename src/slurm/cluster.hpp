@@ -1,0 +1,146 @@
+// ClusterSim — the slurmctld stand-in.
+//
+// Owns the event queue, the nodes, the job table, the plugin stack, the
+// priority/backfill policies and the accounting database. The public surface
+// mirrors the Slurm commands the paper touches: Submit() is sbatch (runs the
+// job-submit plugin pipeline before queueing, §3.1.1), Queue() is squeue,
+// GetJob() is scontrol show job, accounting() is sacct/slurmdbd, and
+// RunJobToCompletion() is srun's blocking behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sim_clock.hpp"
+#include "slurm/accounting.hpp"
+#include "slurm/energy_market.hpp"
+#include "slurm/job.hpp"
+#include "slurm/node_sim.hpp"
+#include "slurm/plugin_registry.hpp"
+#include "slurm/scheduler.hpp"
+
+namespace eco::slurm {
+
+// A Slurm partition: a named queue with its own time-limit policy.
+struct PartitionConfig {
+  std::string name = "batch";
+  double max_time_s = 7 * 24 * 3600.0;  // requests above this are clamped
+  bool is_default = true;
+};
+
+struct ClusterConfig {
+  int nodes = 1;
+  NodeParams node{};
+  // At least one partition; the first `is_default` one (or the first entry)
+  // catches jobs submitted without an explicit partition.
+  std::vector<PartitionConfig> partitions = {PartitionConfig{}};
+  SchedulerPolicy policy = SchedulerPolicy::kBackfill;
+  bool use_multifactor = true;  // false = pure submit-order FIFO priority
+  MultifactorWeights priority_weights{};
+  // §6.2.4: hold jobs whose comment contains "green" until the energy market
+  // is green.
+  bool enable_green_hold = false;
+  EnergyMarketParams market{};
+  GreenWindowParams green{};
+  // Cluster-wide power budget in watts (0 = uncapped). With a cap set, the
+  // scheduler will not start a job whose estimated draw would push the
+  // cluster past the budget — the power-constrained scheduling substrate of
+  // the related work [12] (Kumbhare et al., "Dynamic Power Management for
+  // Value-Oriented Schedulers in Power-Constrained HPC Systems").
+  double power_cap_watts = 0.0;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(ClusterConfig config);
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] PluginRegistry& plugins() { return plugins_; }
+  [[nodiscard]] AccountingDb& accounting() { return accounting_; }
+  [[nodiscard]] const EnergyMarket& market() const { return market_; }
+  [[nodiscard]] SimTime Now() const { return queue_.now(); }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] NodeSim& node(std::size_t i) { return *nodes_[i]; }
+  [[nodiscard]] const NodeSim& node(std::size_t i) const { return *nodes_[i]; }
+  [[nodiscard]] int FreeNodes() const;
+  // Instantaneous true power draw summed over all nodes.
+  [[nodiscard]] double ClusterWatts() const;
+
+  // sbatch: validates, runs the plugin pipeline, queues, and triggers a
+  // scheduling pass. Returns the job id.
+  Result<JobId> Submit(JobRequest request);
+
+  // sbatch --array=0-(count-1): submits `count` independent tasks sharing an
+  // array id; each task's name gets the Slurm-style "_<index>" suffix and
+  // every task goes through the plugin pipeline individually.
+  Result<std::vector<JobId>> SubmitArray(const JobRequest& request, int count);
+
+  // Estimated steady-state draw of a job at its requested configuration
+  // (used by the power-cap policy; exposed for tests and tooling).
+  [[nodiscard]] double EstimateJobWatts(const JobRequest& request) const;
+
+  [[nodiscard]] const std::vector<PartitionConfig>& partitions() const {
+    return config_.partitions;
+  }
+  // The partition a request lands in (empty name -> the default); nullptr
+  // for an unknown partition name.
+  [[nodiscard]] const PartitionConfig* ResolvePartition(
+      const std::string& name) const;
+
+  // scancel.
+  Status Cancel(JobId id);
+
+  // squeue: pending + held + running jobs.
+  [[nodiscard]] std::vector<JobRecord> Queue() const;
+  [[nodiscard]] std::optional<JobRecord> GetJob(JobId id) const;
+
+  // Drains the event queue (all submitted jobs run to completion).
+  void RunUntilIdle();
+  // Advances simulated time to `horizon`, processing due events.
+  void RunUntil(SimTime horizon);
+
+  // srun-style convenience: submit and simulate until this job finishes.
+  // Fails if the job is rejected or ends in a non-completed state.
+  Result<JobRecord> RunJobToCompletion(JobRequest request);
+
+ private:
+  struct RunningJob {
+    std::vector<std::size_t> node_indices;
+    std::size_t nodes_remaining = 0;
+    RunStats aggregate{};
+    std::uint64_t timeout_event = 0;
+  };
+
+  void Dispatch();
+  Status StartJob(JobRecord& job, const std::vector<std::size_t>& node_idx);
+  void OnNodeDone(JobId id, const RunStats& stats);
+  void OnTimeout(JobId id);
+  void FinalizeJob(JobRecord& job, JobState state);
+  [[nodiscard]] std::vector<std::size_t> PickFreeNodes(int count) const;
+
+  ClusterConfig config_;
+  EventQueue queue_;
+  PluginRegistry plugins_;
+  AccountingDb accounting_;
+  EnergyMarket market_;
+  GreenWindowPolicy green_policy_;
+  FairShareTracker fairshare_;
+  MultifactorPriority priority_;
+
+  std::vector<std::unique_ptr<NodeSim>> nodes_;
+  std::map<JobId, JobRecord> jobs_;
+  std::map<JobId, RunningJob> running_;
+  std::vector<JobId> pending_;  // submission order preserved
+  JobId next_id_ = 1;
+  std::uint64_t submit_counter_ = 0;
+  std::map<JobId, std::uint64_t> submit_order_;
+};
+
+}  // namespace eco::slurm

@@ -1,0 +1,129 @@
+#include "slurm/commands.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace eco::slurm {
+namespace {
+
+// squeue's compact state codes.
+const char* StateCode(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "PD";
+    case JobState::kHeld:
+      return "PD";  // squeue shows held jobs as pending with a reason
+    case JobState::kRunning:
+      return "R";
+    case JobState::kCompleted:
+      return "CD";
+    case JobState::kCancelled:
+      return "CA";
+    case JobState::kFailed:
+      return "F";
+  }
+  return "?";
+}
+
+std::string Reason(const JobRecord& job) {
+  switch (job.state) {
+    case JobState::kHeld:
+      return "(GreenWindowHold)";
+    case JobState::kPending:
+      return "(Resources)";
+    case JobState::kRunning:
+      return job.node;
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+std::string Squeue(const ClusterSim& cluster) {
+  TextTable table({"JOBID", "PARTITION", "NAME", "USER", "ST", "TIME",
+                   "NODES", "NODELIST(REASON)"});
+  for (const auto& job : cluster.Queue()) {
+    const double elapsed =
+        job.state == JobState::kRunning ? cluster.Now() - job.start_time : 0.0;
+    table.AddRow({std::to_string(job.id), job.request.partition,
+                  job.request.name, std::to_string(job.request.user_id),
+                  StateCode(job.state), FormatHms(elapsed),
+                  std::to_string(std::max(1, job.request.min_nodes)),
+                  Reason(job)});
+  }
+  return table.Render();
+}
+
+std::string Sinfo(const ClusterSim& cluster) {
+  // Group nodes by state like sinfo's summary view.
+  std::map<std::string, std::vector<std::string>> by_state;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    const NodeSim& node = cluster.node(i);
+    by_state[node.idle() ? "idle" : "alloc"].push_back(node.name());
+  }
+  TextTable table({"PARTITION", "AVAIL", "TIMELIMIT", "NODES", "STATE",
+                   "NODELIST"});
+  for (const auto& partition : cluster.partitions()) {
+    const std::string label =
+        partition.name + (partition.is_default ? "*" : "");
+    for (const auto& [state, names] : by_state) {
+      table.AddRow({label, "up", FormatHms(partition.max_time_s),
+                    std::to_string(names.size()), state, Join(names, ",")});
+    }
+  }
+  return table.Render();
+}
+
+std::string ScontrolShowJob(const ClusterSim& cluster, JobId id) {
+  const auto job = cluster.GetJob(id);
+  if (!job.has_value()) {
+    return "slurm_load_jobs error: Invalid job id specified\n";
+  }
+  std::ostringstream out;
+  out << "JobId=" << job->id << " JobName=" << job->request.name << "\n";
+  out << "   UserId=" << job->request.user_id
+      << " JobState=" << JobStateName(job->state)
+      << " Partition=" << job->request.partition << "\n";
+  out << "   NumNodes=" << std::max(1, job->request.min_nodes)
+      << " NumTasks=" << job->request.num_tasks
+      << " ThreadsPerCore=" << job->request.threads_per_core << "\n";
+  out << "   CpuFreqMin=" << job->request.cpu_freq_min
+      << " CpuFreqMax=" << job->request.cpu_freq_max << "\n";
+  out << "   SubmitTime=" << FormatDouble(job->submit_time, 1)
+      << " StartTime=" << FormatDouble(job->start_time, 1)
+      << " EndTime=" << FormatDouble(job->end_time, 1) << "\n";
+  out << "   Comment=" << job->request.comment << "\n";
+  if (job->state == JobState::kCompleted) {
+    out << "   ConsumedEnergy=" << FormatDouble(job->system_joules, 0) << "J"
+        << " Gflops=" << FormatDouble(job->gflops, 3) << "\n";
+  }
+  return out.str();
+}
+
+std::string SreportUserEnergy(const AccountingDb& accounting) {
+  struct UserTotals {
+    std::size_t jobs = 0;
+    double cpu_hours = 0.0;
+    double kilojoules = 0.0;
+  };
+  std::map<std::uint32_t, UserTotals> users;
+  for (const auto& record : accounting.records()) {
+    auto& totals = users[record.request.user_id];
+    ++totals.jobs;
+    totals.cpu_hours += record.RunSeconds() * record.request.num_tasks / 3600.0;
+    totals.kilojoules += record.system_joules / 1000.0;
+  }
+  TextTable table({"User", "Jobs", "CPU-hours", "Energy (kJ)"});
+  for (const auto& [user, totals] : users) {
+    table.AddRow({std::to_string(user), std::to_string(totals.jobs),
+                  FormatDouble(totals.cpu_hours, 2),
+                  FormatDouble(totals.kilojoules, 1)});
+  }
+  return table.Render();
+}
+
+}  // namespace eco::slurm

@@ -1,0 +1,30 @@
+// Text front-ends for the user-facing Slurm commands in the paper's Figure 2
+// architecture box: squeue, sinfo, scontrol show job, and an sreport-style
+// per-user energy summary on top of the accounting database.
+//
+// These render the same column layouts the real tools print, so shell-level
+// workflows (grep for a job id, check node state) work against the
+// simulator — the paper's own testing appendix (D) checks "squeue and
+// scontrol to confirm their presence".
+#pragma once
+
+#include <string>
+
+#include "slurm/accounting.hpp"
+#include "slurm/cluster.hpp"
+
+namespace eco::slurm {
+
+// squeue: one line per pending/held/running job.
+std::string Squeue(const ClusterSim& cluster);
+
+// sinfo: partition/node state summary.
+std::string Sinfo(const ClusterSim& cluster);
+
+// scontrol show job <id>: the full job record, or an error line.
+std::string ScontrolShowJob(const ClusterSim& cluster, JobId id);
+
+// sreport-style per-user totals from accounting: jobs, CPU-hours, energy.
+std::string SreportUserEnergy(const AccountingDb& accounting);
+
+}  // namespace eco::slurm

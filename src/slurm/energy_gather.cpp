@@ -1,0 +1,65 @@
+#include "slurm/energy_gather.hpp"
+
+#include "common/strings.hpp"
+
+namespace eco::slurm {
+
+EnergyGatherHost::~EnergyGatherHost() { Unload(); }
+
+Status EnergyGatherHost::Load(const acct_gather_energy_plugin_ops_t* ops) {
+  if (ops == nullptr || ops->plugin_type == nullptr ||
+      ops->energy_read == nullptr) {
+    return Status::Error("acct_gather_energy: bad ops table");
+  }
+  if (!StartsWith(ops->plugin_type, "acct_gather_energy/")) {
+    return Status::Error(std::string("acct_gather_energy: bad type '") +
+                         ops->plugin_type + "'");
+  }
+  if (ops_ != nullptr) {
+    return Status::Error("acct_gather_energy: a plugin is already loaded");
+  }
+  if (ops->init != nullptr && ops->init() != SLURM_SUCCESS) {
+    return Status::Error(std::string("acct_gather_energy: init failed for ") +
+                         ops->plugin_type);
+  }
+  ops_ = ops;
+  has_baseline_ = false;
+  return Status::Ok();
+}
+
+void EnergyGatherHost::Unload() {
+  if (ops_ != nullptr && ops_->fini != nullptr) ops_->fini();
+  ops_ = nullptr;
+  has_baseline_ = false;
+}
+
+Result<acct_gather_energy_t> EnergyGatherHost::Read() const {
+  if (ops_ == nullptr) {
+    return Result<acct_gather_energy_t>::Error(
+        "acct_gather_energy: no plugin loaded");
+  }
+  acct_gather_energy_t energy{};
+  if (ops_->energy_read(&energy) != SLURM_SUCCESS) {
+    return Result<acct_gather_energy_t>::Error(
+        std::string("acct_gather_energy: read failed (") + ops_->plugin_type +
+        ")");
+  }
+  return energy;
+}
+
+Result<double> EnergyGatherHost::PollDelta() {
+  auto energy = Read();
+  if (!energy.ok()) return Result<double>::Error(energy.message());
+  if (!has_baseline_) {
+    has_baseline_ = true;
+    last_joules_ = energy->consumed_joules;
+    return 0.0;
+  }
+  const std::uint64_t delta = energy->consumed_joules >= last_joules_
+                                  ? energy->consumed_joules - last_joules_
+                                  : 0;  // counter reset upstream
+  last_joules_ = energy->consumed_joules;
+  return static_cast<double>(delta);
+}
+
+}  // namespace eco::slurm

@@ -1,0 +1,44 @@
+// AcctGatherEnergy plugin host — the slurmd side of Slurm's per-node energy
+// accounting. Loads one acct_gather_energy plugin (ipmi or rapl flavours
+// live in src/plugin) and exposes typed reads plus a convenience "energy
+// consumed between two polls" helper, which is how slurmd attributes energy
+// to job steps.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "slurm/plugin_api.h"
+
+namespace eco::slurm {
+
+class EnergyGatherHost {
+ public:
+  EnergyGatherHost() = default;
+  ~EnergyGatherHost();
+  EnergyGatherHost(const EnergyGatherHost&) = delete;
+  EnergyGatherHost& operator=(const EnergyGatherHost&) = delete;
+
+  // Loads the plugin (running init()). Only one energy plugin can be active,
+  // like slurm.conf's single AcctGatherEnergyType line.
+  Status Load(const acct_gather_energy_plugin_ops_t* ops);
+  void Unload();
+  [[nodiscard]] bool loaded() const { return ops_ != nullptr; }
+  [[nodiscard]] std::string type() const {
+    return ops_ != nullptr ? ops_->plugin_type : "acct_gather_energy/none";
+  }
+
+  // One poll of the plugin.
+  Result<acct_gather_energy_t> Read() const;
+
+  // Joules consumed since the previous Poll() (first call returns 0 and
+  // establishes the baseline).
+  Result<double> PollDelta();
+
+ private:
+  const acct_gather_energy_plugin_ops_t* ops_ = nullptr;
+  bool has_baseline_ = false;
+  std::uint64_t last_joules_ = 0;
+};
+
+}  // namespace eco::slurm

@@ -1,0 +1,93 @@
+#include "slurm/energy_market.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace eco::slurm {
+namespace {
+
+constexpr double kDay = 24.0 * 3600.0;
+
+// Deterministic per-day jitter factor in [0.9, 1.1].
+double DayJitter(std::uint64_t seed, SimTime t) {
+  const auto day = static_cast<std::uint64_t>(t / kDay);
+  Rng rng(seed ^ (day * 0x9e3779b97f4a7c15ull + 1));
+  return 0.9 + 0.2 * rng.NextDouble();
+}
+
+}  // namespace
+
+double EnergyMarket::PriceAt(SimTime t) const {
+  const double hour = std::fmod(t, kDay) / 3600.0;
+  // Evening peak around 19:00, morning shoulder around 08:00.
+  const double evening = std::exp(-0.5 * std::pow((hour - 19.0) / 2.0, 2));
+  const double morning = 0.6 * std::exp(-0.5 * std::pow((hour - 8.0) / 1.5, 2));
+  // Midday solar discount around 13:00.
+  const double solar = std::exp(-0.5 * std::pow((hour - 13.0) / 2.5, 2));
+  double price = params_.base_price +
+                 params_.peak_amplitude * (evening + morning) -
+                 params_.solar_dip * solar;
+  // Overnight wind discount.
+  if (hour < 5.0 || hour > 23.0) price -= 20.0;
+  return std::max(5.0, price * DayJitter(params_.seed, t));
+}
+
+double EnergyMarket::RenewableShareAt(SimTime t) const {
+  const double hour = std::fmod(t, kDay) / 3600.0;
+  const double solar = std::exp(-0.5 * std::pow((hour - 13.0) / 2.5, 2));
+  const double wind = 0.35 + 0.15 * std::sin(2.0 * M_PI * (hour + 2.0) / 24.0);
+  return std::clamp((wind + 0.45 * solar) * DayJitter(params_.seed ^ 0xabc, t),
+                    0.0, 1.0);
+}
+
+double EnergyMarket::CarbonAt(SimTime t) const {
+  return std::max(20.0, params_.base_carbon +
+                            params_.carbon_swing * (0.5 - RenewableShareAt(t)));
+}
+
+double EnergyMarket::EnergyCost(SimTime t, double duration_s,
+                                double avg_watts) const {
+  double cost = 0.0;
+  double remaining = duration_s;
+  SimTime cursor = t;
+  while (remaining > 0.0) {
+    const double step = std::min(remaining, 3600.0);
+    const double mwh = avg_watts * step / 3.6e9;  // W·s -> MWh
+    cost += mwh * PriceAt(cursor);
+    cursor += step;
+    remaining -= step;
+  }
+  return cost;
+}
+
+double EnergyMarket::CarbonCost(SimTime t, double duration_s,
+                                double avg_watts) const {
+  double grams = 0.0;
+  double remaining = duration_s;
+  SimTime cursor = t;
+  while (remaining > 0.0) {
+    const double step = std::min(remaining, 3600.0);
+    const double kwh = avg_watts * step / 3.6e6;
+    grams += kwh * CarbonAt(cursor);
+    cursor += step;
+    remaining -= step;
+  }
+  return grams;
+}
+
+bool GreenWindowPolicy::IsGreen(SimTime t) const {
+  return market_->PriceAt(t) <= params_.max_price &&
+         market_->CarbonAt(t) <= params_.max_carbon;
+}
+
+SimTime GreenWindowPolicy::NextGreenTime(SimTime t) const {
+  const SimTime limit = t + params_.max_hold_s;
+  for (SimTime cursor = t; cursor <= limit; cursor += params_.scan_step_s) {
+    if (IsGreen(cursor)) return cursor;
+  }
+  return limit;
+}
+
+}  // namespace eco::slurm

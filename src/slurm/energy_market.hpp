@@ -1,0 +1,70 @@
+// Synthetic day-ahead energy market — §6.2.4's "schedule jobs when energy is
+// cheap and renewable" future work (the Vestas/Lancium motivation in the
+// introduction).
+//
+// The market exposes hourly price (EUR/MWh) and carbon intensity (gCO2/kWh)
+// curves with a deterministic daily shape: cheap, green overnight/midday
+// (wind + solar), expensive dark-calm evening peaks. A GreenWindowPolicy
+// answers "is now green enough?" and "when does the next green window open?"
+// — that is all the cluster needs to hold and release jobs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.hpp"
+
+namespace eco::slurm {
+
+struct EnergyMarketParams {
+  double base_price = 80.0;        // EUR/MWh
+  double peak_amplitude = 45.0;    // evening peak adder
+  double solar_dip = 30.0;         // midday renewable discount
+  double base_carbon = 300.0;      // gCO2/kWh
+  double carbon_swing = 180.0;
+  std::uint64_t seed = 99;         // day-to-day jitter
+};
+
+class EnergyMarket {
+ public:
+  explicit EnergyMarket(EnergyMarketParams params = {}) : params_(params) {}
+
+  // Price / carbon intensity at simulation time t (t=0 is midnight).
+  [[nodiscard]] double PriceAt(SimTime t) const;
+  [[nodiscard]] double CarbonAt(SimTime t) const;
+  // Renewable share in [0,1] of the mix at time t.
+  [[nodiscard]] double RenewableShareAt(SimTime t) const;
+
+  // Cost in EUR of drawing `joules` starting at `t` over `duration_s`
+  // (integrated hourly).
+  [[nodiscard]] double EnergyCost(SimTime t, double duration_s,
+                                  double avg_watts) const;
+  [[nodiscard]] double CarbonCost(SimTime t, double duration_s,
+                                  double avg_watts) const;  // grams CO2
+
+ private:
+  EnergyMarketParams params_;
+};
+
+struct GreenWindowParams {
+  double max_price = 75.0;        // EUR/MWh
+  double max_carbon = 280.0;      // gCO2/kWh
+  double scan_step_s = 900.0;     // 15-minute resolution
+  double max_hold_s = 24 * 3600.0;  // never hold longer than a day
+};
+
+class GreenWindowPolicy {
+ public:
+  GreenWindowPolicy(const EnergyMarket* market, GreenWindowParams params = {})
+      : market_(market), params_(params) {}
+
+  [[nodiscard]] bool IsGreen(SimTime t) const;
+  // Earliest time ≥ t that is green (capped at t + max_hold so jobs are
+  // never starved).
+  [[nodiscard]] SimTime NextGreenTime(SimTime t) const;
+
+ private:
+  const EnergyMarket* market_;
+  GreenWindowParams params_;
+};
+
+}  // namespace eco::slurm

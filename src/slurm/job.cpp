@@ -1,0 +1,23 @@
+#include "slurm/job.hpp"
+
+namespace eco::slurm {
+
+const char* JobStateName(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "PENDING";
+    case JobState::kHeld:
+      return "HELD";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kCompleted:
+      return "COMPLETED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+    case JobState::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+}  // namespace eco::slurm

@@ -1,0 +1,110 @@
+// Job model for the cluster simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_clock.hpp"
+#include "common/units.hpp"
+#include "hpcg/perf_model.hpp"
+
+namespace eco::slurm {
+
+using JobId = std::uint32_t;
+
+enum class JobState {
+  kPending,
+  kHeld,       // e.g. waiting for a green-energy window
+  kRunning,
+  kCompleted,
+  kCancelled,
+  kFailed,
+};
+
+const char* JobStateName(JobState s);
+
+// What the job computes. Two kinds:
+//  - kHpcg: weak-scaled mini-HPCG; duration = total FLOPs / modelled GFLOPS,
+//    so the allocated configuration determines runtime and power.
+//  - kFixedDuration: synthetic job with a set runtime and utilization
+//    (fleet/backfill experiments).
+struct WorkloadSpec {
+  enum class Kind { kHpcg, kFixedDuration };
+  Kind kind = Kind::kHpcg;
+  hpcg::HpcgProblem problem{};  // kHpcg: local grid per rank
+  int iterations = 50;          // kHpcg: CG iterations per rank
+  double fixed_duration_s = 60.0;  // kFixedDuration
+  double fixed_utilization = 0.9;  // kFixedDuration
+
+  static WorkloadSpec Hpcg(hpcg::HpcgProblem problem, int iterations) {
+    WorkloadSpec w;
+    w.kind = Kind::kHpcg;
+    w.problem = problem;
+    w.iterations = iterations;
+    return w;
+  }
+  static WorkloadSpec Fixed(double seconds, double utilization = 0.9) {
+    WorkloadSpec w;
+    w.kind = Kind::kFixedDuration;
+    w.fixed_duration_s = seconds;
+    w.fixed_utilization = utilization;
+    return w;
+  }
+};
+
+// What the user asked for — the C++ mirror of job_desc_msg_t before/after
+// the job-submit plugins run.
+struct JobRequest {
+  std::string name = "job";
+  std::uint32_t user_id = 1000;
+  int min_nodes = 1;
+  int num_tasks = 1;            // cores
+  int threads_per_core = 1;
+  KiloHertz cpu_freq_min = 0;   // 0 = not pinned
+  KiloHertz cpu_freq_max = 0;
+  double time_limit_s = 3600.0;
+  std::string comment;
+  std::string partition = "batch";
+  std::string script;
+  // Optional deadline (absolute sim time, 0 = none) for the §6.2.1 extension.
+  SimTime deadline = 0.0;
+  // sbatch --dependency=afterok:<id>[:<id>...]: the job becomes eligible
+  // only after every listed job COMPLETES; if any of them fails or is
+  // cancelled, this job is failed (DependencyNeverSatisfied).
+  std::vector<JobId> depends_on;
+  WorkloadSpec workload{};
+};
+
+struct JobRecord {
+  JobId id = 0;
+  JobState state = JobState::kPending;
+  // Job arrays (§2.1): members share array_job_id; array_task_id is the
+  // index within the array. Both 0 for non-array jobs.
+  JobId array_job_id = 0;
+  int array_task_id = 0;
+  JobRequest request;         // post-plugin request (what actually ran)
+  JobRequest submitted;       // pre-plugin request (what the user sent)
+  SimTime submit_time = 0.0;
+  SimTime eligible_time = 0.0;  // after any hold
+  SimTime start_time = 0.0;
+  SimTime end_time = 0.0;
+  std::string node;           // first allocated node (empty until running)
+  int allocated_nodes = 0;
+  double priority = 0.0;
+
+  // Filled at completion from the node's true energy integrals.
+  double system_joules = 0.0;
+  double cpu_joules = 0.0;
+  double gflops = 0.0;        // sustained rating while running
+  double avg_cpu_temp = 0.0;
+
+  [[nodiscard]] double WaitSeconds() const { return start_time - submit_time; }
+  [[nodiscard]] double RunSeconds() const { return end_time - start_time; }
+  [[nodiscard]] double GflopsPerWatt() const {
+    const double run = RunSeconds();
+    if (run <= 0.0 || system_joules <= 0.0) return 0.0;
+    return gflops / (system_joules / run);
+  }
+};
+
+}  // namespace eco::slurm

@@ -1,0 +1,66 @@
+#include "slurm/job_desc.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace eco::slurm {
+namespace {
+
+void CopyInto(char* dst, std::size_t cap, const std::string& src) {
+  const std::size_t n = std::min(cap - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+JobDescWrapper::JobDescWrapper(const JobRequest& request, JobId id) {
+  CopyInto(name_, sizeof(name_), request.name);
+  CopyInto(comment_, sizeof(comment_), request.comment);
+  CopyInto(partition_, sizeof(partition_), request.partition);
+  CopyInto(script_, sizeof(script_), request.script);
+
+  desc_.job_id = id;
+  desc_.user_id = request.user_id;
+  desc_.min_nodes = static_cast<uint32_t>(request.min_nodes);
+  desc_.num_tasks = static_cast<uint32_t>(request.num_tasks);
+  desc_.threads_per_core = static_cast<uint16_t>(request.threads_per_core);
+  desc_.cpu_freq_min =
+      request.cpu_freq_min > 0 ? static_cast<uint32_t>(request.cpu_freq_min)
+                               : NO_VAL;
+  desc_.cpu_freq_max =
+      request.cpu_freq_max > 0 ? static_cast<uint32_t>(request.cpu_freq_max)
+                               : NO_VAL;
+  desc_.time_limit =
+      static_cast<uint32_t>(std::max(1.0, request.time_limit_s / 60.0));
+  desc_.priority = NO_VAL;
+  desc_.name = name_;
+  desc_.comment = comment_;
+  desc_.partition = partition_;
+  desc_.script = script_;
+}
+
+JobRequest JobDescWrapper::ToRequest(const JobRequest& base) const {
+  JobRequest out = base;
+  if (desc_.num_tasks != NO_VAL && desc_.num_tasks > 0) {
+    out.num_tasks = static_cast<int>(desc_.num_tasks);
+  }
+  if (desc_.min_nodes != NO_VAL && desc_.min_nodes > 0) {
+    out.min_nodes = static_cast<int>(desc_.min_nodes);
+  }
+  if (desc_.threads_per_core != NO_VAL16 && desc_.threads_per_core > 0) {
+    out.threads_per_core = desc_.threads_per_core;
+  }
+  out.cpu_freq_min = desc_.cpu_freq_min == NO_VAL ? 0 : desc_.cpu_freq_min;
+  out.cpu_freq_max = desc_.cpu_freq_max == NO_VAL ? 0 : desc_.cpu_freq_max;
+  if (desc_.time_limit != NO_VAL && desc_.time_limit > 0) {
+    out.time_limit_s = desc_.time_limit * 60.0;
+  }
+  out.name = name_;
+  out.comment = comment_;
+  out.partition = partition_;
+  out.script = script_;
+  return out;
+}
+
+}  // namespace eco::slurm

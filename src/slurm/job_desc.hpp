@@ -1,0 +1,31 @@
+// Bridge between the C++ JobRequest and the C job_desc_msg_t the plugin ABI
+// uses. The descriptor's string fields point into the wrapper's fixed-size
+// buffers so plugins can edit them in place without ownership questions.
+#pragma once
+
+#include "common/units.hpp"
+#include "slurm/job.hpp"
+#include "slurm/plugin_api.h"
+
+namespace eco::slurm {
+
+class JobDescWrapper {
+ public:
+  JobDescWrapper(const JobRequest& request, JobId id);
+
+  [[nodiscard]] job_desc_msg_t* desc() { return &desc_; }
+  [[nodiscard]] const job_desc_msg_t* desc() const { return &desc_; }
+
+  // Folds any plugin edits back into a JobRequest (unset sentinel fields
+  // keep `base`'s values). Sanitises out-of-range numeric edits.
+  [[nodiscard]] JobRequest ToRequest(const JobRequest& base) const;
+
+ private:
+  job_desc_msg_t desc_{};
+  char name_[JOB_DESC_NAME_LEN]{};
+  char comment_[JOB_DESC_COMMENT_LEN]{};
+  char partition_[JOB_DESC_PARTITION_LEN]{};
+  char script_[JOB_DESC_SCRIPT_LEN]{};
+};
+
+}  // namespace eco::slurm

@@ -1,0 +1,96 @@
+/*
+ * Slurm-compatible job-submit plugin ABI.
+ *
+ * This header mirrors the subset of Slurm's C plugin interface that the
+ * paper's job_submit_eco plugin uses (slurm/src/plugins/job_submit/):
+ *
+ *   extern int job_submit(job_desc_msg_t *job_desc, uint32_t submit_uid,
+ *                         char **err_msg);
+ *
+ * plus the job_descriptor fields §4.2.2 lists as the knobs the eco plugin
+ * turns: num_tasks, threads_per_core (the paper calls it threads_per_cpu),
+ * cpu_freq_min / cpu_freq_max, and the comment string carrying the
+ * "#SBATCH --comment chronus" opt-in.
+ *
+ * Deviations from real Slurm, chosen for memory safety inside a simulator:
+ * string fields point into caller-owned fixed-capacity buffers (capacities
+ * below); plugins edit them in place instead of xstrdup-replacing pointers.
+ */
+#pragma once
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define SLURM_SUCCESS 0
+#define SLURM_ERROR (-1)
+
+/* Slurm's "value not set" sentinels. */
+#define NO_VAL ((uint32_t)0xfffffffe)
+#define NO_VAL16 ((uint16_t)0xfffe)
+
+#define JOB_DESC_NAME_LEN 64
+#define JOB_DESC_COMMENT_LEN 256
+#define JOB_DESC_PARTITION_LEN 64
+#define JOB_DESC_SCRIPT_LEN 4096
+#define PLUGIN_ERR_MSG_LEN 256
+
+typedef struct job_descriptor {
+  uint32_t job_id;
+  uint32_t user_id;
+  uint32_t min_nodes;        /* nodes requested (NO_VAL = unset, default 1) */
+  uint32_t num_tasks;        /* --ntasks */
+  uint16_t threads_per_core; /* --threads-per-core / --ntasks-per-core */
+  uint32_t cpu_freq_min;     /* kHz, NO_VAL = not pinned */
+  uint32_t cpu_freq_max;     /* kHz, NO_VAL = not pinned */
+  uint32_t time_limit;       /* minutes, NO_VAL = partition default */
+  uint32_t priority;         /* NO_VAL = let the priority plugin decide */
+  char* name;                /* capacity JOB_DESC_NAME_LEN */
+  char* comment;             /* capacity JOB_DESC_COMMENT_LEN */
+  char* partition;           /* capacity JOB_DESC_PARTITION_LEN */
+  char* script;              /* capacity JOB_DESC_SCRIPT_LEN */
+} job_desc_msg_t;
+
+/*
+ * Plugin entry points. Real Slurm resolves these via dlsym on a shared
+ * object; the simulator registers the same structure statically (see
+ * PluginRegistry) so plugins compile unmodified either way.
+ */
+typedef struct job_submit_plugin_ops {
+  const char* plugin_name;    /* human-readable */
+  const char* plugin_type;    /* must be "job_submit/<something>" */
+  uint32_t plugin_version;
+  int (*init)(void);
+  void (*fini)(void);
+  int (*job_submit)(job_desc_msg_t* job_desc, uint32_t submit_uid,
+                    char** err_msg);
+  int (*job_modify)(job_desc_msg_t* job_desc, uint32_t submit_uid,
+                    char** err_msg);
+} job_submit_plugin_ops_t;
+
+/*
+ * AcctGatherEnergy plugin family — how real Slurm measures per-node energy
+ * for accounting (acct_gather_energy/ipmi, acct_gather_energy/rapl).
+ * slurmd polls energy_read() periodically; consumed_energy is cumulative
+ * joules since the counter was last reset.
+ */
+typedef struct acct_gather_energy {
+  uint64_t consumed_joules; /* cumulative since reset */
+  uint32_t current_watts;
+  uint64_t poll_time;       /* seconds, source-defined epoch */
+} acct_gather_energy_t;
+
+typedef struct acct_gather_energy_plugin_ops {
+  const char* plugin_name;
+  const char* plugin_type; /* must be "acct_gather_energy/<something>" */
+  uint32_t plugin_version;
+  int (*init)(void);
+  void (*fini)(void);
+  int (*energy_read)(acct_gather_energy_t* energy);
+} acct_gather_energy_plugin_ops_t;
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif

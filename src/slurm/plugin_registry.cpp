@@ -1,0 +1,78 @@
+#include "slurm/plugin_registry.hpp"
+
+#include "common/strings.hpp"
+
+namespace eco::slurm {
+
+PluginRegistry::~PluginRegistry() {
+  for (const auto* ops : plugins_) {
+    if (ops->fini != nullptr) ops->fini();
+  }
+}
+
+Status PluginRegistry::Load(const job_submit_plugin_ops_t* ops) {
+  if (ops == nullptr || ops->plugin_type == nullptr) {
+    return Status::Error("plugin: null ops");
+  }
+  if (!StartsWith(ops->plugin_type, "job_submit/")) {
+    return Status::Error(std::string("plugin: bad type '") + ops->plugin_type +
+                         "' (want job_submit/*)");
+  }
+  if (IsLoaded(ops->plugin_type)) {
+    return Status::Error(std::string("plugin: already loaded: ") +
+                         ops->plugin_type);
+  }
+  if (ops->job_submit == nullptr) {
+    return Status::Error("plugin: missing job_submit entry point");
+  }
+  if (ops->init != nullptr && ops->init() != SLURM_SUCCESS) {
+    return Status::Error(std::string("plugin: init failed: ") +
+                         ops->plugin_type);
+  }
+  plugins_.push_back(ops);
+  return Status::Ok();
+}
+
+bool PluginRegistry::Unload(const std::string& plugin_type) {
+  for (auto it = plugins_.begin(); it != plugins_.end(); ++it) {
+    if (plugin_type == (*it)->plugin_type) {
+      if ((*it)->fini != nullptr) (*it)->fini();
+      plugins_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PluginRegistry::IsLoaded(const std::string& plugin_type) const {
+  for (const auto* ops : plugins_) {
+    if (plugin_type == ops->plugin_type) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> PluginRegistry::LoadedTypes() const {
+  std::vector<std::string> out;
+  out.reserve(plugins_.size());
+  for (const auto* ops : plugins_) out.emplace_back(ops->plugin_type);
+  return out;
+}
+
+Status PluginRegistry::RunJobSubmit(job_desc_msg_t* desc,
+                                    uint32_t submit_uid) const {
+  for (const auto* ops : plugins_) {
+    char* err_msg = nullptr;
+    const int rc = ops->job_submit(desc, submit_uid, &err_msg);
+    if (rc != SLURM_SUCCESS) {
+      std::string message = std::string(ops->plugin_type) + ": job rejected";
+      if (err_msg != nullptr && err_msg[0] != '\0') {
+        message += ": ";
+        message += err_msg;
+      }
+      return Status::Error(message);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace eco::slurm

@@ -1,0 +1,43 @@
+// Plugin loading/registration — the simulator's stand-in for slurmctld's
+// plugin stack (`JobSubmitPlugins=eco` in slurm.conf).
+//
+// Plugins register their C ops table under their type name; the registry
+// runs `init()` at load, `fini()` at unload, and `RunJobSubmit` invokes every
+// enabled plugin in configuration order, exactly like slurmctld walks its
+// job_submit plugin list. Slurm aborts a submission when any plugin returns
+// an error; we do the same.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "slurm/plugin_api.h"
+
+namespace eco::slurm {
+
+class PluginRegistry {
+ public:
+  PluginRegistry() = default;
+  ~PluginRegistry();
+  PluginRegistry(const PluginRegistry&) = delete;
+  PluginRegistry& operator=(const PluginRegistry&) = delete;
+
+  // Loads a plugin (calls ops->init()). Fails on duplicate type, bad type
+  // prefix, or init() failure.
+  Status Load(const job_submit_plugin_ops_t* ops);
+  // Unloads (calls fini()) — returns false if not loaded.
+  bool Unload(const std::string& plugin_type);
+
+  [[nodiscard]] bool IsLoaded(const std::string& plugin_type) const;
+  [[nodiscard]] std::vector<std::string> LoadedTypes() const;
+
+  // Runs every loaded plugin's job_submit over the descriptor. On the first
+  // plugin error, stops and returns the plugin's message.
+  Status RunJobSubmit(job_desc_msg_t* desc, uint32_t submit_uid) const;
+
+ private:
+  std::vector<const job_submit_plugin_ops_t*> plugins_;
+};
+
+}  // namespace eco::slurm

@@ -1,0 +1,78 @@
+#include "slurm/sbatch.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace eco::slurm {
+
+std::string GenerateHpcgScript(int cores, KiloHertz frequency,
+                               int threads_per_core,
+                               const std::string& hpcg_path) {
+  std::ostringstream out;
+  out << "#!/bin/bash\n";
+  out << "#SBATCH --nodes=1\n";
+  out << "#SBATCH --ntasks=" << cores << "\n";
+  out << "#SBATCH --cpu-freq=" << frequency << "\n";
+  out << "\n";
+  out << "srun --mpi=pmix_v4 --ntasks-per-core=" << threads_per_core << " "
+      << hpcg_path << "\n";
+  return out.str();
+}
+
+Result<JobRequest> ParseSbatchScript(const std::string& script,
+                                     JobRequest base) {
+  JobRequest out = std::move(base);
+  out.script = script;
+
+  const auto parse_kv = [](const std::string& token, const std::string& key,
+                           std::string& value) {
+    const std::string prefix = key + "=";
+    if (!StartsWith(token, prefix)) return false;
+    value = token.substr(prefix.size());
+    return true;
+  };
+
+  for (const std::string& raw_line : Split(script, '\n')) {
+    const std::string line = Trim(raw_line);
+    if (StartsWith(line, "#SBATCH ")) {
+      for (const std::string& token : SplitWhitespace(line.substr(8))) {
+        std::string value;
+        long long n = 0;
+        if (parse_kv(token, "--nodes", value) && ParseInt64(value, n)) {
+          out.min_nodes = static_cast<int>(n);
+        } else if (parse_kv(token, "--ntasks", value) && ParseInt64(value, n)) {
+          out.num_tasks = static_cast<int>(n);
+        } else if (parse_kv(token, "--cpu-freq", value) && ParseInt64(value, n)) {
+          out.cpu_freq_min = static_cast<KiloHertz>(n);
+          out.cpu_freq_max = static_cast<KiloHertz>(n);
+        } else if (parse_kv(token, "--time", value) && ParseInt64(value, n)) {
+          out.time_limit_s = static_cast<double>(n) * 60.0;
+        } else if (parse_kv(token, "--comment", value)) {
+          // Strip optional quotes: --comment "chronus".
+          if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+            value = value.substr(1, value.size() - 2);
+          }
+          out.comment = value;
+        } else if (parse_kv(token, "--job-name", value)) {
+          out.name = value;
+        }
+      }
+    } else if (StartsWith(line, "srun ")) {
+      for (const std::string& token : SplitWhitespace(line)) {
+        std::string value;
+        long long n = 0;
+        if (parse_kv(token, "--ntasks-per-core", value) && ParseInt64(value, n)) {
+          out.threads_per_core = static_cast<int>(n);
+        }
+      }
+    }
+  }
+
+  if (out.num_tasks < 1) {
+    return Result<JobRequest>::Error("sbatch: script sets no --ntasks");
+  }
+  return out;
+}
+
+}  // namespace eco::slurm

@@ -1,0 +1,29 @@
+// sbatch script generation and parsing.
+//
+// Chronus drives benchmarks by writing a Slurm batch script and running
+// sbatch on it (paper §4.2.3, Listings 5/6). The simulator keeps that flow:
+// GenerateHpcgScript renders the exact file layout of Listing 6, and
+// ParseSbatchScript turns a script back into JobRequest fields — so the
+// script is a real interchange format, not decoration.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "slurm/job.hpp"
+
+namespace eco::slurm {
+
+// Listing 6: nodes=1, --ntasks, --cpu-freq, then
+// `srun --mpi=pmix_v4 --ntasks-per-core=N <hpcg_path>`.
+std::string GenerateHpcgScript(int cores, KiloHertz frequency,
+                               int threads_per_core,
+                               const std::string& hpcg_path);
+
+// Parses the #SBATCH directives (and the srun line's --ntasks-per-core)
+// into `base`, returning the updated request. Unknown directives are
+// ignored, matching sbatch's tolerance for comments.
+Result<JobRequest> ParseSbatchScript(const std::string& script,
+                                     JobRequest base);
+
+}  // namespace eco::slurm

@@ -1,0 +1,89 @@
+// Scheduling policy components: the multifactor priority plugin stand-in
+// (Niagara's configuration, §2.1, balances job age, size, partition, QOS and
+// fair share) and the EASY backfill planner.
+//
+// These are pure policy objects: the ClusterSim feeds them queue/cluster
+// state and executes their decisions, which keeps the policies unit-testable
+// without a simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "slurm/job.hpp"
+
+namespace eco::slurm {
+
+// Decayed per-user usage tracking for the fair-share factor.
+class FairShareTracker {
+ public:
+  explicit FairShareTracker(double half_life_seconds = 7 * 24 * 3600.0)
+      : half_life_(half_life_seconds) {}
+
+  void AddUsage(std::uint32_t user, double cpu_seconds, SimTime now);
+  // Factor in (0, 1]; 1 = no recent usage, decreasing with decayed usage
+  // relative to the cluster-wide average.
+  [[nodiscard]] double Factor(std::uint32_t user, SimTime now) const;
+
+ private:
+  [[nodiscard]] double DecayedUsage(std::uint32_t user, SimTime now) const;
+
+  struct Usage {
+    double amount = 0.0;
+    SimTime as_of = 0.0;
+  };
+  double half_life_;
+  std::map<std::uint32_t, Usage> usage_;
+};
+
+struct MultifactorWeights {
+  double age = 1000.0;
+  double size = 500.0;
+  double fairshare = 2000.0;
+  double qos = 0.0;
+  // Age factor saturates after this long in the queue.
+  double max_age_seconds = 7 * 24 * 3600.0;
+};
+
+class MultifactorPriority {
+ public:
+  MultifactorPriority(MultifactorWeights weights, int cluster_cores)
+      : weights_(weights), cluster_cores_(cluster_cores) {}
+
+  [[nodiscard]] double Compute(const JobRecord& job, SimTime now,
+                               const FairShareTracker& fairshare) const;
+
+ private:
+  MultifactorWeights weights_;
+  int cluster_cores_;
+};
+
+enum class SchedulerPolicy { kFifo, kBackfill };
+
+// One pending job as seen by the planner.
+struct PlanInput {
+  JobId id = 0;
+  int nodes_needed = 1;
+  double time_limit_s = 0.0;
+  double priority = 0.0;
+  std::uint64_t tiebreak = 0;  // submission order
+};
+
+// A running job's resource horizon.
+struct RunningInput {
+  int nodes_held = 1;
+  SimTime expected_end = 0.0;  // start + time_limit
+};
+
+// Decides which pending jobs to start *now*. FIFO: highest-priority first,
+// stop at the first job that does not fit. Backfill (EASY): the blocked head
+// gets a shadow reservation; lower-priority jobs may start only if they fit
+// in the spare nodes and finish (by time limit) before the shadow time.
+std::vector<JobId> PlanSchedule(SchedulerPolicy policy,
+                                std::vector<PlanInput> pending,
+                                const std::vector<RunningInput>& running,
+                                int free_nodes, int total_nodes, SimTime now);
+
+}  // namespace eco::slurm

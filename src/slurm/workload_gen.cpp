@@ -1,0 +1,57 @@
+#include "slurm/workload_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eco::slurm {
+
+std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
+                                           int max_cores,
+                                           int iterations_for_hpcg) {
+  std::vector<GeneratedJob> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, count)));
+  Rng rng(mix.seed);
+  SimTime clock = 0.0;
+
+  for (int i = 0; i < count; ++i) {
+    // Poisson arrivals: exponential inter-arrival times.
+    clock += -mix.mean_interarrival_s * std::log(1.0 - rng.NextDouble());
+
+    GeneratedJob job;
+    job.arrival = clock;
+    JobRequest& request = job.request;
+    request.user_id = 1000 + static_cast<std::uint32_t>(
+                                 rng.NextBounded(std::max(1, mix.users)));
+
+    const double kind = rng.NextDouble();
+    if (kind < mix.hpcg_share) {
+      request.name = "hpcg-" + std::to_string(i);
+      request.num_tasks = max_cores;
+      request.threads_per_core = rng.Chance(0.5) ? 2 : 1;
+      request.comment = "chronus";
+      request.script = "srun --mpi=pmix_v4 ../hpcg/build/bin/xhpcg\n";
+      request.workload = WorkloadSpec::Hpcg(hpcg::HpcgProblem::Official(),
+                                            iterations_for_hpcg);
+      request.time_limit_s = mix.hpcg_target_seconds * 6.0;
+    } else if (kind < mix.hpcg_share + mix.wide_share) {
+      request.name = "wide-" + std::to_string(i);
+      request.min_nodes = mix.wide_nodes;
+      request.num_tasks = max_cores * mix.wide_nodes;
+      request.workload = WorkloadSpec::Fixed(
+          rng.Uniform(mix.filler_max_s * 0.5, mix.filler_max_s), 0.9);
+      request.time_limit_s = mix.filler_max_s * 2.5;
+    } else {
+      request.name = "filler-" + std::to_string(i);
+      request.num_tasks =
+          rng.UniformInt(mix.filler_min_tasks, mix.filler_max_tasks);
+      request.workload = WorkloadSpec::Fixed(
+          rng.Uniform(mix.filler_min_s, mix.filler_max_s),
+          rng.Uniform(0.6, 0.95));
+      request.time_limit_s = mix.filler_max_s * 1.5;
+    }
+    out.push_back(std::move(job));
+  }
+  return out;
+}
+
+}  // namespace eco::slurm

@@ -1,0 +1,43 @@
+// Synthetic fleet workload generator for scheduler / energy experiments.
+//
+// Produces a deterministic stream of job requests with Poisson arrivals and
+// a configurable mix: HPCG-style jobs that opt into the eco plugin, wide
+// multi-node jobs (head-of-line blockers that give backfill something to
+// do), and narrow fixed-duration fillers. Used by the fleet ablation bench
+// and the scheduler tests.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "slurm/job.hpp"
+
+namespace eco::slurm {
+
+struct WorkloadMix {
+  double hpcg_share = 0.4;        // opted-in HPCG jobs
+  double wide_share = 0.2;        // multi-node blockers
+  int wide_nodes = 2;
+  double mean_interarrival_s = 150.0;
+  double filler_min_s = 120.0;    // fixed-job duration range
+  double filler_max_s = 600.0;
+  int filler_min_tasks = 4;
+  int filler_max_tasks = 28;
+  double hpcg_target_seconds = 600.0;  // HPCG sizing at the reference config
+  int users = 3;
+  std::uint64_t seed = 4242;
+};
+
+struct GeneratedJob {
+  SimTime arrival = 0.0;
+  JobRequest request;
+};
+
+// `max_cores` is the per-node core count (used to size HPCG jobs);
+// iterations for HPCG jobs are sized by `iterations_for_hpcg`.
+std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
+                                           int max_cores,
+                                           int iterations_for_hpcg);
+
+}  // namespace eco::slurm

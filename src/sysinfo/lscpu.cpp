@@ -1,0 +1,65 @@
+#include "sysinfo/lscpu.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace eco::sysinfo {
+
+std::string LscpuInfo::ToString() const {
+  std::ostringstream out;
+  out << "SystemInfo(cpu_name='" << cpu_name << "', cores=" << cores
+      << ", threads_per_core=" << threads_per_core << ", frequencies=[";
+  for (std::size_t i = 0; i < frequencies.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << FormatDouble(static_cast<double>(frequencies[i]), 1);
+  }
+  out << "])";
+  return out.str();
+}
+
+LscpuInfo ReadLscpu(const VirtualProcFs& procfs) {
+  LscpuInfo info;
+
+  // Parse /proc/cpuinfo: model name, physical cores, siblings.
+  int logical = 0;
+  for (const auto& line : Split(procfs.CpuInfo(), '\n')) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = Trim(line.substr(0, colon));
+    const std::string value = Trim(line.substr(colon + 1));
+    if (key == "processor") {
+      ++logical;
+    } else if (key == "model name" && info.cpu_name.empty()) {
+      info.cpu_name = value;
+    } else if (key == "cpu cores" && info.cores == 0) {
+      long long cores = 0;
+      if (ParseInt64(value, cores)) info.cores = static_cast<int>(cores);
+    }
+  }
+  if (info.cores > 0) info.threads_per_core = std::max(1, logical / info.cores);
+
+  // Parse scaling_available_frequencies (kHz, descending in sysfs).
+  for (const auto& token :
+       SplitWhitespace(procfs.ScalingAvailableFrequencies())) {
+    long long khz = 0;
+    if (ParseInt64(token, khz) && khz > 0) {
+      info.frequencies.push_back(static_cast<KiloHertz>(khz));
+    }
+  }
+  std::sort(info.frequencies.begin(), info.frequencies.end());
+
+  // Parse MemTotal from /proc/meminfo.
+  for (const auto& line : Split(procfs.MemInfo(), '\n')) {
+    if (!StartsWith(line, "MemTotal:")) continue;
+    const auto tokens = SplitWhitespace(line);
+    long long kb = 0;
+    if (tokens.size() >= 2 && ParseInt64(tokens[1], kb)) {
+      info.ram_bytes = static_cast<std::uint64_t>(kb) * 1024;
+    }
+  }
+  return info;
+}
+
+}  // namespace eco::sysinfo

@@ -1,0 +1,32 @@
+// lscpu-equivalent system information provider.
+//
+// Chronus's SystemInfo integration interface is implemented by `lscpu` in the
+// paper (§3.2). This provider parses the same facts out of the virtual
+// procfs, producing the SystemInfo tuple the Chronus log shows:
+// "SystemInfo(cpu_name='AMD EPYC 7502P 32-Core Processor', cores=32,
+//  threads_per_core=2, frequencies=[1500000.0, 2200000.0, 2500000.0])".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sysinfo/procfs.hpp"
+
+namespace eco::sysinfo {
+
+struct LscpuInfo {
+  std::string cpu_name;
+  int cores = 0;
+  int threads_per_core = 0;
+  std::vector<KiloHertz> frequencies;
+  std::uint64_t ram_bytes = 0;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+// Gathers LscpuInfo by *parsing the rendered procfs text*, not by peeking at
+// the MachineSpec — the same information path a real lscpu uses.
+LscpuInfo ReadLscpu(const VirtualProcFs& procfs);
+
+}  // namespace eco::sysinfo

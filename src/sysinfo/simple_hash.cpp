@@ -1,0 +1,21 @@
+#include "sysinfo/simple_hash.hpp"
+
+#include <cstdio>
+
+namespace eco::sysinfo {
+
+unsigned long SimpleHash(std::string_view str) {
+  unsigned long hash = 53871;
+  for (const char c : str) {
+    hash = ((hash << 5) + hash) + static_cast<unsigned char>(c);  // hash*33 + c
+  }
+  return hash;
+}
+
+std::string HashToString(unsigned long hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lx", hash);
+  return buf;
+}
+
+}  // namespace eco::sysinfo

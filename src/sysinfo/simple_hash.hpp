@@ -1,0 +1,17 @@
+// The paper's hash function (Listing 3), used by job_submit_eco to identify
+// the system (hash of /proc/cpuinfo + /proc/meminfo contents) and the
+// application binary. It is the djb2 multiply-by-33 scheme with the paper's
+// 53871 seed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace eco::sysinfo {
+
+unsigned long SimpleHash(std::string_view str);
+
+// Hex rendering used when hashes travel through JSON / CLI arguments.
+std::string HashToString(unsigned long hash);
+
+}  // namespace eco::sysinfo

@@ -1,0 +1,28 @@
+# Drives the paper's §3.3 CLI workflow end to end against a fresh state
+# directory: benchmark -> init-model -> load-model -> slurm-config.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+file(WRITE ${WORKDIR}/configs.json
+"[{\"cores\": 32, \"threads_per_core\": 1, \"frequency\": 2200000},
+  {\"cores\": 32, \"threads_per_core\": 1, \"frequency\": 2500000}]")
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+run_step(${CHRONUS} --workdir ${WORKDIR} --fast benchmark xhpcg --configurations ${WORKDIR}/configs.json)
+run_step(${CHRONUS} --workdir ${WORKDIR} init-model --model brute-force --system 1)
+run_step(${CHRONUS} --workdir ${WORKDIR} load-model --model 1)
+run_step(${CHRONUS} --workdir ${WORKDIR} systems)
+if(NOT LAST_OUTPUT MATCHES "EPYC")
+  message(FATAL_ERROR "systems listing missing the EPYC entry: ${LAST_OUTPUT}")
+endif()
+# Resume must skip both configurations.
+run_step(${CHRONUS} --workdir ${WORKDIR} --fast benchmark xhpcg --configurations ${WORKDIR}/configs.json --resume)
+if(NOT LAST_OUTPUT MATCHES "skipped 2")
+  message(FATAL_ERROR "resume did not skip measured configs: ${LAST_OUTPUT}")
+endif()

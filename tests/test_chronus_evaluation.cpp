@@ -1,0 +1,189 @@
+// Model evaluation (k-fold CV), benchmark sweep resume, the Xeon profile's
+// multi-system story, and trace CSV export.
+#include <gtest/gtest.h>
+
+#include "chronus/env.hpp"
+#include "chronus/evaluation.hpp"
+#include "chronus/integrations.hpp"
+#include "common/log.hpp"
+#include "hpcg/perf_model.hpp"
+#include "hw/power_model.hpp"
+#include "ipmi/sampler.hpp"
+#include "sysinfo/procfs.hpp"
+
+namespace eco::chronus {
+namespace {
+
+std::vector<BenchmarkRecord> SyntheticSweep() {
+  const hpcg::HpcgPerfModel perf{hpcg::PerfModelParams::Epyc7502P()};
+  const hw::PowerModel power{hw::PowerModelParams::Epyc7502P()};
+  std::vector<BenchmarkRecord> out;
+  for (int cores = 2; cores <= 32; cores += 2) {
+    for (const KiloHertz f : {kHz(1'500'000), kHz(2'200'000), kHz(2'500'000)}) {
+      for (const int tpc : {1, 2}) {
+        BenchmarkRecord b;
+        b.config = {cores, tpc, f};
+        b.gflops = perf.Gflops(cores, f, tpc > 1);
+        b.avg_system_watts =
+            power.SystemPower(cores, f, tpc > 1, 0.7, 50.0).system_watts;
+        out.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- evaluation
+
+TEST(EvaluateModel, LearnedModelsScoreWellOutOfFold) {
+  const auto data = SyntheticSweep();
+  for (const std::string type : {"linear-regression", "random-tree"}) {
+    auto evaluation = EvaluateModel(type, data);
+    ASSERT_TRUE(evaluation.ok()) << evaluation.message();
+    EXPECT_GT(evaluation->r_squared, 0.9) << type;
+    EXPECT_LT(evaluation->rmse, 0.01) << type;  // gpw scale ~0.005-0.05
+    EXPECT_LT(evaluation->mean_regret, 0.05) << type;
+    EXPECT_EQ(evaluation->folds, 5);
+    EXPECT_EQ(evaluation->samples, data.size());
+  }
+}
+
+TEST(EvaluateModel, BruteForceScoredHonestlyOnUnseenConfigs) {
+  // Out-of-fold, brute force must fall back to the training mean for every
+  // test point, so its CV R² is far below the learned models'.
+  const auto data = SyntheticSweep();
+  auto brute = EvaluateModel("brute-force", data);
+  auto forest = EvaluateModel("random-tree", data);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(forest.ok());
+  EXPECT_LT(brute->r_squared, 0.2);
+  EXPECT_GT(forest->r_squared, brute->r_squared + 0.5);
+  // But its *regret* stays fine: picking among seen configs is its game.
+  EXPECT_LT(brute->mean_regret, 0.05);
+}
+
+TEST(EvaluateModel, InputValidation) {
+  const auto data = SyntheticSweep();
+  EXPECT_FALSE(EvaluateModel("neural-net", data).ok());
+  EXPECT_FALSE(EvaluateModel("random-tree", data, 1).ok());
+  EXPECT_FALSE(
+      EvaluateModel("random-tree",
+                    std::vector<BenchmarkRecord>(data.begin(), data.begin() + 2),
+                    5)
+          .ok());
+}
+
+TEST(EvaluateModel, DeterministicForSeed) {
+  const auto data = SyntheticSweep();
+  auto a = EvaluateModel("random-tree", data, 5, 7);
+  auto b = EvaluateModel("random-tree", data, 5, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->r_squared, b->r_squared);
+  EXPECT_DOUBLE_EQ(a->rmse, b->rmse);
+}
+
+// ----------------------------------------------------------------- resume
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Instance().SetLevel(LogLevel::kWarn);
+    EnvOptions options;
+    options.runner.target_seconds = 60.0;
+    env_ = MakeSimEnv(options);
+  }
+  void TearDown() override { Logger::Instance().SetLevel(LogLevel::kInfo); }
+  ChronusEnv env_;
+};
+
+TEST_F(ResumeTest, SkipsAlreadyMeasuredConfigurations) {
+  const std::vector<Configuration> first_half = {{8, 1, kHz(2'200'000)},
+                                                 {16, 1, kHz(2'200'000)}};
+  const std::vector<Configuration> all = {{8, 1, kHz(2'200'000)},
+                                          {16, 1, kHz(2'200'000)},
+                                          {32, 1, kHz(2'200'000)}};
+  ASSERT_TRUE(env_.benchmark->Run(first_half).ok());
+
+  std::size_t skipped = 0;
+  auto resumed = env_.benchmark->Resume(all, &skipped);
+  ASSERT_TRUE(resumed.ok()) << resumed.message();
+  EXPECT_EQ(skipped, 2u);
+  ASSERT_EQ(resumed->size(), 1u);
+  EXPECT_EQ(resumed->front().config.cores, 32);
+  // The repository now holds the full set exactly once each.
+  EXPECT_EQ(
+      env_.repository->ListBenchmarks(env_.benchmark->last_system_id())->size(),
+      3u);
+}
+
+TEST_F(ResumeTest, FullyMeasuredSweepIsNoOp) {
+  const std::vector<Configuration> configs = {{8, 1, kHz(2'200'000)}};
+  ASSERT_TRUE(env_.benchmark->Run(configs).ok());
+  std::size_t skipped = 0;
+  auto resumed = env_.benchmark->Resume(configs, &skipped);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(resumed->empty());
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_GE(env_.benchmark->last_system_id(), 1);
+}
+
+// ----------------------------------------------------------- Xeon profile
+
+TEST(XeonProfile, DistinctIdentityAndCandidateSpace) {
+  const auto xeon = hw::MachineSpec::XeonGold6230();
+  EXPECT_EQ(xeon.cpu.cores, 20);
+  EXPECT_EQ(xeon.cpu.available_frequencies.size(), 5u);
+
+  sysinfo::VirtualProcFs epyc_fs(hw::MachineSpec::Epyc7502P());
+  sysinfo::VirtualProcFs xeon_fs(xeon);
+  EXPECT_NE(epyc_fs.SystemHash(), xeon_fs.SystemHash());
+
+  LscpuSystemInfo info(&xeon_fs);
+  auto record = info.Gather();
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->cores, 20);
+  EXPECT_EQ(record->AllConfigurations().size(), 20u * 5u * 2u);
+}
+
+TEST(XeonProfile, TwoSystemsCoexistInOneRepository) {
+  Logger::Instance().SetLevel(LogLevel::kWarn);
+  auto repo = std::make_shared<MiniDbRepository>("");
+
+  EnvOptions epyc_options;
+  epyc_options.runner.target_seconds = 60.0;
+  auto epyc_env = MakeSimEnv(epyc_options);
+
+  EnvOptions xeon_options = epyc_options;
+  xeon_options.cluster.node.machine = hw::MachineSpec::XeonGold6230();
+  auto xeon_env = MakeSimEnv(xeon_options);
+
+  // Point both benchmark services at the shared repository.
+  BenchmarkService epyc_bench(repo, epyc_env.runner, epyc_env.system_info);
+  BenchmarkService xeon_bench(repo, xeon_env.runner, xeon_env.system_info);
+  ASSERT_TRUE(epyc_bench.Run({{32, 1, kHz(2'200'000)}}).ok());
+  ASSERT_TRUE(xeon_bench.Run({{20, 1, kHz(2'100'000)}}).ok());
+
+  auto systems = repo->ListSystems();
+  ASSERT_TRUE(systems.ok());
+  EXPECT_EQ(systems->size(), 2u);
+  EXPECT_NE(epyc_bench.last_system_id(), xeon_bench.last_system_id());
+  EXPECT_EQ(repo->ListBenchmarks(epyc_bench.last_system_id())->size(), 1u);
+  EXPECT_EQ(repo->ListBenchmarks(xeon_bench.last_system_id())->size(), 1u);
+  Logger::Instance().SetLevel(LogLevel::kInfo);
+}
+
+// -------------------------------------------------------------- trace csv
+
+TEST(PowerTraceCsv, HeaderAndRows) {
+  ipmi::PowerTrace trace;
+  trace.Add({0.0, 216.6, 120.4, 62.8});
+  trace.Add({3.0, 190.1, 97.4, 53.8});
+  const std::string csv = trace.ToCsv();
+  EXPECT_NE(csv.find("t,system_watts,cpu_watts,cpu_temp\n"), std::string::npos);
+  EXPECT_NE(csv.find("0.0,216.6,120.4,62.8\n"), std::string::npos);
+  EXPECT_NE(csv.find("3.0,190.1,97.4,53.8\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eco::chronus

@@ -1,0 +1,217 @@
+// Optimizer implementations: the shared contract (parameterized over all
+// three types, §3.2) plus type-specific behaviour.
+#include <gtest/gtest.h>
+
+#include "chronus/optimizers.hpp"
+#include "hpcg/perf_model.hpp"
+#include "hw/power_model.hpp"
+
+namespace eco::chronus {
+namespace {
+
+// Synthetic benchmark set generated from the calibrated models — the same
+// surface the simulator produces, without running the simulator.
+std::vector<BenchmarkRecord> ModelledBenchmarks(
+    const std::vector<int>& core_counts = {1, 2, 4, 8, 12, 16, 20, 24, 28, 30,
+                                           32}) {
+  const hpcg::HpcgPerfModel perf{hpcg::PerfModelParams::Epyc7502P()};
+  const hw::PowerModel power{hw::PowerModelParams::Epyc7502P()};
+  std::vector<BenchmarkRecord> out;
+  for (const int cores : core_counts) {
+    for (const KiloHertz f : {kHz(1'500'000), kHz(2'200'000), kHz(2'500'000)}) {
+      for (const int tpc : {1, 2}) {
+        BenchmarkRecord b;
+        b.system_id = 1;
+        b.application = "hpcg";
+        b.binary_hash = "bin";
+        b.config = {cores, tpc, f};
+        b.gflops = perf.Gflops(cores, f, tpc > 1);
+        b.avg_system_watts =
+            power
+                .SystemPower(cores, f, tpc > 1,
+                             perf.MeanUtilization(cores, f, tpc > 1),
+                             45.0 + cores * 0.6)
+                .system_watts;
+        b.duration_s = 1100.0;
+        out.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+class OptimizerContract : public ::testing::TestWithParam<std::string> {
+ protected:
+  OptimizerPtr MakeTrained(const std::vector<BenchmarkRecord>& data) {
+    auto optimizer = ModelFactory::Make(GetParam());
+    EXPECT_TRUE(optimizer.ok());
+    EXPECT_TRUE((*optimizer)->Train(data).ok());
+    return *optimizer;
+  }
+};
+
+TEST_P(OptimizerContract, TypeStringStable) {
+  auto optimizer = ModelFactory::Make(GetParam());
+  ASSERT_TRUE(optimizer.ok());
+  EXPECT_EQ((*optimizer)->type(), GetParam());
+}
+
+TEST_P(OptimizerContract, TrainOnEmptyRejected) {
+  auto optimizer = ModelFactory::Make(GetParam());
+  ASSERT_TRUE(optimizer.ok());
+  EXPECT_FALSE((*optimizer)->Train({}).ok());
+}
+
+TEST_P(OptimizerContract, PredictTracksMeasurementsOnTrainingPoints) {
+  const auto data = ModelledBenchmarks();
+  auto optimizer = MakeTrained(data);
+  // Averaged over the training set, predictions must be close (the learned
+  // models smooth; brute force is exact).
+  double total_abs_err = 0.0;
+  for (const auto& b : data) {
+    auto prediction = optimizer->Predict(b.config);
+    ASSERT_TRUE(prediction.ok());
+    total_abs_err += std::abs(*prediction - b.GflopsPerWatt());
+  }
+  const double mean_err = total_abs_err / data.size();
+  EXPECT_LT(mean_err, 0.004) << GetParam();  // gpw scale is ~0.005-0.05
+}
+
+TEST_P(OptimizerContract, BestConfigurationIsNearTrueOptimum) {
+  const auto data = ModelledBenchmarks();
+  auto optimizer = MakeTrained(data);
+
+  std::vector<Configuration> candidates;
+  double true_best = 0.0;
+  for (const auto& b : data) {
+    candidates.push_back(b.config);
+    true_best = std::max(true_best, b.GflopsPerWatt());
+  }
+  auto best = optimizer->BestConfiguration(candidates);
+  ASSERT_TRUE(best.ok());
+  // The chosen configuration's *measured* efficiency is within 5 % of the
+  // true optimum — the regret bound that matters for energy savings.
+  double chosen_measured = 0.0;
+  for (const auto& b : data) {
+    if (b.config == *best) chosen_measured = b.GflopsPerWatt();
+  }
+  EXPECT_GT(chosen_measured, 0.95 * true_best) << GetParam();
+}
+
+TEST_P(OptimizerContract, SerializeRoundTripPreservesChoice) {
+  const auto data = ModelledBenchmarks();
+  auto optimizer = MakeTrained(data);
+  const Json envelope = ModelFactory::Pack(*optimizer);
+  auto restored = ModelFactory::Unpack(envelope);
+  ASSERT_TRUE(restored.ok()) << restored.message();
+  EXPECT_EQ((*restored)->type(), GetParam());
+
+  std::vector<Configuration> candidates;
+  for (const auto& b : data) candidates.push_back(b.config);
+  auto original_best = optimizer->BestConfiguration(candidates);
+  auto restored_best = (*restored)->BestConfiguration(candidates);
+  ASSERT_TRUE(original_best.ok());
+  ASSERT_TRUE(restored_best.ok());
+  EXPECT_EQ(*original_best, *restored_best);
+}
+
+TEST_P(OptimizerContract, EnvelopeCarriesTypeTag) {
+  const auto data = ModelledBenchmarks({4, 8});
+  auto optimizer = MakeTrained(data);
+  const Json envelope = ModelFactory::Pack(*optimizer);
+  EXPECT_EQ(envelope.at("type").as_string(), GetParam());
+  EXPECT_FALSE(envelope.at("payload").is_null());
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, OptimizerContract,
+                         ::testing::Values("brute-force", "linear-regression",
+                                           "random-tree"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ------------------------------------------------------- Type specifics
+
+TEST(BruteForce, PredictFailsOffGrid) {
+  BruteForceOptimizer optimizer;
+  ASSERT_TRUE(optimizer.Train(ModelledBenchmarks({8, 16})).ok());
+  EXPECT_TRUE(optimizer.Predict({8, 1, kHz(2'200'000)}).ok());
+  EXPECT_FALSE(optimizer.Predict({9, 1, kHz(2'200'000)}).ok());
+}
+
+TEST(BruteForce, BestIgnoresUnmeasuredCandidates) {
+  BruteForceOptimizer optimizer;
+  ASSERT_TRUE(optimizer.Train(ModelledBenchmarks({8})).ok());
+  // Candidate list includes unmeasured configs; brute force must not crash
+  // and must choose among the measured ones.
+  std::vector<Configuration> candidates = {{31, 1, kHz(2'500'000)},
+                                           {8, 1, kHz(2'200'000)},
+                                           {8, 2, kHz(2'500'000)}};
+  auto best = optimizer.BestConfiguration(candidates);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->cores, 8);
+}
+
+TEST(BruteForce, NoScorableCandidateIsError) {
+  BruteForceOptimizer optimizer;
+  ASSERT_TRUE(optimizer.Train(ModelledBenchmarks({8})).ok());
+  EXPECT_FALSE(optimizer.BestConfiguration({{1, 1, kHz(1'500'000)}}).ok());
+}
+
+TEST(BruteForce, DuplicateMeasurementsAveraged) {
+  BenchmarkRecord a, b;
+  a.config = b.config = {4, 1, kHz(2'200'000)};
+  a.gflops = 2.0;
+  a.avg_system_watts = 100.0;  // gpw 0.02
+  b.gflops = 4.0;
+  b.avg_system_watts = 100.0;  // gpw 0.04
+  BruteForceOptimizer optimizer;
+  ASSERT_TRUE(optimizer.Train({a, b}).ok());
+  EXPECT_NEAR(*optimizer.Predict(a.config), 0.03, 1e-12);
+}
+
+TEST(LearnedOptimizers, GeneralizeToHeldOutCores) {
+  // Train without 30-core data, predict at 30 cores: learned models should
+  // land in the right range (brute force by design cannot).
+  const auto train = ModelledBenchmarks({1, 4, 8, 12, 16, 20, 24, 28, 32});
+  const auto test = ModelledBenchmarks({30});
+  for (const std::string type : {"linear-regression", "random-tree"}) {
+    auto optimizer = ModelFactory::Make(type);
+    ASSERT_TRUE(optimizer.ok());
+    ASSERT_TRUE((*optimizer)->Train(train).ok());
+    for (const auto& b : test) {
+      auto prediction = (*optimizer)->Predict(b.config);
+      ASSERT_TRUE(prediction.ok());
+      EXPECT_NEAR(*prediction, b.GflopsPerWatt(), 0.012) << type;
+    }
+  }
+}
+
+TEST(ModelFactory, UnknownTypeRejected) {
+  EXPECT_FALSE(ModelFactory::Make("neural-net").ok());
+  EXPECT_EQ(ModelFactory::KnownTypes().size(), 3u);
+}
+
+TEST(ModelFactory, UnpackRejectsCorruptEnvelopes) {
+  EXPECT_FALSE(ModelFactory::Unpack(Json(1)).ok());
+  EXPECT_FALSE(ModelFactory::Unpack(*Json::Parse("{\"type\":\"x\"}")).ok());
+  EXPECT_FALSE(
+      ModelFactory::Unpack(
+          *Json::Parse("{\"type\":\"brute-force\",\"payload\":{}}"))
+          .ok());
+}
+
+TEST(ConfigurationFeatures, OrderAndUnits) {
+  const auto f = ConfigurationFeatures({32, 2, kHz(2'200'000)});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 32.0);
+  EXPECT_DOUBLE_EQ(f[1], 2.0);
+  EXPECT_DOUBLE_EQ(f[2], 2.2);  // GHz, not kHz — keeps features well-scaled
+}
+
+}  // namespace
+}  // namespace eco::chronus

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "common/json.hpp"
+
+namespace eco {
+namespace {
+
+// ------------------------------------------------------------------- CSV
+
+TEST(Csv, EncodePlainRow) {
+  EXPECT_EQ(CsvEncodeRow({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(Csv, EncodeQuotesSpecials) {
+  EXPECT_EQ(CsvEncodeRow({"a,b", "he said \"hi\"", "line\nbreak"}),
+            "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"");
+}
+
+TEST(Csv, ParseSimpleDocument) {
+  auto rows = CsvParse("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+}
+
+TEST(Csv, ParseQuotedCommaAndNewline) {
+  auto rows = CsvParse("\"a,b\",\"x\ny\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "x\ny");
+}
+
+TEST(Csv, ParseEscapedQuote) {
+  auto rows = CsvParse("\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "he said \"hi\"");
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(CsvParse("\"oops\n").ok());
+}
+
+TEST(Csv, CrLfHandled) {
+  auto rows = CsvParse("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "b");
+}
+
+TEST(Csv, RoundTripThroughFile) {
+  const std::string path = testing::TempDir() + "eco_csv_roundtrip.csv";
+  const std::vector<CsvRow> rows = {{"id", "name"}, {"1", "a,b \"q\""}};
+  ASSERT_TRUE(CsvWriteFile(path, rows).ok());
+  auto loaded = CsvReadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileIsError) {
+  EXPECT_FALSE(CsvReadFile("/nonexistent/nope.csv").ok());
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, ParsePaperConfiguration) {
+  // The exact configuration document from §3.3.
+  const std::string text = R"([
+    {
+      "cores": 32,
+      "threads_per_core": 2,
+      "frequency": 2200000
+    }
+  ])";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->is_array());
+  const Json& config = parsed->as_array()[0];
+  EXPECT_EQ(config.at("cores").as_int(), 32);
+  EXPECT_EQ(config.at("threads_per_core").as_int(), 2);
+  EXPECT_EQ(config.at("frequency").as_int(), 2200000);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("true")->as_bool());
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_DOUBLE_EQ(Json::Parse("-2.5e3")->as_number(), -2500.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParseStringEscapes) {
+  auto parsed = Json::Parse(R"("a\n\t\"\\A")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "a\n\t\"\\A");
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("").ok());
+}
+
+TEST(Json, MissingKeyIsNull) {
+  auto parsed = Json::Parse("{\"a\": 1}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->at("b").is_null());
+  EXPECT_EQ(parsed->at("b").as_int(7), 7);  // fallback honoured
+}
+
+TEST(Json, DumpRoundTrip) {
+  JsonObject obj;
+  obj["cores"] = 32;
+  obj["ratio"] = 0.0488;
+  obj["name"] = "eco";
+  obj["flags"] = Json(JsonArray{Json(true), Json(), Json(-1)});
+  const Json original(std::move(obj));
+  auto reparsed = Json::Parse(original.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->at("cores").as_int(), 32);
+  EXPECT_DOUBLE_EQ(reparsed->at("ratio").as_number(), 0.0488);
+  EXPECT_EQ(reparsed->at("flags").as_array().size(), 3u);
+  EXPECT_EQ(reparsed->Dump(), original.Dump());
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json(2200000).Dump(), "2200000");
+  EXPECT_EQ(Json(-3).Dump(), "-3");
+}
+
+TEST(Json, IndentedDumpParsesBack) {
+  JsonObject inner;
+  inner["x"] = 1;
+  JsonObject obj;
+  obj["nested"] = Json(std::move(inner));
+  obj["arr"] = Json(JsonArray{Json(1), Json(2)});
+  const std::string dumped = Json(std::move(obj)).Dump(2);
+  EXPECT_NE(dumped.find('\n'), std::string::npos);
+  EXPECT_TRUE(Json::Parse(dumped).ok());
+}
+
+}  // namespace
+}  // namespace eco

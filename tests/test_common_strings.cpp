@@ -1,0 +1,98 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eco {
+namespace {
+
+TEST(Split, BasicSeparation) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto parts = Split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, NoSeparatorYieldsWhole) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  const auto parts = SplitWhitespace("  a \t b\n  c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(SplitWhitespace, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("  "), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(ToLower, Basic) { EXPECT_EQ(ToLower("AbC-12"), "abc-12"); }
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(StartsWith("job_submit/eco", "job_submit/"));
+  EXPECT_FALSE(StartsWith("eco", "job_submit/"));
+  EXPECT_TRUE(EndsWith("model.json", ".json"));
+  EXPECT_FALSE(EndsWith("model.json", ".csv"));
+}
+
+TEST(ParseInt64, ValidAndInvalid) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt64("2200000", v));
+  EXPECT_EQ(v, 2200000);
+  EXPECT_TRUE(ParseInt64("  -5 ", v));
+  EXPECT_EQ(v, -5);
+  EXPECT_FALSE(ParseInt64("abc", v));
+  EXPECT_FALSE(ParseInt64("12x", v));
+  EXPECT_FALSE(ParseInt64("", v));
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.0488", v));
+  EXPECT_NEAR(v, 0.0488, 1e-12);
+  EXPECT_TRUE(ParseDouble("1e3", v));
+  EXPECT_EQ(v, 1000.0);
+  EXPECT_FALSE(ParseDouble("watt", v));
+  EXPECT_FALSE(ParseDouble("nan", v));  // non-finite rejected
+  EXPECT_FALSE(ParseDouble("", v));
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(0.048767, 4), "0.0488");
+  EXPECT_EQ(FormatDouble(216.6, 1), "216.6");
+}
+
+TEST(FormatHms, PaperRuntimeFormat) {
+  // Table 2 reports runtimes like 0:18:29 and 0:18:47.
+  EXPECT_EQ(FormatHms(18 * 60 + 29), "0:18:29");
+  EXPECT_EQ(FormatHms(18 * 60 + 47), "0:18:47");
+  EXPECT_EQ(FormatHms(3661), "1:01:01");
+  EXPECT_EQ(FormatHms(0), "0:00:00");
+}
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,132 @@
+// Job dependencies (afterok) and permutation feature importance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/importance.hpp"
+#include "ml/random_forest.hpp"
+#include "slurm/cluster.hpp"
+
+namespace eco {
+namespace {
+
+slurm::JobRequest Quick(double seconds = 40.0, int tasks = 32) {
+  slurm::JobRequest request;
+  request.num_tasks = tasks;
+  request.workload = slurm::WorkloadSpec::Fixed(seconds);
+  request.time_limit_s = 3600.0;
+  return request;
+}
+
+// ------------------------------------------------------------ dependencies
+
+TEST(Dependencies, AfterokDelaysUntilParentCompletes) {
+  slurm::ClusterConfig config;
+  config.nodes = 2;  // room to run both at once — the dependency must gate
+  slurm::ClusterSim cluster(config);
+  auto parent = cluster.Submit(Quick(100.0, 16));
+  ASSERT_TRUE(parent.ok());
+  slurm::JobRequest child_request = Quick(40.0, 16);
+  child_request.depends_on = {*parent};
+  auto child = cluster.Submit(child_request);
+  ASSERT_TRUE(child.ok());
+
+  cluster.RunUntil(10.0);
+  EXPECT_EQ(cluster.GetJob(*child)->state, slurm::JobState::kPending);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.GetJob(*child)->state, slurm::JobState::kCompleted);
+  EXPECT_GE(cluster.GetJob(*child)->start_time,
+            cluster.GetJob(*parent)->end_time - 1e-6);
+}
+
+TEST(Dependencies, FailedParentFailsDependents) {
+  slurm::ClusterSim cluster({});
+  slurm::JobRequest doomed = Quick(10'000.0);
+  doomed.time_limit_s = 60.0;  // will be cancelled by its limit
+  auto parent = cluster.Submit(doomed);
+  slurm::JobRequest child_request = Quick();
+  child_request.depends_on = {*parent};
+  auto child = cluster.Submit(child_request);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.GetJob(*parent)->state, slurm::JobState::kCancelled);
+  EXPECT_EQ(cluster.GetJob(*child)->state, slurm::JobState::kFailed);
+}
+
+TEST(Dependencies, CancelledPendingParentFailsChildPromptly) {
+  slurm::ClusterSim cluster({});
+  auto blocker = cluster.Submit(Quick(500.0));  // occupies the node
+  auto parent = cluster.Submit(Quick());        // queued
+  slurm::JobRequest child_request = Quick();
+  child_request.depends_on = {*parent};
+  auto child = cluster.Submit(child_request);
+  ASSERT_TRUE(cluster.Cancel(*parent).ok());
+  EXPECT_EQ(cluster.GetJob(*child)->state, slurm::JobState::kFailed);
+  cluster.Cancel(*blocker);
+  cluster.RunUntilIdle();
+}
+
+TEST(Dependencies, ChainOfThreeRunsInOrder) {
+  slurm::ClusterConfig config;
+  config.nodes = 3;
+  slurm::ClusterSim cluster(config);
+  auto a = cluster.Submit(Quick(30.0, 8));
+  slurm::JobRequest rb = Quick(30.0, 8);
+  rb.depends_on = {*a};
+  auto b = cluster.Submit(rb);
+  slurm::JobRequest rc = Quick(30.0, 8);
+  rc.depends_on = {*b};
+  auto c = cluster.Submit(rc);
+  cluster.RunUntilIdle();
+  EXPECT_LE(cluster.GetJob(*a)->end_time, cluster.GetJob(*b)->start_time + 1e-6);
+  EXPECT_LE(cluster.GetJob(*b)->end_time, cluster.GetJob(*c)->start_time + 1e-6);
+  EXPECT_EQ(cluster.GetJob(*c)->state, slurm::JobState::kCompleted);
+}
+
+// ------------------------------------------------------------- importance
+
+TEST(PermutationImportance, RanksRelevantFeatureFirst) {
+  // y depends strongly on feature 0, weakly on feature 1, not at all on 2.
+  ml::Dataset data;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.Uniform(0.0, 10.0);
+    const double b = rng.Uniform(0.0, 10.0);
+    const double c = rng.Uniform(0.0, 10.0);
+    data.Add({a, b, c}, 5.0 * a + 0.5 * b);
+  }
+  ml::RandomForest forest;
+  ASSERT_TRUE(forest.Fit(data).ok());
+  const auto importance = ml::PermutationImportance(
+      [&](const std::vector<double>& x) { return forest.Predict(x); }, data);
+  ASSERT_EQ(importance.rmse_increase.size(), 3u);
+  EXPECT_GT(importance.rmse_increase[0], importance.rmse_increase[1]);
+  EXPECT_GT(importance.rmse_increase[1], importance.rmse_increase[2]);
+  EXPECT_GT(importance.rmse_increase[0], 5.0);   // dominant feature
+  EXPECT_LT(std::abs(importance.rmse_increase[2]), 0.5);  // noise feature
+}
+
+TEST(PermutationImportance, DeterministicAndEdgeSafe) {
+  ml::Dataset data;
+  data.Add({1.0}, 1.0);
+  const auto tiny = ml::PermutationImportance(
+      [](const std::vector<double>& x) { return x[0]; }, data);
+  EXPECT_DOUBLE_EQ(tiny.baseline_rmse, 0.0);  // n<2: nothing to permute
+
+  ml::Dataset more;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.Uniform(0.0, 1.0);
+    more.Add({a}, 2.0 * a);
+  }
+  const auto run1 = ml::PermutationImportance(
+      [](const std::vector<double>& x) { return 2.0 * x[0]; }, more, 3, 11);
+  const auto run2 = ml::PermutationImportance(
+      [](const std::vector<double>& x) { return 2.0 * x[0]; }, more, 3, 11);
+  EXPECT_EQ(run1.rmse_increase, run2.rmse_increase);
+  EXPECT_DOUBLE_EQ(run1.baseline_rmse, 0.0);  // perfect model
+  EXPECT_GT(run1.rmse_increase[0], 0.1);      // permuting ruins it
+}
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hpcg/perf_model.hpp"
+#include "hw/power_model.hpp"
+
+namespace eco::hpcg {
+namespace {
+
+constexpr KiloHertz kF15 = 1'500'000;
+constexpr KiloHertz kF22 = 2'200'000;
+constexpr KiloHertz kF25 = 2'500'000;
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  HpcgPerfModel model_{PerfModelParams::Epyc7502P()};
+};
+
+TEST_F(PerfModelTest, ReferencePointReproduced) {
+  // Figure 1: 9.34829 GFLOPS at 32 cores, 2.5 GHz.
+  EXPECT_NEAR(model_.Gflops(32, kF25, false), 9.35, 0.01);
+}
+
+TEST_F(PerfModelTest, GflopsMonotonicInCores) {
+  for (const KiloHertz f : {kF15, kF22, kF25}) {
+    double prev = 0.0;
+    for (int cores = 1; cores <= 32; ++cores) {
+      const double g = model_.Gflops(cores, f, false);
+      EXPECT_GT(g, prev) << "cores=" << cores;
+      prev = g;
+    }
+  }
+}
+
+TEST_F(PerfModelTest, GflopsMonotonicInFrequency) {
+  for (int cores : {1, 8, 16, 32}) {
+    EXPECT_LT(model_.Gflops(cores, kF15, false), model_.Gflops(cores, kF22, false));
+    EXPECT_LT(model_.Gflops(cores, kF22, false), model_.Gflops(cores, kF25, false));
+  }
+}
+
+TEST_F(PerfModelTest, ElasticityFallsWithCores) {
+  // Near 1 at a single core (compute bound), near the floor at 32
+  // (memory bound).
+  EXPECT_NEAR(model_.FrequencyElasticity(1), 1.0, 1e-9);
+  EXPECT_LT(model_.FrequencyElasticity(32), 0.35);
+  double prev = 2.0;
+  for (int cores = 1; cores <= 32; ++cores) {
+    const double e = model_.FrequencyElasticity(cores);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST_F(PerfModelTest, PaperPerformanceRatiosAt32Cores) {
+  // Table 1: at 32 cores, 2.2 GHz keeps ~98 % of the standard (2.5 GHz)
+  // performance and 1.5 GHz ~90 %.
+  const double g25 = model_.Gflops(32, kF25, false);
+  EXPECT_NEAR(model_.Gflops(32, kF22, false) / g25, 0.98, 0.02);
+  EXPECT_NEAR(model_.Gflops(32, kF15, false) / g25, 0.90, 0.04);
+}
+
+TEST_F(PerfModelTest, SingleCoreScalesNearlyLinearlyWithFrequency) {
+  const double ratio =
+      model_.Gflops(1, kF25, false) / model_.Gflops(1, kF15, false);
+  EXPECT_NEAR(ratio, 2.5 / 1.5, 0.05);
+}
+
+TEST_F(PerfModelTest, HyperThreadingHelpsLowCoresHurtsHighCores) {
+  // Paper §5.2.1 observations (2) and (3).
+  EXPECT_GT(model_.Gflops(4, kF22, true), model_.Gflops(4, kF22, false));
+  EXPECT_GT(model_.Gflops(7, kF22, true), model_.Gflops(7, kF22, false));
+  EXPECT_LT(model_.Gflops(32, kF22, true), model_.Gflops(32, kF22, false));
+  // Both effects are small (|Δ| < 4 %).
+  EXPECT_NEAR(model_.Gflops(32, kF22, true) / model_.Gflops(32, kF22, false),
+              1.0, 0.04);
+}
+
+TEST_F(PerfModelTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(model_.Gflops(0, kF22, false), 0.0);
+  EXPECT_DOUBLE_EQ(model_.Gflops(-3, kF22, false), 0.0);
+  EXPECT_DOUBLE_EQ(model_.Gflops(32, 0, false), 0.0);
+}
+
+TEST_F(PerfModelTest, UtilizationBoundedAndPhaseVarying) {
+  for (double t : {0.0, 10.0, 22.5, 45.0, 100.0}) {
+    const double u = model_.UtilizationAt(t, 32, kF25, false);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  // The trace must actually vary over a phase period.
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 90; ++i) {
+    const double u = model_.UtilizationAt(i, 32, kF25, false);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_GT(hi - lo, 0.01);
+}
+
+TEST_F(PerfModelTest, PowerTraceLessStableAboveVoltageKnee) {
+  // Figure 15: the standard 2.5 GHz run's power swings more than the pinned
+  // 2.2 GHz run.
+  auto swing = [&](KiloHertz f) {
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 120; ++i) {
+      const double u = model_.UtilizationAt(i, 32, f, false);
+      lo = std::min(lo, u);
+      hi = std::max(hi, u);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(swing(kF25), 2.0 * swing(kF22));
+}
+
+TEST_F(PerfModelTest, TotalFlopsWeakScaling) {
+  const HpcgProblem problem = HpcgProblem::Official();
+  const double one_rank = HpcgPerfModel::TotalFlops(problem, 1, 10);
+  const double many = HpcgPerfModel::TotalFlops(problem, 32, 10);
+  EXPECT_DOUBLE_EQ(many, 32.0 * one_rank);
+}
+
+TEST_F(PerfModelTest, IterationsForDurationHitsTarget) {
+  const HpcgProblem problem = HpcgProblem::Official();
+  const int iters = model_.IterationsForDuration(problem, 1109.0);
+  // At the reference configuration the run should take ~1109 s.
+  const double seconds = HpcgPerfModel::TotalFlops(problem, 32, iters) /
+                         (model_.Gflops(32, kF25, false) * 1e9);
+  EXPECT_NEAR(seconds, 1109.0, 1109.0 * 0.01);
+}
+
+TEST_F(PerfModelTest, OfficialProblemMemoryFootprint) {
+  // §5.2: the default 104³ problem uses ~32 GB across 32 ranks — 12.5 % of
+  // the machine's 256 GB.
+  const HpcgProblem problem = HpcgProblem::Official();
+  const double total_gib =
+      BytesToGiB(static_cast<double>(problem.LocalBytes()) * 32);
+  EXPECT_NEAR(total_gib, 32.0, 3.0);
+}
+
+// The paper's central crossover, parameterized over core counts: at low
+// core counts the highest frequency has the best GFLOPS/W *proxy*
+// (GFLOPS per modelled watt); from the mid teens on, 2.2 GHz wins.
+// This test exercises the perf model jointly with the power model the same
+// way Table 4-6 were produced.
+class CrossoverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossoverSweep, FrequencyOrderingByRegime) {
+  const int cores = GetParam();
+  const HpcgPerfModel model{PerfModelParams::Epyc7502P()};
+  const hw::PowerModel power{hw::PowerModelParams::Epyc7502P()};
+  auto gpw = [&](KiloHertz f) {
+    const double g = model.Gflops(cores, f, false);
+    const double watts =
+        power.SystemPower(cores, f, false, model.MeanUtilization(cores, f, false),
+                          45.0 + cores)
+            .system_watts;
+    return g / watts;
+  };
+  if (cores <= 5) {
+    EXPECT_GT(gpw(kF25), gpw(kF22)) << "race-to-idle regime";
+  }
+  if (cores >= 14) {
+    EXPECT_GT(gpw(kF22), gpw(kF25)) << "memory-bound regime";
+  }
+  // 1.5 GHz never wins outright in the paper's tables.
+  EXPECT_GT(std::max(gpw(kF22), gpw(kF25)), gpw(kF15));
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, CrossoverSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 14, 16, 20, 24, 28,
+                                           30, 32));
+
+}  // namespace
+}  // namespace eco::hpcg

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "hpcg/benchmark.hpp"
+#include "hpcg/cg.hpp"
+#include "hpcg/geometry.hpp"
+#include "hpcg/multigrid.hpp"
+#include "hpcg/stencil.hpp"
+#include "hpcg/vector_ops.hpp"
+
+namespace eco::hpcg {
+namespace {
+
+// -------------------------------------------------------------- Geometry
+
+TEST(Geometry, IndexingIsBijective) {
+  const Geometry geo{4, 5, 6};
+  EXPECT_EQ(geo.size(), 120);
+  EXPECT_EQ(geo.Index(0, 0, 0), 0);
+  EXPECT_EQ(geo.Index(3, 4, 5), geo.size() - 1);
+  EXPECT_EQ(geo.Index(1, 0, 0), 1);
+  EXPECT_EQ(geo.Index(0, 1, 0), 4);
+  EXPECT_EQ(geo.Index(0, 0, 1), 20);
+}
+
+TEST(Geometry, CoarseningRules) {
+  EXPECT_TRUE((Geometry{16, 16, 16}.Coarsenable()));
+  EXPECT_FALSE((Geometry{3, 16, 16}.Coarsenable()));  // odd
+  EXPECT_FALSE((Geometry{2, 16, 16}.Coarsenable()));  // too small
+  const Geometry coarse = Geometry{16, 8, 4}.Coarse();
+  EXPECT_EQ(coarse.nx, 8);
+  EXPECT_EQ(coarse.ny, 4);
+  EXPECT_EQ(coarse.nz, 2);
+}
+
+// ------------------------------------------------------------ Vector ops
+
+TEST(VectorOps, DotAndNorm) {
+  const Vec x{1.0, 2.0, 3.0};
+  const Vec y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOps, WaxpbyAliasSafe) {
+  Vec x{1.0, 2.0};
+  const Vec y{10.0, 20.0};
+  Waxpby(2.0, x, 1.0, y, x);  // x = 2x + y, writing into x
+  EXPECT_DOUBLE_EQ(x[0], 12.0);
+  EXPECT_DOUBLE_EQ(x[1], 24.0);
+}
+
+// --------------------------------------------------------------- Stencil
+
+TEST(Stencil, NeighbourCounts) {
+  const Geometry geo{4, 4, 4};
+  EXPECT_EQ(NeighbourCount(geo, 0, 0, 0), 7);     // corner: 2*2*2-1
+  EXPECT_EQ(NeighbourCount(geo, 1, 0, 0), 11);    // edge: 3*2*2-1
+  EXPECT_EQ(NeighbourCount(geo, 1, 1, 0), 17);    // face: 3*3*2-1
+  EXPECT_EQ(NeighbourCount(geo, 1, 1, 1), 26);    // interior
+}
+
+TEST(Stencil, NonZerosMatchNeighbourSum) {
+  const Geometry geo{4, 4, 4};
+  std::uint64_t expected = 0;
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x)
+        expected += 1 + static_cast<std::uint64_t>(NeighbourCount(geo, x, y, z));
+  EXPECT_EQ(NonZeros(geo), expected);
+  EXPECT_EQ(SpMVFlops(geo), 2 * expected);
+}
+
+TEST(Stencil, OperatorIsSymmetric) {
+  for (const Geometry geo : {Geometry{6, 6, 6}, Geometry{8, 4, 6}}) {
+    EXPECT_LT(SymmetryError(geo), 1e-12);
+  }
+}
+
+TEST(Stencil, InteriorRowSumIsZeroOnConstantVector) {
+  // Row sums are 26 - (#neighbours): 0 in the interior, positive at the
+  // boundary — which is what makes the operator positive definite.
+  const Geometry geo{6, 6, 6};
+  const auto n = static_cast<std::size_t>(geo.size());
+  Vec ones(n, 1.0), out(n);
+  SpMV(geo, ones, out);
+  EXPECT_NEAR(out[geo.Index(3, 3, 3)], 0.0, 1e-12);  // interior
+  EXPECT_GT(out[geo.Index(0, 0, 0)], 0.0);           // corner
+}
+
+TEST(Stencil, SpMVPositiveDefiniteOnRandomVectors) {
+  const Geometry geo{6, 6, 6};
+  const auto n = static_cast<std::size_t>(geo.size());
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec x(n), ax(n);
+    for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+    SpMV(geo, x, ax);
+    EXPECT_GT(Dot(x, ax), 0.0);
+  }
+}
+
+TEST(Stencil, SymGSReducesResidual) {
+  const Geometry geo{8, 8, 8};
+  const auto n = static_cast<std::size_t>(geo.size());
+  Vec exact(n, 1.0), b(n);
+  SpMV(geo, exact, b);
+
+  Vec z(n, 0.0), az(n), r(n);
+  double prev = Norm2(b);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    SymGS(geo, b, z);
+    SpMV(geo, z, az);
+    Waxpby(1.0, b, -1.0, az, r);
+    const double now = Norm2(r);
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+}
+
+// --------------------------------------------------------------- MG / CG
+
+TEST(Multigrid, BuildsExpectedHierarchy) {
+  Multigrid mg(Geometry{16, 16, 16});
+  EXPECT_EQ(mg.levels(), 4);  // 16 -> 8 -> 4 -> 2 (max_levels = 4, like HPCG)
+  EXPECT_EQ(mg.geometry(3).nx, 2);
+  Multigrid small(Geometry{6, 6, 6});
+  EXPECT_EQ(small.levels(), 2);  // 6 -> 3; 3 is odd so coarsening stops
+  Multigrid tiny(Geometry{3, 3, 3});
+  EXPECT_EQ(tiny.levels(), 1);
+}
+
+TEST(Multigrid, CycleFlopsAccountedExactly) {
+  Multigrid mg(Geometry{8, 8, 8});
+  const auto n = static_cast<std::size_t>(8 * 8 * 8);
+  Vec r(n, 1.0), z(n);
+  std::uint64_t flops = 0;
+  mg.Apply(r, z, flops);
+  EXPECT_EQ(flops, mg.CycleFlops());
+}
+
+TEST(Cg, SolvesToTightTolerance) {
+  const Geometry geo{8, 8, 8};
+  const auto n = static_cast<std::size_t>(geo.size());
+  Vec exact(n, 1.0), b(n), x(n, 0.0);
+  SpMV(geo, exact, b);
+
+  CgOptions options;
+  options.max_iterations = 200;
+  options.tolerance = 1e-10;
+  CgSolver solver(geo, options);
+  const CgResult result = solver.Solve(b, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.final_residual, 1e-10 * result.initial_residual * 1.01);
+  double max_err = 0.0;
+  for (const double v : x) max_err = std::max(max_err, std::abs(v - 1.0));
+  EXPECT_LT(max_err, 1e-8);
+}
+
+TEST(Cg, PreconditioningCutsIterations) {
+  const Geometry geo{12, 12, 12};
+  const auto n = static_cast<std::size_t>(geo.size());
+  Vec exact(n), b(n);
+  Rng rng(3);
+  for (auto& v : exact) v = rng.Uniform(-1.0, 1.0);
+  SpMV(geo, exact, b);
+
+  CgOptions plain;
+  plain.max_iterations = 500;
+  plain.tolerance = 1e-8;
+  plain.preconditioned = false;
+  Vec x1(n, 0.0);
+  const auto plain_result = CgSolver(geo, plain).Solve(b, x1);
+
+  CgOptions pre = plain;
+  pre.preconditioned = true;
+  Vec x2(n, 0.0);
+  const auto pre_result = CgSolver(geo, pre).Solve(b, x2);
+
+  EXPECT_TRUE(plain_result.converged);
+  EXPECT_TRUE(pre_result.converged);
+  EXPECT_LT(pre_result.iterations, plain_result.iterations);
+}
+
+TEST(Cg, ResidualMonotonicallySmallAfterFixedIterations) {
+  const Geometry geo{8, 8, 8};
+  const auto n = static_cast<std::size_t>(geo.size());
+  Vec b(n, 1.0), x(n, 0.0);
+  CgOptions options;
+  options.max_iterations = 25;
+  options.tolerance = 0.0;  // timed-set mode: run all iterations
+  CgSolver solver(geo, options);
+  const CgResult result = solver.Solve(b, x);
+  EXPECT_EQ(result.iterations, 25);
+  EXPECT_LT(result.final_residual, result.initial_residual);
+  EXPECT_GT(result.flops, 0u);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const Geometry geo{6, 6, 6};
+  const auto n = static_cast<std::size_t>(geo.size());
+  Vec b(n, 0.0), x(n, 0.0);
+  CgOptions options;
+  options.tolerance = 1e-12;
+  const CgResult result = CgSolver(geo, options).Solve(b, x);
+  EXPECT_TRUE(result.converged);
+  for (const double v : x) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------- Benchmark
+
+TEST(Benchmark, FullRunPassesValidation) {
+  BenchmarkOptions options;
+  options.geometry = {16, 16, 16};
+  options.iterations_per_set = 25;
+  options.sets = 2;
+  const BenchmarkReport report = RunBenchmark(options);
+  EXPECT_TRUE(report.symmetry_ok);
+  EXPECT_EQ(report.sets_run, 2);
+  EXPECT_GT(report.gflops, 0.0);
+  EXPECT_GT(report.total_flops, 0u);
+  EXPECT_LT(report.preconditioned_iterations,
+            report.unpreconditioned_iterations);
+  EXPECT_FALSE(report.Summary().empty());
+}
+
+// Property sweep: CG converges across geometries, including non-cubic and
+// non-coarsenable ones.
+class CgGeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CgGeometrySweep, ConvergesEverywhere) {
+  const Geometry geo = GetParam();
+  const auto n = static_cast<std::size_t>(geo.size());
+  Vec exact(n, 1.0), b(n), x(n, 0.0);
+  SpMV(geo, exact, b);
+  CgOptions options;
+  options.max_iterations = 300;
+  options.tolerance = 1e-8;
+  const CgResult result = CgSolver(geo, options).Solve(b, x);
+  EXPECT_TRUE(result.converged) << geo.nx << "x" << geo.ny << "x" << geo.nz;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CgGeometrySweep,
+                         ::testing::Values(Geometry{4, 4, 4},
+                                           Geometry{8, 8, 8},
+                                           Geometry{16, 8, 4},
+                                           Geometry{5, 7, 9},
+                                           Geometry{10, 10, 10},
+                                           Geometry{2, 2, 2}),
+                         [](const auto& info) {
+                           const Geometry& g = info.param;
+                           return std::to_string(g.nx) + "x" +
+                                  std::to_string(g.ny) + "x" +
+                                  std::to_string(g.nz);
+                         });
+
+}  // namespace
+}  // namespace eco::hpcg

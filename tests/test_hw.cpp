@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "hw/cpu_spec.hpp"
+#include "hw/dvfs.hpp"
+#include "hw/power_model.hpp"
+#include "hw/thermal.hpp"
+
+namespace eco::hw {
+namespace {
+
+// ----------------------------------------------------------------- Specs
+
+TEST(CpuSpec, Epyc7502PMatchesPaperTestbed) {
+  const auto spec = MachineSpec::Epyc7502P();
+  EXPECT_EQ(spec.cpu.cores, 32);
+  EXPECT_EQ(spec.cpu.threads_per_core, 2);
+  ASSERT_EQ(spec.cpu.available_frequencies.size(), 3u);
+  EXPECT_EQ(spec.cpu.MinFrequency(), kHz(1'500'000));
+  EXPECT_EQ(spec.cpu.MaxFrequency(), kHz(2'500'000));
+  EXPECT_EQ(spec.ram_bytes, GiB(256));
+  EXPECT_EQ(spec.cpu.MaxThreads(), 64);
+}
+
+TEST(CpuSpec, NearestFrequencyClampsLikeCpufreq) {
+  const auto cpu = MachineSpec::Epyc7502P().cpu;
+  EXPECT_EQ(cpu.NearestFrequency(kHz(2'300'000)), kHz(2'200'000));
+  EXPECT_EQ(cpu.NearestFrequency(kHz(2'400'000)), kHz(2'500'000));
+  EXPECT_EQ(cpu.NearestFrequency(kHz(100)), kHz(1'500'000));
+  EXPECT_EQ(cpu.NearestFrequency(kHz(9'000'000)), kHz(2'500'000));
+  EXPECT_EQ(cpu.NearestFrequency(kHz(2'200'000)), kHz(2'200'000));
+}
+
+TEST(CpuSpec, SupportsFrequencyExactOnly) {
+  const auto cpu = MachineSpec::Epyc7502P().cpu;
+  EXPECT_TRUE(cpu.SupportsFrequency(kHz(2'200'000)));
+  EXPECT_FALSE(cpu.SupportsFrequency(kHz(2'000'000)));
+}
+
+// ----------------------------------------------------------------- Power
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  PowerModel model_{PowerModelParams::Epyc7502P()};
+};
+
+TEST_F(PowerModelTest, VoltageFloorBelowKnee) {
+  EXPECT_DOUBLE_EQ(model_.Voltage(kHz(1'500'000)), model_.Voltage(kHz(2'200'000)));
+  EXPECT_GT(model_.Voltage(kHz(2'500'000)), model_.Voltage(kHz(2'200'000)));
+}
+
+TEST_F(PowerModelTest, IdlePackagePowerIsUncoreOnly) {
+  EXPECT_DOUBLE_EQ(model_.CpuPower(0, kHz(2'500'000), false, 0.0),
+                   model_.params().uncore_idle_watts);
+}
+
+TEST_F(PowerModelTest, PowerMonotonicInCores) {
+  double prev = 0.0;
+  for (int cores = 1; cores <= 32; ++cores) {
+    const double p = model_.CpuPower(cores, kHz(2'200'000), false, 1.0);
+    EXPECT_GT(p, prev) << "cores=" << cores;
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, PowerMonotonicInFrequency) {
+  const double p15 = model_.CpuPower(32, kHz(1'500'000), false, 1.0);
+  const double p22 = model_.CpuPower(32, kHz(2'200'000), false, 1.0);
+  const double p25 = model_.CpuPower(32, kHz(2'500'000), false, 1.0);
+  EXPECT_LT(p15, p22);
+  EXPECT_LT(p22, p25);
+  // Above the voltage knee the jump is disproportionate: the 2.2->2.5 step
+  // costs more watts than the whole 1.5->2.2 step (the paper's sweet spot).
+  EXPECT_GT(p25 - p22, p22 - p15);
+}
+
+TEST_F(PowerModelTest, StallFloorBoundsDynamicPower) {
+  const double busy = model_.CpuPower(32, kHz(2'200'000), false, 1.0);
+  const double stalled = model_.CpuPower(32, kHz(2'200'000), false, 0.0);
+  EXPECT_LT(stalled, busy);
+  // Even fully stalled cores burn the stall fraction.
+  EXPECT_GT(stalled, model_.params().uncore_idle_watts);
+}
+
+TEST_F(PowerModelTest, HyperThreadingCostsAdditionalPower) {
+  const double no_ht = model_.CpuPower(32, kHz(2'200'000), false, 1.0);
+  const double ht = model_.CpuPower(32, kHz(2'200'000), true, 1.0);
+  EXPECT_GT(ht, no_ht);
+  EXPECT_LT(ht / no_ht, 1.05);  // a small effect, not a doubling
+}
+
+TEST_F(PowerModelTest, SystemBreakdownSumsToTotal) {
+  const auto b = model_.SystemPower(32, kHz(2'500'000), false, 1.0, 60.0);
+  EXPECT_NEAR(b.system_watts, b.cpu_watts + b.fan_watts + b.platform_watts,
+              1e-9);
+}
+
+TEST_F(PowerModelTest, FanPowerRisesWithTemperature) {
+  EXPECT_DOUBLE_EQ(model_.FanPower(30.0), model_.params().fan_base_watts);
+  EXPECT_GT(model_.FanPower(70.0), model_.FanPower(50.0));
+}
+
+TEST_F(PowerModelTest, CalibrationNearPaperStandardConfig) {
+  // Paper Table 2: standard (32c @ 2.5 GHz) ~216 W system / ~120 W CPU;
+  // best (32c @ 2.2 GHz) ~190 W system / ~97 W CPU. The model must land in
+  // the right neighbourhood (±15 %).
+  const auto standard = model_.SystemPower(32, kHz(2'500'000), false, 0.65, 64.0);
+  EXPECT_NEAR(standard.system_watts, 216.6, 216.6 * 0.15);
+  const auto best = model_.SystemPower(32, kHz(2'200'000), false, 0.65, 57.0);
+  EXPECT_NEAR(best.system_watts, 190.1, 190.1 * 0.15);
+  EXPECT_GT(standard.system_watts - best.system_watts, 15.0);
+}
+
+TEST_F(PowerModelTest, UtilizationClamped) {
+  const double over = model_.CpuPower(4, kHz(2'200'000), false, 1.7);
+  const double exact = model_.CpuPower(4, kHz(2'200'000), false, 1.0);
+  EXPECT_DOUBLE_EQ(over, exact);
+}
+
+// --------------------------------------------------------------- Thermal
+
+TEST(ThermalModel, StartsAtAmbient) {
+  ThermalModel t(ThermalParams::Epyc7502P());
+  EXPECT_DOUBLE_EQ(t.temperature(), t.params().ambient_celsius);
+}
+
+TEST(ThermalModel, ConvergesToSteadyState) {
+  ThermalModel t(ThermalParams::Epyc7502P());
+  const double target = t.SteadyState(120.0);
+  for (int i = 0; i < 600; ++i) t.Advance(1.0, 120.0);
+  EXPECT_NEAR(t.temperature(), target, 0.01);
+}
+
+TEST(ThermalModel, SteadyStateLinearInPower) {
+  ThermalModel t(ThermalParams::Epyc7502P());
+  const double r = t.params().thermal_resistance_k_per_w;
+  EXPECT_NEAR(t.SteadyState(100.0) - t.SteadyState(0.0), 100.0 * r, 1e-9);
+}
+
+TEST(ThermalModel, ClosedFormMatchesManySmallSteps) {
+  ThermalModel coarse(ThermalParams::Epyc7502P());
+  ThermalModel fine(ThermalParams::Epyc7502P());
+  coarse.Advance(50.0, 100.0);
+  for (int i = 0; i < 5000; ++i) fine.Advance(0.01, 100.0);
+  EXPECT_NEAR(coarse.temperature(), fine.temperature(), 1e-6);
+}
+
+TEST(ThermalModel, CoolsBackDown) {
+  ThermalModel t(ThermalParams::Epyc7502P());
+  for (int i = 0; i < 300; ++i) t.Advance(1.0, 130.0);
+  const double hot = t.temperature();
+  for (int i = 0; i < 300; ++i) t.Advance(1.0, 0.0);
+  EXPECT_LT(t.temperature(), hot);
+  EXPECT_NEAR(t.temperature(), t.params().ambient_celsius, 0.5);
+}
+
+TEST(ThermalModel, PaperTemperatureShape) {
+  // ~120 W CPU should settle near the paper's 62.8 °C; ~97 W near 53.8 °C.
+  ThermalModel t(ThermalParams::Epyc7502P());
+  EXPECT_NEAR(t.SteadyState(120.0), 62.8, 5.0);
+  EXPECT_NEAR(t.SteadyState(97.0), 53.8, 5.0);
+}
+
+// ------------------------------------------------------------------ DVFS
+
+TEST(Dvfs, GovernorNamesRoundTrip) {
+  for (const Governor g : {Governor::kPerformance, Governor::kOndemand,
+                           Governor::kPowersave, Governor::kUserspace}) {
+    Governor parsed{};
+    ASSERT_TRUE(ParseGovernor(GovernorName(g), parsed));
+    EXPECT_EQ(parsed, g);
+  }
+  Governor out{};
+  EXPECT_FALSE(ParseGovernor("turbo", out));
+}
+
+TEST(Dvfs, PerformancePinsMax) {
+  const auto cpu = MachineSpec::Epyc7502P().cpu;
+  DvfsPolicy policy(cpu, Governor::kPerformance);
+  EXPECT_EQ(policy.frequency(), cpu.MaxFrequency());
+  EXPECT_EQ(policy.Step(0.1), cpu.MaxFrequency());
+}
+
+TEST(Dvfs, PowersavePinsMin) {
+  const auto cpu = MachineSpec::Epyc7502P().cpu;
+  DvfsPolicy policy(cpu, Governor::kPowersave);
+  EXPECT_EQ(policy.Step(1.0), cpu.MinFrequency());
+}
+
+TEST(Dvfs, UserspaceHoldsPinnedFrequency) {
+  const auto cpu = MachineSpec::Epyc7502P().cpu;
+  DvfsPolicy policy(cpu, Governor::kUserspace);
+  policy.Pin(kHz(2'300'000));  // clamps to 2.2 GHz
+  EXPECT_EQ(policy.frequency(), kHz(2'200'000));
+  EXPECT_EQ(policy.Step(0.0), kHz(2'200'000));
+  EXPECT_EQ(policy.Step(1.0), kHz(2'200'000));
+}
+
+TEST(Dvfs, OndemandJumpsUpUnderLoadStepsDownWhenIdle) {
+  const auto cpu = MachineSpec::Epyc7502P().cpu;
+  DvfsPolicy policy(cpu, Governor::kOndemand);
+  // High utilization keeps max frequency.
+  EXPECT_EQ(policy.Step(0.95), cpu.MaxFrequency());
+  // Idle: one level down per sample.
+  EXPECT_EQ(policy.Step(0.1), kHz(2'200'000));
+  EXPECT_EQ(policy.Step(0.1), kHz(1'500'000));
+  EXPECT_EQ(policy.Step(0.1), kHz(1'500'000));  // floor
+  // Load spike jumps straight back to max.
+  EXPECT_EQ(policy.Step(0.95), cpu.MaxFrequency());
+}
+
+TEST(Dvfs, OndemandHoldsInMidBand) {
+  const auto cpu = MachineSpec::Epyc7502P().cpu;
+  DvfsPolicy policy(cpu, Governor::kOndemand);
+  policy.Step(0.1);  // down one level
+  EXPECT_EQ(policy.frequency(), kHz(2'200'000));
+  EXPECT_EQ(policy.Step(0.6), kHz(2'200'000));  // between thresholds: hold
+}
+
+}  // namespace
+}  // namespace eco::hw

@@ -1,0 +1,185 @@
+// Cross-cutting integration tests: state persistence across env
+// re-creation (the CLI's restart story), the multi-node power aggregation
+// service, and command front-ends during a live pipeline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "chronus/env.hpp"
+#include "chronus/integrations.hpp"
+#include "common/log.hpp"
+#include "plugin/job_submit_eco.hpp"
+#include "slurm/commands.hpp"
+
+namespace eco::chronus {
+namespace {
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "eco_int_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+EnvOptions DiskEnvOptions(const std::string& workdir,
+                          RepositoryKind kind = RepositoryKind::kMiniDb) {
+  EnvOptions options;
+  options.workdir = workdir;
+  options.repository = kind;
+  options.runner.target_seconds = 60.0;
+  return options;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Logger::Instance().SetLevel(LogLevel::kWarn); }
+  void TearDown() override {
+    plugin::SetChronusGateway(nullptr);
+    Logger::Instance().SetLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(IntegrationTest, PipelineStateSurvivesEnvRecreation) {
+  const std::string workdir = FreshDir("persist");
+  int model_id = 0;
+  std::string system_hash, binary_hash;
+
+  {
+    // Process 1: benchmark + train + pre-load.
+    auto env = MakeSimEnv(DiskEnvOptions(workdir));
+    auto meta = RunFullPipeline(env,
+                                {{32, 1, kHz(2'200'000)},
+                                 {32, 1, kHz(2'500'000)},
+                                 {16, 1, kHz(2'200'000)}},
+                                "brute-force");
+    ASSERT_TRUE(meta.ok()) << meta.message();
+    model_id = meta->id;
+    system_hash = env.gateway->system_hash();
+    binary_hash = env.runner->binary_hash();
+  }
+  {
+    // Process 2 (fresh env on the same workdir): the database, blob and
+    // pre-loaded model are all still there.
+    auto env = MakeSimEnv(DiskEnvOptions(workdir));
+    auto models = env.repository->ListModels();
+    ASSERT_TRUE(models.ok());
+    ASSERT_EQ(models->size(), 1u);
+    EXPECT_EQ(models->front().id, model_id);
+
+    auto systems = env.repository->ListSystems();
+    ASSERT_TRUE(systems.ok());
+    ASSERT_EQ(systems->size(), 1u);
+    auto benchmarks = env.repository->ListBenchmarks(systems->front().id);
+    ASSERT_TRUE(benchmarks.ok());
+    EXPECT_EQ(benchmarks->size(), 3u);
+
+    // slurm-config answers purely from the persisted pre-load.
+    auto config = env.slurm_config->Predict(system_hash, binary_hash);
+    ASSERT_TRUE(config.ok()) << config.message();
+    EXPECT_EQ(config->frequency, kHz(2'200'000));
+    EXPECT_EQ(config->cores, 32);
+  }
+}
+
+TEST_F(IntegrationTest, CsvRepositoryPersistsPipelineToo) {
+  const std::string workdir = FreshDir("persist_csv");
+  {
+    auto env = MakeSimEnv(DiskEnvOptions(workdir, RepositoryKind::kCsv));
+    ASSERT_TRUE(env.benchmark->Run({{8, 1, kHz(2'200'000)}}).ok());
+  }
+  // The CSV files are plain text on disk.
+  EXPECT_TRUE(fs::exists(workdir + "/database/systems.csv"));
+  EXPECT_TRUE(fs::exists(workdir + "/database/benchmarks.csv"));
+  {
+    auto env = MakeSimEnv(DiskEnvOptions(workdir, RepositoryKind::kCsv));
+    auto systems = env.repository->ListSystems();
+    ASSERT_TRUE(systems.ok());
+    ASSERT_EQ(systems->size(), 1u);
+    EXPECT_EQ(env.repository->ListBenchmarks(systems->front().id)->size(), 1u);
+  }
+}
+
+TEST_F(IntegrationTest, AggregateSystemServiceSumsRack) {
+  EnvOptions options;
+  options.cluster.nodes = 3;
+  auto env = MakeSimEnv(options);
+
+  std::vector<ipmi::BmcSimulator> bmcs;
+  bmcs.reserve(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    bmcs.emplace_back(&env.cluster->node(i), ipmi::BmcParams{}, Rng(7 + i));
+  }
+  AggregateSystemService aggregate(
+      {&bmcs[0], &bmcs[1], &bmcs[2]});
+  auto sample = aggregate.Sample();
+  ASSERT_TRUE(sample.ok());
+  // Three idle nodes: ~3x a single node's idle draw.
+  IpmiSystemService single(&bmcs[0]);
+  auto one = single.Sample();
+  ASSERT_TRUE(one.ok());
+  EXPECT_NEAR(sample->system_watts, 3.0 * one->system_watts,
+              0.15 * sample->system_watts);
+  EXPECT_GT(sample->cpu_temp, 20.0);
+  EXPECT_LT(sample->cpu_temp, 40.0);
+
+  AggregateSystemService empty({});
+  EXPECT_FALSE(empty.Sample().ok());
+}
+
+TEST_F(IntegrationTest, CommandsReflectPluginRewrittenJob) {
+  auto env = MakeSimEnv(DiskEnvOptions(FreshDir("cmds")));
+  ASSERT_TRUE(RunFullPipeline(env,
+                              {{32, 1, kHz(2'200'000)},
+                               {32, 1, kHz(2'500'000)}},
+                              "brute-force")
+                  .ok());
+  plugin::SetChronusGateway(env.gateway);
+  ASSERT_TRUE(env.cluster->plugins().Load(plugin::EcoPluginOps()).ok());
+
+  slurm::JobRequest request;
+  request.name = "observed";
+  request.num_tasks = 32;
+  request.comment = "chronus";
+  request.script = "srun --mpi=pmix_v4 ../hpcg/build/bin/xhpcg\n";
+  request.workload = slurm::WorkloadSpec::Fixed(120.0);
+  auto id = env.cluster->Submit(request);
+  ASSERT_TRUE(id.ok());
+  env.cluster->RunUntil(env.cluster->Now() + 5.0);
+
+  // scontrol shows the *rewritten* frequency.
+  const std::string scontrol = slurm::ScontrolShowJob(*env.cluster, *id);
+  EXPECT_NE(scontrol.find("CpuFreqMax=2200000"), std::string::npos);
+  EXPECT_NE(slurm::Squeue(*env.cluster).find("observed"), std::string::npos);
+  env.cluster->RunUntilIdle();
+  EXPECT_NE(slurm::SreportUserEnergy(env.cluster->accounting())
+                .find("Energy (kJ)"),
+            std::string::npos);
+  env.cluster->plugins().Unload("job_submit/eco");
+}
+
+TEST_F(IntegrationTest, BenchmarkSweepSkipsNothingAndOrdersStable) {
+  // Two identical envs must produce identical benchmark tables (full
+  // determinism across the whole stack).
+  auto run = [] {
+    EnvOptions options;
+    options.runner.target_seconds = 60.0;
+    auto env = MakeSimEnv(options);
+    return env.benchmark->Run({{8, 1, kHz(2'200'000)},
+                               {16, 2, kHz(1'500'000)},
+                               {32, 1, kHz(2'500'000)}});
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].gflops, (*b)[i].gflops);
+    EXPECT_DOUBLE_EQ((*a)[i].avg_system_watts, (*b)[i].avg_system_watts);
+    EXPECT_DOUBLE_EQ((*a)[i].duration_s, (*b)[i].duration_s);
+  }
+}
+
+}  // namespace
+}  // namespace eco::chronus

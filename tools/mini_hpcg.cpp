@@ -1,0 +1,123 @@
+// mini_hpcg — the standalone HPCG-style binary (the xhpcg stand-in that the
+// paper's sbatch scripts srun). Runs the real solver: problem setup,
+// validation (operator symmetry, preconditioner effectiveness), timed CG
+// sets, and a final GFLOP/s rating in the reference benchmark's report
+// style.
+//
+//   $ ./mini_hpcg [--nx N] [--ny N] [--nz N] [--sets N] [--iters N]
+//                 [--time SECONDS] [--ranks PXxPYxPZ]
+//
+// With --ranks, the run additionally executes the rank-decomposed solver
+// (halo exchange + additive-Schwarz SymGS, the reference benchmark's MPI
+// structure, simulated in-process) and verifies it against the serial
+// operator.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "hpcg/benchmark.hpp"
+#include "hpcg/distributed.hpp"
+#include "hpcg/stencil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eco;
+
+  hpcg::BenchmarkOptions options;
+  options.geometry = {32, 32, 32};
+  options.iterations_per_set = 50;
+  options.sets = 3;
+  int px = 0, py = 0, pz = 0;  // --ranks
+
+  for (int i = 1; i + 1 < argc || (i < argc && std::string(argv[i]) == "--help");
+       ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::printf("usage: mini_hpcg [--nx N] [--ny N] [--nz N] [--sets N] "
+                  "[--iters N] [--time SECONDS]\n");
+      return 0;
+    }
+    long long value = 0;
+    double seconds = 0.0;
+    if (i + 1 >= argc) break;
+    if ((arg == "--nx" || arg == "--ny" || arg == "--nz" || arg == "--sets" ||
+         arg == "--iters") &&
+        ParseInt64(argv[i + 1], value) && value > 0) {
+      if (arg == "--nx") options.geometry.nx = static_cast<int>(value);
+      if (arg == "--ny") options.geometry.ny = static_cast<int>(value);
+      if (arg == "--nz") options.geometry.nz = static_cast<int>(value);
+      if (arg == "--sets") options.sets = static_cast<int>(value);
+      if (arg == "--iters") options.iterations_per_set = static_cast<int>(value);
+      ++i;
+    } else if (arg == "--time" && ParseDouble(argv[i + 1], seconds) &&
+               seconds > 0.0) {
+      options.time_budget_seconds = seconds;
+      ++i;
+    } else if (arg == "--ranks") {
+      const auto parts = Split(argv[i + 1], 'x');
+      long long vx = 0, vy = 0, vz = 0;
+      if (parts.size() != 3 || !ParseInt64(parts[0], vx) ||
+          !ParseInt64(parts[1], vy) || !ParseInt64(parts[2], vz) || vx < 1 ||
+          vy < 1 || vz < 1) {
+        std::fprintf(stderr, "--ranks expects PXxPYxPZ, e.g. 2x2x1\n");
+        return 1;
+      }
+      px = static_cast<int>(vx);
+      py = static_cast<int>(vy);
+      pz = static_cast<int>(vz);
+      ++i;
+    } else {
+      std::fprintf(stderr, "unknown or malformed option: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("mini-HPCG benchmark\n");
+  std::printf("Global Problem Dimensions: nx=%d ny=%d nz=%d\n",
+              options.geometry.nx, options.geometry.ny, options.geometry.nz);
+  std::printf("Running %d set(s) of %d CG iterations%s\n", options.sets,
+              options.iterations_per_set,
+              options.time_budget_seconds > 0 ? " (time-budgeted)" : "");
+
+  const hpcg::BenchmarkReport report = hpcg::RunBenchmark(options);
+
+  std::printf("\n-- Validation ------------------------\n");
+  std::printf("Departure from symmetry: %.3e  [%s]\n", report.symmetry_error,
+              report.symmetry_ok ? "OK" : "FAILED");
+  std::printf("CG iterations to 1e-6: unpreconditioned=%d, MG-preconditioned=%d\n",
+              report.unpreconditioned_iterations,
+              report.preconditioned_iterations);
+
+  std::printf("\n-- Timed runs ------------------------\n");
+  std::printf("Sets completed: %d\n", report.sets_run);
+  std::printf("Total FLOPs:    %.4e\n", static_cast<double>(report.total_flops));
+  std::printf("Wall time:      %.3f s\n", report.total_seconds);
+  std::printf("Final residual: %.3e\n", report.final_residual);
+  std::printf("\nGFLOP/s rating found: %.5f\n", report.gflops);
+
+  if (px > 0) {
+    // Distributed pass: each rank owns the (serial) local problem; the
+    // global grid is px*py*pz times larger (weak scaling, like the paper's
+    // 32 ranks x 104^3).
+    std::printf("\n-- Distributed (in-process ranks) ----\n");
+    const hpcg::DistributedGrid grid(options.geometry, px, py, pz);
+    const hpcg::Geometry global = grid.global();
+    std::printf("Processor grid %dx%dx%d, global problem %dx%dx%d\n", px, py,
+                pz, global.nx, global.ny, global.nz);
+    const auto n = static_cast<std::size_t>(global.size());
+    hpcg::Vec exact(n, 1.0), b(n), x(n, 0.0);
+    hpcg::SpMV(global, exact, b);
+    const auto result =
+        hpcg::DistributedCgSolve(grid, b, x, 200, 1e-6, /*preconditioned=*/true);
+    double max_err = 0.0;
+    for (const double v : x) max_err = std::max(max_err, std::abs(v - 1.0));
+    std::printf("Schwarz-CG: %d iterations, residual %.3e, max error %.3e "
+                "[%s]\n",
+                result.iterations, result.final_residual, max_err,
+                result.converged && max_err < 1e-4 ? "OK" : "FAILED");
+    if (!result.converged || max_err >= 1e-4) return 1;
+  }
+  return report.symmetry_ok ? 0 : 1;
+}
