@@ -73,6 +73,12 @@ class ApplicationRunnerInterface {
   [[nodiscard]] virtual std::string application() const = 0;
   [[nodiscard]] virtual std::string binary_hash() const = 0;
   virtual Result<RunResult> Run(const Configuration& config) = 0;
+  // How many Run() calls may safely be in flight at once. 1 (the default)
+  // keeps the sweep serial — right for stateful runners like the cluster
+  // simulator, whose runs share a clock and BMC. Runners whose Run() is
+  // reentrant (e.g. pure-compute or per-run-state runners) can return more
+  // and BenchmarkService will fan the sweep out across its thread pool.
+  [[nodiscard]] virtual int max_concurrency() const { return 1; }
 };
 
 // ----- System Service: telemetry sampling (IPMI implementation).

@@ -21,10 +21,11 @@ std::string PreloadKey(const std::string& system_hash,
 // -------------------------------------------------------- BenchmarkService
 
 BenchmarkService::BenchmarkService(RepositoryPtr repository, RunnerPtr runner,
-                                   SystemInfoPtr system_info)
+                                   SystemInfoPtr system_info, ThreadPool* pool)
     : repository_(std::move(repository)),
       runner_(std::move(runner)),
-      system_info_(std::move(system_info)) {}
+      system_info_(std::move(system_info)),
+      pool_(pool) {}
 
 Result<std::vector<BenchmarkRecord>> BenchmarkService::Run(
     const std::vector<Configuration>& configs) {
@@ -41,10 +42,33 @@ Result<std::vector<BenchmarkRecord>> BenchmarkService::Run(
   std::vector<Configuration> to_run = configs;
   if (to_run.empty()) to_run = system->AllConfigurations();
 
+  // Measure phase. Independent configurations fan out across the pool when
+  // the runner tolerates concurrent Run() calls; each slot is written by
+  // exactly one task, so collection stays in configuration order.
+  const auto count = static_cast<std::int64_t>(to_run.size());
+  std::vector<Result<RunResult>> outcomes(
+      to_run.size(), Result<RunResult>::Error("benchmark: not run"));
+  const auto measure = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      ECO_INFO << "Benchmark " << to_run[u].ToString() << " starting";
+      outcomes[u] = runner_->Run(to_run[u]);
+    }
+  };
+  const bool parallel =
+      pool_ != nullptr && runner_->max_concurrency() > 1 && count > 1;
+  if (parallel) {
+    pool_->ParallelFor(0, count, /*grain=*/1, measure);
+  } else {
+    measure(0, count);
+  }
+
+  // Save phase: serial, in configuration order — the repository is not
+  // required to be thread-safe, and ids stay deterministic.
   std::vector<BenchmarkRecord> saved;
-  for (const Configuration& config : to_run) {
-    ECO_INFO << "Benchmark " << config.ToString() << " starting";
-    auto result = runner_->Run(config);
+  for (std::size_t u = 0; u < to_run.size(); ++u) {
+    const Configuration& config = to_run[u];
+    Result<RunResult>& result = outcomes[u];
     if (!result.ok()) {
       ECO_WARN << "Benchmark " << config.ToString()
                << " failed: " << result.message();

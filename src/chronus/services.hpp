@@ -14,14 +14,19 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "chronus/interfaces.hpp"
 
 namespace eco::chronus {
 
 class BenchmarkService {
  public:
+  // `pool` (optional, not owned) fans the sweep out across threads when the
+  // runner's max_concurrency() allows it; results are collected and saved in
+  // configuration order either way, so repository contents are identical to
+  // a serial sweep.
   BenchmarkService(RepositoryPtr repository, RunnerPtr runner,
-                   SystemInfoPtr system_info);
+                   SystemInfoPtr system_info, ThreadPool* pool = nullptr);
 
   // Registers the system (idempotent) and benchmarks each configuration —
   // all configurations of the system when `configs` is empty (§3.1.2).
@@ -46,6 +51,7 @@ class BenchmarkService {
   RepositoryPtr repository_;
   RunnerPtr runner_;
   SystemInfoPtr system_info_;
+  ThreadPool* pool_ = nullptr;
   int last_system_id_ = -1;
 };
 

@@ -1,0 +1,93 @@
+// Shared fixed-size thread pool — the runtime every parallel layer (HPCG
+// kernels, random-forest training, Chronus sweeps) runs on.
+//
+// Design rules, in order of importance:
+//
+//  1. Determinism. Work is split into chunks whose count depends only on
+//     (range, grain) — never on the pool size — so a reduction that combines
+//     per-chunk partials in chunk order, or a task that forks an Rng per
+//     chunk via ChunkRng(), produces bit-identical results on a 1-thread and
+//     a 64-thread pool.
+//  2. No deadlocks. A ParallelFor issued from inside a worker (nested
+//     parallelism) degrades to a serial chunk loop on the calling thread;
+//     chunk indices are preserved, so determinism still holds.
+//  3. Exceptions propagate. The first exception thrown by any chunk is
+//     rethrown on the calling thread after the loop drains; remaining
+//     unstarted chunks are cancelled.
+//
+// The calling thread always participates in chunk execution, so a pool of
+// size N uses N-1 background workers and ThreadPool(1) spawns no threads at
+// all (pure serial execution, useful as a reference in equivalence tests).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eco {
+
+class ThreadPool {
+ public:
+  // fn(chunk_index, begin, end) — half-open [begin, end) slice of the range.
+  using ChunkFn = std::function<void(std::int64_t, std::int64_t, std::int64_t)>;
+  // fn(begin, end) — for callers that don't need the chunk index.
+  using RangeFn = std::function<void(std::int64_t, std::int64_t)>;
+
+  // threads <= 0 selects DefaultThreadCount(). A pool of size 1 runs
+  // everything on the calling thread.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution width: background workers + the calling thread.
+  [[nodiscard]] int size() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  // ECO_THREADS environment variable when set to a positive integer,
+  // otherwise std::thread::hardware_concurrency() (at least 1).
+  static int DefaultThreadCount();
+
+  // Process-wide pool, sized once via DefaultThreadCount().
+  static ThreadPool& Global();
+
+  // Number of chunks ParallelFor will use for a range of n with this grain —
+  // a pure function of (n, grain) so callers can pre-size partial buffers.
+  static std::int64_t ChunkCount(std::int64_t n, std::int64_t grain);
+
+  // Deterministic per-chunk RNG: an independent stream derived from (seed,
+  // chunk) only. Identical regardless of pool size or execution order.
+  static Rng ChunkRng(std::uint64_t seed, std::int64_t chunk);
+
+  // Runs fn over [begin, end) split into ChunkCount(end - begin, grain)
+  // chunks of at most `grain` iterations. grain <= 0 selects a default grain
+  // (kDefaultGrain), still independent of pool size. Blocks until every
+  // chunk has run; rethrows the first chunk exception.
+  void ParallelForChunks(std::int64_t begin, std::int64_t end,
+                         std::int64_t grain, const ChunkFn& fn);
+  void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   const RangeFn& fn);
+
+  static constexpr std::int64_t kDefaultGrain = 1024;
+
+ private:
+  struct Job;
+  void WorkerMain();
+  static void RunChunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace eco

@@ -8,7 +8,9 @@
 namespace eco::hpcg {
 
 CgSolver::CgSolver(const Geometry& geo, CgOptions options)
-    : geo_(geo), options_(options), mg_(geo) {
+    : geo_(geo),
+      options_(options),
+      mg_(geo, 4, options.pool, options.colored_symgs) {
   const auto n = static_cast<std::size_t>(geo.size());
   r_.assign(n, 0.0);
   z_.assign(n, 0.0);
@@ -23,13 +25,14 @@ CgResult CgSolver::Solve(const Vec& b, Vec& x) {
   CgResult result;
   const std::size_t n = b.size();
   std::uint64_t flops = 0;
+  ThreadPool* pool = options_.pool;
 
   // r = b - A x
-  SpMV(geo_, x, ap_);
-  Waxpby(1.0, b, -1.0, ap_, r_);
+  SpMV(geo_, x, ap_, pool);
+  Waxpby(1.0, b, -1.0, ap_, r_, pool);
   flops += SpMVFlops(geo_) + WaxpbyFlops(n);
 
-  double norm_r = Norm2(r_);
+  double norm_r = Norm2(r_, pool);
   flops += DotFlops(n);
   result.initial_residual = norm_r;
   const double stop = options_.tolerance * norm_r;
@@ -48,28 +51,28 @@ CgResult CgSolver::Solve(const Vec& b, Vec& x) {
     }
 
     const double rtz_old = rtz;
-    rtz = Dot(r_, z_);
+    rtz = Dot(r_, z_, pool);
     flops += DotFlops(n);
 
     if (iter == 0) {
       p_ = z_;
     } else {
       const double beta = rtz / rtz_old;
-      Waxpby(1.0, z_, beta, p_, p_);
+      Waxpby(1.0, z_, beta, p_, p_, pool);
       flops += WaxpbyFlops(n);
     }
 
-    SpMV(geo_, p_, ap_);
-    const double pap = Dot(p_, ap_);
+    SpMV(geo_, p_, ap_, pool);
+    const double pap = Dot(p_, ap_, pool);
     flops += SpMVFlops(geo_) + DotFlops(n);
     if (pap <= 0.0) break;  // loss of positive definiteness (numerical)
 
     const double alpha = rtz / pap;
-    Waxpby(1.0, x, alpha, p_, x);
-    Waxpby(1.0, r_, -alpha, ap_, r_);
+    Waxpby(1.0, x, alpha, p_, x, pool);
+    Waxpby(1.0, r_, -alpha, ap_, r_, pool);
     flops += 2 * WaxpbyFlops(n);
 
-    norm_r = Norm2(r_);
+    norm_r = Norm2(r_, pool);
     flops += DotFlops(n);
     ++result.iterations;
   }

@@ -15,6 +15,13 @@ struct CgOptions {
   int max_iterations = 50;
   double tolerance = 0.0;  // 0 => run all iterations, like HPCG's timed sets
   bool preconditioned = true;
+  // Threading. With a pool, SpMV / Dot / Waxpby tile across it with results
+  // bit-identical to serial (fixed-grain chunked reductions). colored_symgs
+  // additionally switches the smoother to the parallel multicolor sweep,
+  // which changes the smoother's update order (still deterministic at any
+  // pool size, but not bitwise-equal to the lexicographic serial smoother).
+  ThreadPool* pool = nullptr;
+  bool colored_symgs = false;
 };
 
 struct CgResult {

@@ -2,7 +2,9 @@
 
 namespace eco::hpcg {
 
-Multigrid::Multigrid(const Geometry& fine, int max_levels) {
+Multigrid::Multigrid(const Geometry& fine, int max_levels, ThreadPool* pool,
+                     bool colored_smoother)
+    : pool_(pool), colored_smoother_(colored_smoother) {
   geos_.push_back(fine);
   while (static_cast<int>(geos_.size()) < max_levels &&
          geos_.back().Coarsenable()) {
@@ -33,13 +35,13 @@ void Multigrid::Apply(const Vec& r, Vec& z, std::uint64_t& flops) {
 void Multigrid::Cycle(int level, const Vec& r, Vec& z, std::uint64_t& flops) {
   const Geometry& geo = geos_[level];
   // Pre-smooth (z starts at zero on entry at every level).
-  SymGS(geo, r, z);
+  Smooth(geo, r, z);
   flops += SymGSFlops(geo);
 
   if (level + 1 < levels()) {
     // residual = r - A z
-    SpMV(geo, z, az_[level]);
-    Waxpby(1.0, r, -1.0, az_[level], residual_[level]);
+    SpMV(geo, z, az_[level], pool_);
+    Waxpby(1.0, r, -1.0, az_[level], residual_[level], pool_);
     flops += SpMVFlops(geo) + WaxpbyFlops(residual_[level].size());
 
     Restrict(level, residual_[level], coarse_r_[level]);
@@ -48,8 +50,16 @@ void Multigrid::Cycle(int level, const Vec& r, Vec& z, std::uint64_t& flops) {
     Prolong(level, coarse_z_[level], z);
 
     // Post-smooth.
-    SymGS(geo, r, z);
+    Smooth(geo, r, z);
     flops += SymGSFlops(geo);
+  }
+}
+
+void Multigrid::Smooth(const Geometry& geo, const Vec& r, Vec& z) const {
+  if (colored_smoother_) {
+    SymGSColored(geo, r, z, pool_);
+  } else {
+    SymGS(geo, r, z);
   }
 }
 

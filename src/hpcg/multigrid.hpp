@@ -16,8 +16,13 @@ namespace eco::hpcg {
 class Multigrid {
  public:
   // Builds a hierarchy starting at `fine`, coarsening while the geometry
-  // halves cleanly, up to `max_levels` levels (HPCG uses 4).
-  explicit Multigrid(const Geometry& fine, int max_levels = 4);
+  // halves cleanly, up to `max_levels` levels (HPCG uses 4). With a pool the
+  // SpMV/Waxpby kernels tile across it; `colored_smoother` additionally
+  // switches the smoother to the parallel multicolor SymGS (different update
+  // order than the serial lexicographic sweep — keep it off where bitwise
+  // agreement with the serial solver matters).
+  explicit Multigrid(const Geometry& fine, int max_levels = 4,
+                     ThreadPool* pool = nullptr, bool colored_smoother = false);
 
   [[nodiscard]] int levels() const { return static_cast<int>(geos_.size()); }
   [[nodiscard]] const Geometry& geometry(int level) const { return geos_[level]; }
@@ -30,10 +35,13 @@ class Multigrid {
 
  private:
   void Cycle(int level, const Vec& r, Vec& z, std::uint64_t& flops);
+  void Smooth(const Geometry& geo, const Vec& r, Vec& z) const;
   void Restrict(int fine_level, const Vec& fine_residual, Vec& coarse_r) const;
   void Prolong(int fine_level, const Vec& coarse_z, Vec& fine_z) const;
 
   std::vector<Geometry> geos_;
+  ThreadPool* pool_ = nullptr;
+  bool colored_smoother_ = false;
   // Scratch vectors per level, reused across applications.
   std::vector<Vec> residual_;  // r - A z on this level
   std::vector<Vec> coarse_r_;  // restricted residual (next level's rhs)

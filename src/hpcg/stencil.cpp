@@ -26,18 +26,9 @@ inline double NeighbourSum(const Geometry& geo, const Vec& x, int ix, int iy,
   return sum;
 }
 
-}  // namespace
-
-int NeighbourCount(const Geometry& geo, int ix, int iy, int iz) {
-  const auto extent = [](int i, int n) { return (i > 0 ? 1 : 0) + 1 + (i + 1 < n ? 1 : 0); };
-  return extent(ix, geo.nx) * extent(iy, geo.ny) * extent(iz, geo.nz) - 1;
-}
-
-void SpMV(const Geometry& geo, const Vec& x, Vec& y) {
-#if defined(_OPENMP)
-#pragma omp parallel for collapse(2) schedule(static)
-#endif
-  for (int iz = 0; iz < geo.nz; ++iz) {
+void SpMVPlanes(const Geometry& geo, const Vec& x, Vec& y, int z_lo,
+                int z_hi) {
+  for (int iz = z_lo; iz < z_hi; ++iz) {
     for (int iy = 0; iy < geo.ny; ++iy) {
       for (int ix = 0; ix < geo.nx; ++ix) {
         const std::int64_t i = geo.Index(ix, iy, iz);
@@ -45,6 +36,58 @@ void SpMV(const Geometry& geo, const Vec& x, Vec& y) {
       }
     }
   }
+}
+
+// Relaxes every point of one parity color inside z-planes [z_lo, z_hi).
+void RelaxColorPlanes(const Geometry& geo, const Vec& r, Vec& z, int cx,
+                      int cy, int cz, int z_lo, int z_hi) {
+  for (int iz = z_lo + ((cz - z_lo) % 2 + 2) % 2; iz < z_hi; iz += 2) {
+    for (int iy = cy; iy < geo.ny; iy += 2) {
+      for (int ix = cx; ix < geo.nx; ix += 2) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        z[i] = (r[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
+      }
+    }
+  }
+}
+
+void SweepColor(const Geometry& geo, const Vec& r, Vec& z, int color,
+                ThreadPool* pool) {
+  const int cx = color & 1;
+  const int cy = (color >> 1) & 1;
+  const int cz = (color >> 2) & 1;
+  if (pool == nullptr || geo.nz <= 2) {
+    RelaxColorPlanes(geo, r, z, cx, cy, cz, 0, geo.nz);
+    return;
+  }
+  // Tile over z-planes; within a color all updates are independent, so any
+  // plane partitioning gives bit-identical results.
+  const std::int64_t grain = 2;
+  pool->ParallelFor(0, geo.nz, grain,
+                    [&](std::int64_t z_lo, std::int64_t z_hi) {
+                      RelaxColorPlanes(geo, r, z, cx, cy, cz,
+                                       static_cast<int>(z_lo),
+                                       static_cast<int>(z_hi));
+                    });
+}
+
+}  // namespace
+
+int NeighbourCount(const Geometry& geo, int ix, int iy, int iz) {
+  const auto extent = [](int i, int n) { return (i > 0 ? 1 : 0) + 1 + (i + 1 < n ? 1 : 0); };
+  return extent(ix, geo.nx) * extent(iy, geo.ny) * extent(iz, geo.nz) - 1;
+}
+
+void SpMV(const Geometry& geo, const Vec& x, Vec& y, ThreadPool* pool) {
+  if (pool == nullptr || geo.nz < 2) {
+    SpMVPlanes(geo, x, y, 0, geo.nz);
+    return;
+  }
+  pool->ParallelFor(0, geo.nz, /*grain=*/1,
+                    [&](std::int64_t z_lo, std::int64_t z_hi) {
+                      SpMVPlanes(geo, x, y, static_cast<int>(z_lo),
+                                 static_cast<int>(z_hi));
+                    });
 }
 
 void SymGS(const Geometry& geo, const Vec& r, Vec& z) {
@@ -66,6 +109,12 @@ void SymGS(const Geometry& geo, const Vec& r, Vec& z) {
       }
     }
   }
+}
+
+void SymGSColored(const Geometry& geo, const Vec& r, Vec& z,
+                  ThreadPool* pool) {
+  for (int color = 0; color < 8; ++color) SweepColor(geo, r, z, color, pool);
+  for (int color = 7; color >= 0; --color) SweepColor(geo, r, z, color, pool);
 }
 
 std::uint64_t NonZeros(const Geometry& geo) {

@@ -1,9 +1,20 @@
 // Matrix-free 27-point stencil kernels: SpMV and the symmetric Gauss–Seidel
 // smoother HPCG uses as its preconditioner building block.
+//
+// Threading: kernels take an optional ThreadPool. SpMV is elementwise and
+// bit-identical to the serial sweep at any pool size. The lexicographic
+// SymGS is inherently sequential and always runs serially; SymGSColored is
+// the parallelizable multicolor variant (8 colors — the 27-point stencil
+// couples every neighbour within ±1 per axis, so 2×2×2 parity classes are
+// the minimal independent sets). Within a color every update is independent,
+// making the colored sweep deterministic at any pool size, but its update
+// order differs from the lexicographic sweep, so seed-sensitive tests keep
+// the serial SymGS.
 #pragma once
 
 #include <cstdint>
 
+#include "common/thread_pool.hpp"
 #include "hpcg/geometry.hpp"
 #include "hpcg/vector_ops.hpp"
 
@@ -14,13 +25,23 @@ namespace eco::hpcg {
 // operator diagonally dominant, symmetric and positive definite.
 int NeighbourCount(const Geometry& geo, int ix, int iy, int iz);
 
-// y = A x.
-void SpMV(const Geometry& geo, const Vec& x, Vec& y);
+// y = A x. Pool-tiled over z-planes when `pool` is given; results are
+// bit-identical to the serial sweep (disjoint elementwise writes).
+void SpMV(const Geometry& geo, const Vec& x, Vec& y,
+          ThreadPool* pool = nullptr);
 
 // One symmetric Gauss–Seidel sweep (forward then backward) on A z = r,
 // updating z in place. This is HPCG's smoother; it is inherently sequential
 // within a sweep, exactly like the reference implementation's per-rank sweep.
 void SymGS(const Geometry& geo, const Vec& r, Vec& z);
+
+// Multicolor (red-black generalised to 8 colors) symmetric Gauss–Seidel:
+// forward sweep over colors 0..7, backward over 7..0, points within a color
+// updated in parallel. Deterministic for any pool size (serial included);
+// numerically a different smoother ordering than SymGS, with the same
+// per-sweep FLOP count and comparable smoothing quality.
+void SymGSColored(const Geometry& geo, const Vec& r, Vec& z,
+                  ThreadPool* pool = nullptr);
 
 // FLOP costs (HPCG conventions: 2 flops per stored nonzero for SpMV, and
 // forward+backward Gauss–Seidel costs twice an SpMV).

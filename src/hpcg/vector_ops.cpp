@@ -2,34 +2,67 @@
 
 #include <cmath>
 
-#if defined(_OPENMP)
-#include <omp.h>
-#endif
-
 namespace eco::hpcg {
+namespace {
 
-double Dot(const Vec& x, const Vec& y) {
+double DotRange(const Vec& x, const Vec& y, std::int64_t lo, std::int64_t hi) {
   double sum = 0.0;
-  const std::size_t n = x.size();
-#if defined(_OPENMP)
-#pragma omp parallel for reduction(+ : sum) schedule(static)
-#endif
-  for (std::size_t i = 0; i < n; ++i) sum += x[i] * y[i];
+  for (std::int64_t i = lo; i < hi; ++i) {
+    sum += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  }
   return sum;
 }
 
-void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w) {
-  const std::size_t n = x.size();
-#if defined(_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::size_t i = 0; i < n; ++i) w[i] = alpha * x[i] + beta * y[i];
+}  // namespace
+
+double Dot(const Vec& x, const Vec& y, ThreadPool* pool) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  const std::int64_t chunks = ThreadPool::ChunkCount(n, kReduceGrain);
+  if (chunks <= 1) return DotRange(x, y, 0, n);
+
+  // Per-chunk partials combined in chunk order: the association is fixed by
+  // (n, kReduceGrain), so serial and pooled sums are bit-identical.
+  std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
+  if (pool == nullptr) {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = c * kReduceGrain;
+      const std::int64_t hi = std::min(lo + kReduceGrain, n);
+      partials[static_cast<std::size_t>(c)] = DotRange(x, y, lo, hi);
+    }
+  } else {
+    pool->ParallelForChunks(
+        0, n, kReduceGrain,
+        [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
+          partials[static_cast<std::size_t>(chunk)] = DotRange(x, y, lo, hi);
+        });
+  }
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  return sum;
+}
+
+void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w,
+            ThreadPool* pool) {
+  const auto n = static_cast<std::int64_t>(x.size());
+  const auto body = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      w[u] = alpha * x[u] + beta * y[u];
+    }
+  };
+  if (pool == nullptr || n <= kReduceGrain) {
+    body(0, n);
+    return;
+  }
+  pool->ParallelFor(0, n, kReduceGrain, body);
 }
 
 void Fill(Vec& x, double value) {
   for (auto& v : x) v = value;
 }
 
-double Norm2(const Vec& x) { return std::sqrt(Dot(x, x)); }
+double Norm2(const Vec& x, ThreadPool* pool) {
+  return std::sqrt(Dot(x, x, pool));
+}
 
 }  // namespace eco::hpcg

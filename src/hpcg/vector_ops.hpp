@@ -2,22 +2,34 @@
 //
 // Every kernel returns/accumulates its FLOP count so the solver can report a
 // genuine GFLOP/s rating like the reference HPCG does.
+//
+// Threading: kernels take an optional ThreadPool. Dot always reduces over
+// fixed-size chunks (kReduceGrain) whose partials are combined in chunk
+// order, so the serial and pooled paths produce bit-identical sums at any
+// pool size. Waxpby is elementwise and trivially identical.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+
 namespace eco::hpcg {
 
 using Vec = std::vector<double>;
 
+// Fixed reduction grain: determinism requires the chunk decomposition to be
+// a function of n alone, never of the pool size.
+inline constexpr std::int64_t kReduceGrain = 4096;
+
 // y'x. 2n flops.
-double Dot(const Vec& x, const Vec& y);
+double Dot(const Vec& x, const Vec& y, ThreadPool* pool = nullptr);
 // w = alpha*x + beta*y. 3n flops (HPCG convention).
-void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w);
+void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w,
+            ThreadPool* pool = nullptr);
 void Fill(Vec& x, double value);
 // Euclidean norm via Dot.
-double Norm2(const Vec& x);
+double Norm2(const Vec& x, ThreadPool* pool = nullptr);
 
 // FLOP costs of the kernels, for the solver's rating.
 inline std::uint64_t DotFlops(std::size_t n) { return 2ull * n; }

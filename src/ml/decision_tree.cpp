@@ -175,6 +175,9 @@ Json RegressionTree::ToJson() const {
   JsonObject root;
   root["nodes"] = std::move(nodes);
   root["max_depth"] = params_.max_depth;
+  root["min_samples_leaf"] = params_.min_samples_leaf;
+  root["min_samples_split"] = params_.min_samples_split;
+  root["max_features"] = params_.max_features;
   return Json(std::move(root));
 }
 
@@ -184,6 +187,13 @@ Result<RegressionTree> RegressionTree::FromJson(const Json& json) {
   }
   TreeParams params;
   params.max_depth = static_cast<int>(json.at("max_depth").as_int(8));
+  // Older blobs carry only max_depth; fall back to the defaults they were
+  // built with so round-tripping stays backward compatible.
+  params.min_samples_leaf =
+      static_cast<int>(json.at("min_samples_leaf").as_int(1));
+  params.min_samples_split =
+      static_cast<int>(json.at("min_samples_split").as_int(2));
+  params.max_features = static_cast<int>(json.at("max_features").as_int(0));
   RegressionTree tree(params);
   const auto& nodes = json.at("nodes").as_array();
   for (const auto& n : nodes) {

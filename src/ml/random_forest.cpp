@@ -6,7 +6,7 @@
 
 namespace eco::ml {
 
-Status RandomForest::Fit(const Dataset& data) {
+Status RandomForest::Fit(const Dataset& data, ThreadPool* pool) {
   if (data.size() == 0) return Status::Error("forest: empty dataset");
   trees_.clear();
 
@@ -20,30 +20,59 @@ Status RandomForest::Fit(const Dataset& data) {
   const std::size_t n = data.size();
   const auto samples = static_cast<std::size_t>(
       std::max<double>(1.0, params_.bootstrap_fraction * n));
+  const auto n_trees = static_cast<std::size_t>(params_.trees);
 
-  // Out-of-bag bookkeeping: per row, sum of predictions from trees that did
-  // not train on it.
+  // Draw every tree's bootstrap sample and RNG stream serially from the
+  // master generator — the exact draw order of the serial implementation —
+  // so the training phase below is free to run in any order.
+  std::vector<std::vector<std::size_t>> bootstrap(n_trees);
+  std::vector<std::vector<bool>> in_bag(n_trees);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    bootstrap[t].resize(samples);
+    in_bag[t].assign(n, false);
+    for (auto& i : bootstrap[t]) {
+      i = rng.NextBounded(n);
+      in_bag[t][i] = true;
+    }
+    tree_rngs.push_back(rng.Fork());
+  }
+
+  // Train: each task touches only its own tree / RNG / status slot.
+  trees_.assign(n_trees, RegressionTree(tree_params));
+  std::vector<Status> statuses(n_trees, Status::Ok());
+  const auto fit_tree = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const auto u = static_cast<std::size_t>(t);
+      statuses[u] = trees_[u].FitIndices(data, bootstrap[u], &tree_rngs[u]);
+    }
+  };
+  if (pool == nullptr) {
+    fit_tree(0, static_cast<std::int64_t>(n_trees));
+  } else {
+    pool->ParallelFor(0, static_cast<std::int64_t>(n_trees), /*grain=*/1,
+                      fit_tree);
+  }
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    if (!statuses[t].ok()) {
+      trees_.clear();
+      return statuses[t];
+    }
+  }
+
+  // Out-of-bag bookkeeping, merged in tree order: per row, the sum of
+  // predictions from trees that did not train on it — the same accumulation
+  // order as the serial loop, so oob_r2_ is bit-identical.
   std::vector<double> oob_sum(n, 0.0);
   std::vector<int> oob_count(n, 0);
-
-  for (int t = 0; t < params_.trees; ++t) {
-    std::vector<std::size_t> idx(samples);
-    std::vector<bool> in_bag(n, false);
-    for (auto& i : idx) {
-      i = rng.NextBounded(n);
-      in_bag[i] = true;
-    }
-    RegressionTree tree(tree_params);
-    Rng tree_rng = rng.Fork();
-    const Status fit = tree.FitIndices(data, idx, &tree_rng);
-    if (!fit.ok()) return fit;
+  for (std::size_t t = 0; t < n_trees; ++t) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (!in_bag[i]) {
-        oob_sum[i] += tree.Predict(data.features[i]);
+      if (!in_bag[t][i]) {
+        oob_sum[i] += trees_[t].Predict(data.features[i]);
         ++oob_count[i];
       }
     }
-    trees_.push_back(std::move(tree));
   }
 
   std::vector<double> oob_pred;
@@ -69,6 +98,7 @@ Json RandomForest::ToJson() const {
   JsonObject obj;
   obj["trees_requested"] = params_.trees;
   obj["seed"] = static_cast<long long>(params_.seed);
+  obj["bootstrap_fraction"] = params_.bootstrap_fraction;
   obj["oob_r2"] = oob_r2_;
   JsonArray trees;
   for (const auto& tree : trees_) trees.push_back(tree.ToJson());
@@ -82,6 +112,12 @@ Result<RandomForest> RandomForest::FromJson(const Json& json) {
   }
   RandomForest forest;
   forest.params_.trees = static_cast<int>(json.at("trees_requested").as_int(0));
+  // Restore the fit parameters so a reloaded forest refits identically;
+  // older blobs without these keys keep the defaults they were built with.
+  forest.params_.seed =
+      static_cast<std::uint64_t>(json.at("seed").as_int(2023));
+  forest.params_.bootstrap_fraction =
+      json.at("bootstrap_fraction").as_number(1.0);
   forest.oob_r2_ = json.at("oob_r2").as_number();
   for (const auto& t : json.at("trees").as_array()) {
     auto tree = RegressionTree::FromJson(t);

@@ -1,6 +1,12 @@
 // Random forest regressor: bootstrap-aggregated CART trees with per-split
 // feature subsampling — the sklearn RandomForestRegressor equivalent the
 // paper lists as a Chronus Optimizer implementation.
+//
+// Fit can train trees concurrently on a ThreadPool: the bootstrap sample and
+// the per-tree RNG stream are drawn serially from the master seed (the same
+// draw order as the serial path), each tree then trains only from its own
+// forked stream, and out-of-bag accumulators are merged in tree order — so
+// the fitted forest and its OOB R² are bit-identical at any pool size.
 #pragma once
 
 #include <vector>
@@ -8,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "ml/decision_tree.hpp"
 
 namespace eco::ml {
@@ -23,10 +30,14 @@ class RandomForest {
  public:
   explicit RandomForest(ForestParams params = {}) : params_(params) {}
 
-  Status Fit(const Dataset& data);
+  // Trains the forest; with a pool, trees fit concurrently with results
+  // identical to the serial path.
+  Status Fit(const Dataset& data, ThreadPool* pool = nullptr);
   [[nodiscard]] double Predict(const std::vector<double>& features) const;
   [[nodiscard]] bool fitted() const { return !trees_.empty(); }
   [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+
+  [[nodiscard]] const ForestParams& params() const { return params_; }
 
   // Out-of-bag R² estimate computed during Fit (NaN if unavailable).
   [[nodiscard]] double oob_r_squared() const { return oob_r2_; }

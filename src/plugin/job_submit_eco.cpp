@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "common/json.hpp"
 #include "common/log.hpp"
@@ -27,6 +29,45 @@ bool CommentOptsIn(const char* comment) {
          std::string_view(comment).find("chronus") != std::string_view::npos;
 }
 
+// A resolved configuration decision, memoized per (system, binary,
+// partition). Only successful gateway lookups are cached — failures must
+// retry so a recovering Chronus starts serving jobs again.
+struct Decision {
+  long long cores = 0;
+  long long tpc = 0;
+  long long freq = 0;
+};
+
+std::mutex& CacheMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unordered_map<std::string, Decision>& Cache() {
+  static std::unordered_map<std::string, Decision> cache;
+  return cache;
+}
+
+std::string CacheKey(const std::string& system_hash,
+                     const std::string& binary_hash, const char* partition) {
+  std::string key = system_hash;
+  key += '|';
+  key += binary_hash;
+  key += '|';
+  if (partition != nullptr) key += partition;
+  return key;
+}
+
+// Listing 4: rewrite the descriptor from a decision.
+void ApplyDecision(job_desc_msg_t* job_desc, const Decision& d) {
+  if (d.cores > 0) job_desc->num_tasks = static_cast<uint32_t>(d.cores);
+  if (d.tpc > 0) job_desc->threads_per_core = static_cast<uint16_t>(d.tpc);
+  if (d.freq > 0) {
+    job_desc->cpu_freq_min = static_cast<uint32_t>(d.freq);
+    job_desc->cpu_freq_max = static_cast<uint32_t>(d.freq);
+  }
+}
+
 }  // namespace
 
 std::string ExtractSrunBinary(const char* script) {
@@ -47,10 +88,23 @@ std::string ExtractSrunBinary(const char* script) {
 
 void SetChronusGateway(std::shared_ptr<chronus::ChronusGateway> gateway) {
   Gateway() = std::move(gateway);
+  // A different gateway may resolve the same key to a different
+  // configuration; stale decisions must not outlive it.
+  ClearEcoDecisionCache();
 }
 
 EcoPluginStats GetEcoPluginStats() { return Stats(); }
 void ResetEcoPluginStats() { Stats() = EcoPluginStats{}; }
+
+void ClearEcoDecisionCache() {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  Cache().clear();
+}
+
+std::size_t EcoDecisionCacheSize() {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  return Cache().size();
+}
 
 namespace {
 
@@ -100,6 +154,27 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
   const std::string binary_hash =
       sysinfo::HashToString(sysinfo::SimpleHash(binary));
 
+  // Fast path: a previous submission already resolved this
+  // (system, binary, partition) — skip the gateway round-trip entirely.
+  const std::string key =
+      CacheKey(system_hash, binary_hash, job_desc->partition);
+  {
+    std::lock_guard<std::mutex> lock(CacheMutex());
+    const auto it = Cache().find(key);
+    if (it != Cache().end()) {
+      const Decision d = it->second;
+      ApplyDecision(job_desc, d);
+      ++stats.cache_hits;
+      ++stats.modified;
+      ECO_INFO << "job_submit_eco: job " << job_desc->job_id
+               << " set from cache to " << d.cores << " tasks @ " << d.freq
+               << " kHz, " << d.tpc << " threads/core";
+      record_time();
+      return SLURM_SUCCESS;
+    }
+  }
+  ++stats.cache_misses;
+
   const auto config_json = gateway->slurm_config(system_hash, binary_hash);
   if (!config_json.ok()) {
     ECO_WARN << "job_submit_eco: chronus lookup failed ("
@@ -117,20 +192,19 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
     return SLURM_SUCCESS;
   }
 
-  // Listing 4: rewrite the descriptor.
-  const long long cores = parsed->at("cores").as_int(0);
-  const long long tpc = parsed->at("threads_per_core").as_int(0);
-  const long long freq = parsed->at("frequency").as_int(0);
-  if (cores > 0) job_desc->num_tasks = static_cast<uint32_t>(cores);
-  if (tpc > 0) job_desc->threads_per_core = static_cast<uint16_t>(tpc);
-  if (freq > 0) {
-    job_desc->cpu_freq_min = static_cast<uint32_t>(freq);
-    job_desc->cpu_freq_max = static_cast<uint32_t>(freq);
+  Decision decision;
+  decision.cores = parsed->at("cores").as_int(0);
+  decision.tpc = parsed->at("threads_per_core").as_int(0);
+  decision.freq = parsed->at("frequency").as_int(0);
+  ApplyDecision(job_desc, decision);
+  {
+    std::lock_guard<std::mutex> lock(CacheMutex());
+    Cache()[key] = decision;
   }
   ++stats.modified;
   ECO_INFO << "job_submit_eco: job " << job_desc->job_id << " set to "
-           << cores << " tasks @ " << freq << " kHz, " << tpc
-           << " threads/core";
+           << decision.cores << " tasks @ " << decision.freq << " kHz, "
+           << decision.tpc << " threads/core";
   record_time();
   return SLURM_SUCCESS;
 }

@@ -15,6 +15,7 @@
 //    plugin must never break production submissions.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -37,11 +38,22 @@ struct EcoPluginStats {
   std::uint64_t modified = 0;
   std::uint64_t skipped = 0;   // not opted in / deactivated / no gateway
   std::uint64_t errors = 0;    // chronus lookup or parse failures
-  double total_seconds = 0.0;  // wall time inside job_submit
+  std::uint64_t cache_hits = 0;    // decision served from the submit cache
+  std::uint64_t cache_misses = 0;  // decision required a gateway round-trip
+  double total_seconds = 0.0;      // wall time inside job_submit
 };
 
 EcoPluginStats GetEcoPluginStats();
+// Resets the counters only — the decision cache survives so experiments can
+// measure warm-cache latency across a stats reset.
 void ResetEcoPluginStats();
+
+// The plugin memoizes successful (system_hash, binary_hash, partition) ->
+// configuration decisions so repeat submissions skip the gateway round-trip.
+// SetChronusGateway also clears the cache (a new gateway may predict
+// differently); these helpers expose it to tests and benchmarks.
+void ClearEcoDecisionCache();
+std::size_t EcoDecisionCacheSize();
 
 // Extracts the executable path from the script's srun line ("" if none) —
 // exposed for tests.
