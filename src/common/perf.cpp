@@ -1,0 +1,29 @@
+#include "common/perf.hpp"
+
+#include <cstdio>
+
+namespace eco {
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string FormatNanos(std::uint64_t ns) {
+  char buf[64];
+  if (ns >= 1'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu ns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace eco

@@ -25,6 +25,13 @@ bool EventQueue::Cancel(std::uint64_t id) {
   return live_ids_.erase(id) > 0;
 }
 
+SimTime EventQueue::PeekNextTime(SimTime fallback) {
+  while (!queue_.empty() && live_ids_.count(queue_.top().id) == 0) {
+    queue_.pop();
+  }
+  return queue_.empty() ? fallback : queue_.top().when;
+}
+
 bool EventQueue::Step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();

@@ -38,10 +38,18 @@ class EventQueue {
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] bool empty() const { return live_ids_.empty(); }
   [[nodiscard]] std::size_t pending() const { return live_ids_.size(); }
+  // Timestamp of the next live (non-cancelled) event; `fallback` when the
+  // queue is empty. Drops cancelled tombstones as a side effect.
+  [[nodiscard]] SimTime PeekNextTime(SimTime fallback = 0.0);
 
  private:
   struct Event {
     SimTime when;
+    // Monotone insertion counter. This is the determinism contract: events
+    // scheduled at the same timestamp fire strictly in the order they were
+    // scheduled, regardless of heap internals or cancellations in between
+    // (regression-tested in test_sched_index.cpp). Batch submission and
+    // deferred dispatch both rely on it.
     std::uint64_t seq;
     std::uint64_t id;
     Callback cb;

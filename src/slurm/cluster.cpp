@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/perf.hpp"
 #include "slurm/job_desc.hpp"
 
 namespace eco::slurm {
@@ -12,7 +13,8 @@ ClusterSim::ClusterSim(ClusterConfig config)
       market_(config.market),
       green_policy_(&market_, config.green),
       priority_(config.priority_weights,
-                config.nodes * config.node.machine.cpu.cores) {
+                config.nodes * config.node.machine.cpu.cores),
+      pending_index_(&priority_, &fairshare_, config.use_multifactor) {
   for (int i = 0; i < config_.nodes; ++i) {
     std::string name = config_.node.machine.hostname;
     if (config_.nodes > 1) name += "-" + std::to_string(i);
@@ -108,6 +110,29 @@ const PartitionConfig* ClusterSim::ResolvePartition(
 }
 
 Result<JobId> ClusterSim::Submit(JobRequest request) {
+  auto id = Enqueue(std::move(request));
+  if (id.ok()) RequestDispatch();
+  return id;
+}
+
+std::vector<Result<JobId>> ClusterSim::SubmitBatch(
+    std::vector<JobRequest> requests) {
+  std::vector<Result<JobId>> out;
+  out.reserve(requests.size());
+  bool any_queued = false;
+  for (auto& request : requests) {
+    auto id = Enqueue(std::move(request));
+    any_queued = any_queued || id.ok();
+    out.push_back(std::move(id));
+  }
+  if (any_queued) RequestDispatch();
+  return out;
+}
+
+Result<JobId> ClusterSim::Enqueue(JobRequest request) {
+  ScopedTimer timer(&stats_.submit_ns);
+  ++stats_.submit_calls;
+
   // Partition routing: unknown partitions are rejected like slurmctld's
   // "invalid partition specified"; limits clamp the time limit.
   const PartitionConfig* partition = ResolvePartition(
@@ -156,13 +181,16 @@ Result<JobId> ClusterSim::Submit(JobRequest request) {
     return Result<JobId>::Error("submit: unsupported threads_per_core");
   }
 
-  JobRecord job;
-  job.id = id;
-  job.submitted = request;
-  job.request = effective;
-  job.submit_time = queue_.now();
-  job.eligible_time = queue_.now();
-  job.state = JobState::kPending;
+  JobRecord record;
+  record.id = id;
+  record.submitted = request;
+  record.request = effective;
+  record.submit_time = queue_.now();
+  record.eligible_time = queue_.now();
+  record.state = JobState::kPending;
+
+  submit_order_[id] = submit_counter_++;
+  JobRecord& job = jobs_[id] = record;
 
   // Green-window hold (§6.2.4).
   const bool wants_green =
@@ -175,22 +203,147 @@ Result<JobId> ClusterSim::Submit(JobRequest request) {
       auto it = jobs_.find(id);
       if (it == jobs_.end() || it->second.state != JobState::kHeld) return;
       it->second.state = JobState::kPending;
-      pending_.push_back(id);
-      Dispatch();
+      if (config_.use_legacy_scheduler) {
+        pending_.push_back(id);
+      } else {
+        EnterPendingIndexed(it->second);
+      }
+      RequestDispatch();
     });
     ECO_INFO << "job " << id << " held for green window until "
              << job.eligible_time;
-  } else {
+  } else if (config_.use_legacy_scheduler) {
     pending_.push_back(id);
+  } else {
+    EnterPendingIndexed(job);
   }
 
-  submit_order_[id] = submit_counter_++;
-  jobs_[id] = job;
-  Dispatch();
+  const std::uint64_t depth =
+      config_.use_legacy_scheduler
+          ? pending_.size()
+          : pending_index_.size() + waiting_deps_.size();
+  stats_.pending_peak = std::max(stats_.pending_peak, depth);
   return id;
 }
 
+IndexedJob ClusterSim::ToIndexedJob(const JobRecord& job) const {
+  IndexedJob out;
+  out.id = job.id;
+  out.user = job.request.user_id;
+  out.tiebreak = submit_order_.at(job.id);
+  out.nodes_needed = job.request.min_nodes;
+  out.time_limit_s = job.request.time_limit_s;
+  out.eligible_time = job.eligible_time;
+  out.size_factor =
+      priority_.SizeFactor(job.request.num_tasks, job.request.min_nodes);
+  return out;
+}
+
+void ClusterSim::EnterPendingIndexed(JobRecord& job) {
+  // Doomed dependencies (afterok on a failed/cancelled/unknown job) fail the
+  // job right away — the legacy engine reaches the same verdict in the
+  // screening pass of its next dispatch, at the same sim time.
+  for (const JobId dep : job.request.depends_on) {
+    const auto it = jobs_.find(dep);
+    if (it == jobs_.end() || it->second.state == JobState::kFailed ||
+        it->second.state == JobState::kCancelled) {
+      ECO_WARN << "job " << job.id << " failed: DependencyNeverSatisfied";
+      FinalizeJob(job, JobState::kFailed);
+      return;
+    }
+  }
+  int unmet = 0;
+  for (const JobId dep : job.request.depends_on) {
+    if (jobs_.at(dep).state != JobState::kCompleted) {
+      ++unmet;
+      dependents_[dep].push_back(job.id);
+    }
+  }
+  if (unmet > 0) {
+    waiting_deps_[job.id] = unmet;
+    return;
+  }
+  pending_index_.Insert(ToIndexedJob(job));
+}
+
+void ClusterSim::NotifyDependents(JobId id, bool completed) {
+  const auto it = dependents_.find(id);
+  if (it == dependents_.end()) return;
+  const std::vector<JobId> waiters = std::move(it->second);
+  dependents_.erase(it);
+  for (const JobId waiter : waiters) {
+    const auto wit = waiting_deps_.find(waiter);
+    if (wit == waiting_deps_.end()) continue;  // cancelled or already doomed
+    JobRecord& job = jobs_.at(waiter);
+    if (!completed) {
+      waiting_deps_.erase(wit);
+      ECO_WARN << "job " << waiter << " failed: DependencyNeverSatisfied";
+      FinalizeJob(job, JobState::kFailed);  // recursion dooms its own waiters
+    } else if (--wit->second == 0) {
+      waiting_deps_.erase(wit);
+      pending_index_.Insert(ToIndexedJob(job));
+    }
+  }
+}
+
+void ClusterSim::RequestDispatch() {
+  if (!config_.defer_dispatch) {
+    Dispatch();
+    return;
+  }
+  if (dispatch_scheduled_) {
+    ++stats_.dispatch_coalesced;
+    return;
+  }
+  dispatch_scheduled_ = true;
+  // Scheduled at `now`: the queue's sequence ordering runs it after every
+  // event already scheduled for this timestamp, so one pass sees them all.
+  queue_.ScheduleAt(queue_.now(), [this](SimTime) {
+    dispatch_scheduled_ = false;
+    Dispatch();
+  });
+}
+
 void ClusterSim::Dispatch() {
+  ScopedTimer timer(&stats_.dispatch_ns);
+  ++stats_.dispatch_calls;
+  if (config_.use_legacy_scheduler) {
+    DispatchLegacy();
+  } else {
+    DispatchIndexed();
+  }
+}
+
+void ClusterSim::RemoveFromPending(JobId id) {
+  if (config_.use_legacy_scheduler) {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                   pending_.end());
+  } else {
+    pending_index_.Erase(id);
+  }
+}
+
+void ClusterSim::DispatchIndexed() {
+  if (pending_index_.empty()) return;
+  const IndexedPlan plan = PlanScheduleIndexed(
+      config_.policy, pending_index_, timeline_, FreeNodes(), queue_.now(),
+      config_.backfill_max_job_test);
+  stats_.plan_candidates += plan.candidates;
+  stats_.backfill_planned += plan.backfilled;
+  if (plan.starts.empty()) return;
+
+  std::vector<JobId> to_start;
+  to_start.reserve(plan.starts.size());
+  for (const auto& start : plan.starts) {
+    // Unplanned jobs keep their last computed priority (squeue may show a
+    // stale value); the legacy engine refreshes every pending job per pass.
+    jobs_.at(start.id).priority = start.priority;
+    to_start.push_back(start.id);
+  }
+  ExecuteStartList(to_start);
+}
+
+void ClusterSim::DispatchLegacy() {
   if (pending_.empty()) return;
 
   // Dependency screening (afterok semantics): jobs whose dependencies can
@@ -238,6 +391,7 @@ void ClusterSim::Dispatch() {
     input.tiebreak = submit_order_.at(id);
     plan.push_back(input);
   }
+  stats_.plan_candidates += plan.size();
 
   std::vector<RunningInput> running;
   for (const auto& [id, run] : running_) {
@@ -251,7 +405,10 @@ void ClusterSim::Dispatch() {
   const std::vector<JobId> to_start =
       PlanSchedule(config_.policy, plan, running, FreeNodes(),
                    static_cast<int>(nodes_.size()), queue_.now());
+  ExecuteStartList(to_start);
+}
 
+void ClusterSim::ExecuteStartList(const std::vector<JobId>& to_start) {
   // Power-cap policy ([12]-style budget): track the projected cluster draw
   // and skip jobs that would breach it; they stay queued for the next pass.
   double projected_watts =
@@ -266,8 +423,7 @@ void ClusterSim::Dispatch() {
           // Nothing will ever free up budget: the job alone exceeds the cap.
           ECO_WARN << "job " << id << " exceeds the power cap on an idle "
                    << "cluster (" << estimate << " W > budget); failing it";
-          pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
-                         pending_.end());
+          RemoveFromPending(id);
           FinalizeJob(job, JobState::kFailed);
           continue;
         }
@@ -282,12 +438,11 @@ void ClusterSim::Dispatch() {
     if (static_cast<int>(node_idx.size()) < job.request.min_nodes) continue;
     const Status started = StartJob(job, node_idx);
     if (started.ok()) {
-      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
-                     pending_.end());
+      ++stats_.jobs_started;
+      RemoveFromPending(id);
     } else {
       ECO_WARN << "job " << id << " failed to start: " << started.message();
-      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
-                     pending_.end());
+      RemoveFromPending(id);
       FinalizeJob(job, JobState::kFailed);
     }
   }
@@ -323,6 +478,10 @@ Status ClusterSim::StartJob(JobRecord& job,
   run.timeout_event = queue_.ScheduleAfter(
       job.request.time_limit_s, [this, id](SimTime) { OnTimeout(id); });
   running_[id] = std::move(run);
+  timeline_.Add(id, job.start_time + job.request.time_limit_s,
+                static_cast<int>(node_idx.size()));
+  stats_.timeline_peak = std::max(
+      stats_.timeline_peak, static_cast<std::uint64_t>(timeline_.size()));
   return Status::Ok();
 }
 
@@ -347,8 +506,9 @@ void ClusterSim::OnNodeDone(JobId id, const RunStats& stats) {
       run.aggregate.avg_cpu_temp / static_cast<double>(run.node_indices.size());
   queue_.Cancel(run.timeout_event);
   running_.erase(it);
+  timeline_.Remove(id);
   FinalizeJob(job, JobState::kCompleted);
-  Dispatch();
+  RequestDispatch();
 }
 
 void ClusterSim::OnTimeout(JobId id) {
@@ -375,8 +535,9 @@ void ClusterSim::OnTimeout(JobId id) {
   job.avg_cpu_temp =
       aggregate.avg_cpu_temp / static_cast<double>(run.node_indices.size());
   running_.erase(it);
+  timeline_.Remove(id);
   FinalizeJob(job, JobState::kCancelled);
-  Dispatch();
+  RequestDispatch();
 }
 
 void ClusterSim::FinalizeJob(JobRecord& job, JobState state) {
@@ -385,6 +546,9 @@ void ClusterSim::FinalizeJob(JobRecord& job, JobState state) {
   fairshare_.AddUsage(job.request.user_id,
                       job.RunSeconds() * job.request.num_tasks, queue_.now());
   accounting_.Record(job);
+  if (!config_.use_legacy_scheduler) {
+    NotifyDependents(job.id, state == JobState::kCompleted);
+  }
 }
 
 Status ClusterSim::Cancel(JobId id) {
@@ -394,10 +558,10 @@ Status ClusterSim::Cancel(JobId id) {
   switch (job.state) {
     case JobState::kPending:
     case JobState::kHeld:
-      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
-                     pending_.end());
+      RemoveFromPending(id);
+      waiting_deps_.erase(id);
       FinalizeJob(job, JobState::kCancelled);
-      Dispatch();  // dependents of a cancelled job must fail promptly
+      RequestDispatch();  // dependents of a cancelled job must fail promptly
       return Status::Ok();
     case JobState::kRunning: {
       auto run_it = running_.find(id);
@@ -407,9 +571,10 @@ Status ClusterSim::Cancel(JobId id) {
         }
         queue_.Cancel(run_it->second.timeout_event);
         running_.erase(run_it);
+        timeline_.Remove(id);
       }
       FinalizeJob(job, JobState::kCancelled);
-      Dispatch();
+      RequestDispatch();
       return Status::Ok();
     }
     default:

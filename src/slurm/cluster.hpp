@@ -6,12 +6,21 @@
 // job-submit plugin pipeline before queueing, §3.1.1), Queue() is squeue,
 // GetJob() is scontrol show job, accounting() is sacct/slurmdbd, and
 // RunJobToCompletion() is srun's blocking behaviour.
+//
+// Two scheduler engines share the same policy semantics (see DESIGN.md,
+// "Scheduler complexity"):
+//   - indexed (default): PendingIndex + NodeTimeline; dispatch cost scales
+//     with what it starts, not with queue depth. Million-job capable.
+//   - legacy (use_legacy_scheduler): the original sort-everything pass, kept
+//     as the A/B baseline for bench_p2_sched_throughput and the
+//     schedule-equivalence suite.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -21,6 +30,7 @@
 #include "slurm/job.hpp"
 #include "slurm/node_sim.hpp"
 #include "slurm/plugin_registry.hpp"
+#include "slurm/sched_index.hpp"
 #include "slurm/scheduler.hpp"
 
 namespace eco::slurm {
@@ -52,6 +62,35 @@ struct ClusterConfig {
   // the related work [12] (Kumbhare et al., "Dynamic Power Management for
   // Value-Oriented Schedulers in Power-Constrained HPC Systems").
   double power_cap_watts = 0.0;
+  // A/B switch: run the pre-index scheduler (full priority recompute + sort
+  // per pass). Kept for benchmarking and the equivalence suite; both engines
+  // produce the same schedule on the workloads those tests cover.
+  bool use_legacy_scheduler = false;
+  // Coalesce dispatch requests landing at one sim timestamp into a single
+  // scheduling pass, run as its own event (slurmctld's deferred sched loop).
+  // Off by default: every submit/completion dispatches inline, as before.
+  bool defer_dispatch = false;
+  // Indexed engine only: examine at most this many backfill candidates per
+  // pass (Slurm's bf_max_job_test). 0 = unlimited, matching legacy.
+  int backfill_max_job_test = 0;
+};
+
+// Hot-path counters and scoped-timer sinks, exposed via sched_stats().
+struct SchedulerStats {
+  std::uint64_t submit_calls = 0;
+  std::uint64_t submit_ns = 0;
+  std::uint64_t dispatch_calls = 0;
+  std::uint64_t dispatch_ns = 0;
+  // Dispatch requests absorbed into an already-scheduled deferred pass.
+  std::uint64_t dispatch_coalesced = 0;
+  // Queue entries the planner examined (legacy: whole eligible queue per
+  // pass; indexed: only popped candidates).
+  std::uint64_t plan_candidates = 0;
+  std::uint64_t jobs_started = 0;
+  // Indexed engine only: starts planned past a blocked head.
+  std::uint64_t backfill_planned = 0;
+  std::uint64_t pending_peak = 0;   // deepest pending queue observed
+  std::uint64_t timeline_peak = 0;  // most concurrent running entries
 };
 
 class ClusterSim {
@@ -76,6 +115,12 @@ class ClusterSim {
   // sbatch: validates, runs the plugin pipeline, queues, and triggers a
   // scheduling pass. Returns the job id.
   Result<JobId> Submit(JobRequest request);
+
+  // Batched sbatch: queues every request, then runs ONE scheduling pass.
+  // Per-request results line up with the input; a rejected request does not
+  // stop the rest. This is how WorkloadGen pumps 10^5..10^6 jobs without a
+  // dispatch per submission.
+  std::vector<Result<JobId>> SubmitBatch(std::vector<JobRequest> requests);
 
   // sbatch --array=0-(count-1): submits `count` independent tasks sharing an
   // array id; each task's name gets the Slurm-style "_<index>" suffix and
@@ -110,6 +155,9 @@ class ClusterSim {
   // Fails if the job is rejected or ends in a non-completed state.
   Result<JobRecord> RunJobToCompletion(JobRequest request);
 
+  [[nodiscard]] const SchedulerStats& sched_stats() const { return stats_; }
+  void ResetSchedStats() { stats_ = SchedulerStats{}; }
+
  private:
   struct RunningJob {
     std::vector<std::size_t> node_indices;
@@ -118,7 +166,21 @@ class ClusterSim {
     std::uint64_t timeout_event = 0;
   };
 
+  // Validate + plugin pipeline + queue, WITHOUT a scheduling pass.
+  Result<JobId> Enqueue(JobRequest request);
+  // Dispatch now, or coalesce into one same-timestamp event (defer mode).
+  void RequestDispatch();
   void Dispatch();
+  void DispatchLegacy();
+  void DispatchIndexed();
+  // The shared tail of both engines: power cap, node pick, start, dequeue.
+  void ExecuteStartList(const std::vector<JobId>& to_start);
+  void RemoveFromPending(JobId id);
+  // Indexed engine: index the job, park it on unmet dependencies, or doom it.
+  void EnterPendingIndexed(JobRecord& job);
+  // Indexed engine: wake or doom jobs waiting on `id` after it finalized.
+  void NotifyDependents(JobId id, bool completed);
+  [[nodiscard]] IndexedJob ToIndexedJob(const JobRecord& job) const;
   Status StartJob(JobRecord& job, const std::vector<std::size_t>& node_idx);
   void OnNodeDone(JobId id, const RunStats& stats);
   void OnTimeout(JobId id);
@@ -137,7 +199,15 @@ class ClusterSim {
   std::vector<std::unique_ptr<NodeSim>> nodes_;
   std::map<JobId, JobRecord> jobs_;
   std::map<JobId, RunningJob> running_;
-  std::vector<JobId> pending_;  // submission order preserved
+  std::vector<JobId> pending_;  // legacy engine; submission order preserved
+  PendingIndex pending_index_;  // indexed engine
+  NodeTimeline timeline_;       // kept current in both modes
+  // Indexed engine's dependency tables: jobs parked on unmet afterok deps
+  // (id -> count still outstanding) and the reverse edges that wake them.
+  std::unordered_map<JobId, int> waiting_deps_;
+  std::unordered_map<JobId, std::vector<JobId>> dependents_;
+  bool dispatch_scheduled_ = false;  // a deferred pass is already queued
+  SchedulerStats stats_;
   JobId next_id_ = 1;
   std::uint64_t submit_counter_ = 0;
   std::map<JobId, std::uint64_t> submit_order_;

@@ -1,8 +1,10 @@
 #include "slurm/sbatch.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "common/strings.hpp"
+#include "slurm/cluster.hpp"
 
 namespace eco::slurm {
 
@@ -71,6 +73,31 @@ Result<JobRequest> ParseSbatchScript(const std::string& script,
 
   if (out.num_tasks < 1) {
     return Result<JobRequest>::Error("sbatch: script sets no --ntasks");
+  }
+  return out;
+}
+
+std::vector<Result<JobId>> SubmitScripts(
+    ClusterSim& cluster, const std::vector<std::string>& scripts,
+    const JobRequest& base) {
+  std::vector<Result<JobId>> out(scripts.size(),
+                                 Result<JobId>::Error("sbatch: not submitted"));
+  std::vector<JobRequest> parsed;
+  std::vector<std::size_t> slots;  // parsed[i] came from scripts[slots[i]]
+  parsed.reserve(scripts.size());
+  slots.reserve(scripts.size());
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    auto request = ParseSbatchScript(scripts[i], base);
+    if (!request.ok()) {
+      out[i] = Result<JobId>::Error(request.message());
+      continue;
+    }
+    parsed.push_back(std::move(*request));
+    slots.push_back(i);
+  }
+  auto submitted = cluster.SubmitBatch(std::move(parsed));
+  for (std::size_t i = 0; i < submitted.size(); ++i) {
+    out[slots[i]] = std::move(submitted[i]);
   }
   return out;
 }

@@ -8,11 +8,14 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "slurm/job.hpp"
 
 namespace eco::slurm {
+
+class ClusterSim;
 
 // Listing 6: nodes=1, --ntasks, --cpu-freq, then
 // `srun --mpi=pmix_v4 --ntasks-per-core=N <hpcg_path>`.
@@ -25,5 +28,14 @@ std::string GenerateHpcgScript(int cores, KiloHertz frequency,
 // ignored, matching sbatch's tolerance for comments.
 Result<JobRequest> ParseSbatchScript(const std::string& script,
                                      JobRequest base);
+
+// Batched sbatch: parses every script against `base` and submits the whole
+// set through ClusterSim::SubmitBatch — one scheduling pass for N scripts.
+// Results line up with the input; a script that fails to parse (or a request
+// the cluster rejects) yields an error in its slot without stopping the
+// rest, unlike SubmitArray's all-or-nothing semantics.
+std::vector<Result<JobId>> SubmitScripts(ClusterSim& cluster,
+                                         const std::vector<std::string>& scripts,
+                                         const JobRequest& base);
 
 }  // namespace eco::slurm

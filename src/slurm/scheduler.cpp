@@ -10,6 +10,13 @@ void FairShareTracker::AddUsage(std::uint32_t user, double cpu_seconds,
   Usage& u = usage_[user];
   u.amount = DecayedUsage(user, now) + cpu_seconds;
   u.as_of = now;
+  // The total decays at the same rate as every entry, so bringing it forward
+  // to `now` and adding the fresh usage keeps it equal (up to rounding) to
+  // Σ_u DecayedUsage(u, now).
+  const double total_age = std::max(0.0, now - total_.as_of);
+  total_.amount = total_.amount * std::pow(0.5, total_age / half_life_) +
+                  cpu_seconds;
+  total_.as_of = now;
 }
 
 double FairShareTracker::DecayedUsage(std::uint32_t user, SimTime now) const {
@@ -21,11 +28,9 @@ double FairShareTracker::DecayedUsage(std::uint32_t user, SimTime now) const {
 
 double FairShareTracker::Factor(std::uint32_t user, SimTime now) const {
   if (usage_.empty()) return 1.0;
-  double total = 0.0;
-  for (const auto& [uid, usage] : usage_) {
-    (void)usage;
-    total += DecayedUsage(uid, now);
-  }
+  const double total_age = std::max(0.0, now - total_.as_of);
+  const double total =
+      total_.amount * std::pow(0.5, total_age / half_life_);
   if (total <= 0.0) return 1.0;
   const double average = total / static_cast<double>(usage_.size());
   const double mine = DecayedUsage(user, now);
@@ -34,19 +39,28 @@ double FairShareTracker::Factor(std::uint32_t user, SimTime now) const {
   return std::pow(2.0, -mine / average);
 }
 
+double MultifactorPriority::SizeFactor(int num_tasks, int min_nodes) const {
+  return cluster_cores_ > 0
+             ? std::min(1.0, static_cast<double>(num_tasks * min_nodes) /
+                                 cluster_cores_)
+             : 0.0;
+}
+
+double MultifactorPriority::ComputeFromFactors(double wait_seconds,
+                                               double size_factor,
+                                               double fs_factor) const {
+  const double age_factor =
+      std::min(1.0, wait_seconds / weights_.max_age_seconds);
+  return weights_.age * age_factor + weights_.size * size_factor +
+         weights_.fairshare * fs_factor + weights_.qos;
+}
+
 double MultifactorPriority::Compute(const JobRecord& job, SimTime now,
                                     const FairShareTracker& fairshare) const {
   const double wait = std::max(0.0, now - job.eligible_time);
-  const double age_factor = std::min(1.0, wait / weights_.max_age_seconds);
-  const double size_factor =
-      cluster_cores_ > 0
-          ? std::min(1.0, static_cast<double>(job.request.num_tasks *
-                                              job.request.min_nodes) /
-                              cluster_cores_)
-          : 0.0;
-  const double fs_factor = fairshare.Factor(job.request.user_id, now);
-  return weights_.age * age_factor + weights_.size * size_factor +
-         weights_.fairshare * fs_factor + weights_.qos;
+  return ComputeFromFactors(
+      wait, SizeFactor(job.request.num_tasks, job.request.min_nodes),
+      fairshare.Factor(job.request.user_id, now));
 }
 
 std::vector<JobId> PlanSchedule(SchedulerPolicy policy,
@@ -76,8 +90,6 @@ std::vector<JobId> PlanSchedule(SchedulerPolicy policy,
   // EASY backfill. The blocked head job reserves the earliest instant enough
   // nodes will be free, assuming running jobs end at their time limits.
   const PlanInput& blocked = pending[head];
-  std::vector<SimTime> ends;
-  ends.reserve(running.size());
   struct Release {
     SimTime when;
     int nodes;

@@ -17,6 +17,13 @@
 namespace eco::slurm {
 
 // Decayed per-user usage tracking for the fair-share factor.
+//
+// The cluster-wide decayed total is maintained incrementally: every user's
+// contribution decays at the same exponential rate, so the total itself
+// decays like a single usage entry and one (amount, as_of) pair tracks it.
+// Factor() is therefore O(log users) — one map lookup — instead of a scan
+// over every user per query, which made priority recomputation quadratic in
+// deep queues.
 class FairShareTracker {
  public:
   explicit FairShareTracker(double half_life_seconds = 7 * 24 * 3600.0)
@@ -26,6 +33,7 @@ class FairShareTracker {
   // Factor in (0, 1]; 1 = no recent usage, decreasing with decayed usage
   // relative to the cluster-wide average.
   [[nodiscard]] double Factor(std::uint32_t user, SimTime now) const;
+  [[nodiscard]] std::size_t user_count() const { return usage_.size(); }
 
  private:
   [[nodiscard]] double DecayedUsage(std::uint32_t user, SimTime now) const;
@@ -36,6 +44,8 @@ class FairShareTracker {
   };
   double half_life_;
   std::map<std::uint32_t, Usage> usage_;
+  // Incrementally maintained Σ_u DecayedUsage(u): decayed to `total_as_of_`.
+  Usage total_{};
 };
 
 struct MultifactorWeights {
@@ -54,6 +64,17 @@ class MultifactorPriority {
 
   [[nodiscard]] double Compute(const JobRecord& job, SimTime now,
                                const FairShareTracker& fairshare) const;
+
+  // The factored form Compute() is built from. The indexed scheduler caches
+  // the time-invariant size factor per job and the fair-share factor per
+  // user, then calls this per candidate — the expression is shared so both
+  // paths produce bitwise-identical priorities.
+  [[nodiscard]] double ComputeFromFactors(double wait_seconds,
+                                          double size_factor,
+                                          double fs_factor) const;
+  [[nodiscard]] double SizeFactor(int num_tasks, int min_nodes) const;
+
+  [[nodiscard]] const MultifactorWeights& weights() const { return weights_; }
 
  private:
   MultifactorWeights weights_;

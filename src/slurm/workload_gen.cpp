@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "slurm/cluster.hpp"
 
 namespace eco::slurm {
+
+namespace {
+// Round a fixed-job duration up to the mix's quantum (0 = untouched). Applied
+// after the rng draws so quantum 0 reproduces the historical stream exactly.
+double Quantize(double seconds, double quantum) {
+  if (quantum <= 0.0) return seconds;
+  return std::ceil(seconds / quantum) * quantum;
+}
+}  // namespace
 
 std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
                                            int max_cores,
@@ -38,20 +50,91 @@ std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
       request.min_nodes = mix.wide_nodes;
       request.num_tasks = max_cores * mix.wide_nodes;
       request.workload = WorkloadSpec::Fixed(
-          rng.Uniform(mix.filler_max_s * 0.5, mix.filler_max_s), 0.9);
+          Quantize(rng.Uniform(mix.filler_max_s * 0.5, mix.filler_max_s),
+                   mix.duration_quantum_s),
+          0.9);
       request.time_limit_s = mix.filler_max_s * 2.5;
     } else {
       request.name = "filler-" + std::to_string(i);
       request.num_tasks =
           rng.UniformInt(mix.filler_min_tasks, mix.filler_max_tasks);
       request.workload = WorkloadSpec::Fixed(
-          rng.Uniform(mix.filler_min_s, mix.filler_max_s),
+          Quantize(rng.Uniform(mix.filler_min_s, mix.filler_max_s),
+                   mix.duration_quantum_s),
           rng.Uniform(0.6, 0.95));
       request.time_limit_s = mix.filler_max_s * 1.5;
     }
     out.push_back(std::move(job));
   }
   return out;
+}
+
+namespace {
+
+// The pump keeps exactly one arrival event in flight: each firing submits
+// every job whose arrival falls inside the coalescing window, then re-arms
+// for the next window. Shared ownership keeps the state alive for as long
+// as a scheduled event still references it.
+struct PumpState {
+  ClusterSim* cluster = nullptr;
+  std::vector<GeneratedJob> jobs;
+  std::size_t next = 0;
+  double coalesce_s = 0.0;
+  std::shared_ptr<PumpStats> stats;
+};
+
+void ArmPump(const std::shared_ptr<PumpState>& state);
+
+void FirePump(const std::shared_ptr<PumpState>& state, SimTime now) {
+  std::vector<JobRequest> batch;
+  // The event fired at the window's last arrival, so every due job has
+  // arrival <= now exactly (arrivals are sorted).
+  while (state->next < state->jobs.size() &&
+         state->jobs[state->next].arrival <= now) {
+    batch.push_back(std::move(state->jobs[state->next].request));
+    ++state->next;
+  }
+  if (!batch.empty()) {
+    const auto results = state->cluster->SubmitBatch(std::move(batch));
+    ++state->stats->batches;
+    for (const auto& result : results) {
+      if (result.ok()) {
+        ++state->stats->submitted;
+      } else {
+        ++state->stats->rejected;
+      }
+    }
+  }
+  ArmPump(state);
+}
+
+void ArmPump(const std::shared_ptr<PumpState>& state) {
+  if (state->next >= state->jobs.size()) return;
+  // Fire at the window's END so every member has arrived by then; members
+  // are therefore submitted at most coalesce_s after their true arrival.
+  std::size_t last = state->next;
+  const SimTime window_end = state->jobs[last].arrival + state->coalesce_s;
+  while (last + 1 < state->jobs.size() &&
+         state->jobs[last + 1].arrival <= window_end) {
+    ++last;
+  }
+  state->cluster->queue().ScheduleAt(
+      state->jobs[last].arrival,
+      [state](SimTime now) { FirePump(state, now); });
+}
+
+}  // namespace
+
+std::shared_ptr<PumpStats> PumpWorkload(ClusterSim& cluster,
+                                        std::vector<GeneratedJob> jobs,
+                                        double coalesce_s) {
+  auto state = std::make_shared<PumpState>();
+  state->cluster = &cluster;
+  state->jobs = std::move(jobs);
+  state->coalesce_s = std::max(0.0, coalesce_s);
+  state->stats = std::make_shared<PumpStats>();
+  ArmPump(state);
+  return state->stats;
 }
 
 }  // namespace eco::slurm

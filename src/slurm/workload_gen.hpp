@@ -7,6 +7,8 @@
 // and the scheduler tests.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -14,6 +16,8 @@
 #include "slurm/job.hpp"
 
 namespace eco::slurm {
+
+class ClusterSim;
 
 struct WorkloadMix {
   double hpcg_share = 0.4;        // opted-in HPCG jobs
@@ -27,6 +31,10 @@ struct WorkloadMix {
   double hpcg_target_seconds = 600.0;  // HPCG sizing at the reference config
   int users = 3;
   std::uint64_t seed = 4242;
+  // When > 0, fixed-job durations are rounded up to a multiple of this (in
+  // seconds). Drain benches set it to the node tick so completions land in
+  // shared waves instead of one event per job; 0 leaves durations untouched.
+  double duration_quantum_s = 0.0;
 };
 
 struct GeneratedJob {
@@ -39,5 +47,25 @@ struct GeneratedJob {
 std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
                                            int max_cores,
                                            int iterations_for_hpcg);
+
+// Filled in as the pump's arrival events fire; read it after draining.
+struct PumpStats {
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;
+  std::size_t batches = 0;  // scheduling passes triggered by the pump
+};
+
+// Feeds `jobs` (must be sorted by arrival; GenerateWorkload output already
+// is) into the cluster via its event queue using ONE in-flight event that
+// re-arms itself — pumping 10^6 jobs never holds 10^6 arrival events.
+//
+// `coalesce_s` > 0 groups every job arriving within that window into a
+// single SubmitBatch fired at the window's end (jobs are submitted at most
+// `coalesce_s` late). 0 submits each arrival at its exact time — with
+// distinct arrival timestamps that is event-for-event identical to a manual
+// RunUntil+Submit loop (exact ties are batched into one scheduling pass).
+std::shared_ptr<PumpStats> PumpWorkload(ClusterSim& cluster,
+                                        std::vector<GeneratedJob> jobs,
+                                        double coalesce_s = 0.0);
 
 }  // namespace eco::slurm
