@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/perf.hpp"
+#include "common/thread_pool.hpp"
 #include "slurm/job_desc.hpp"
 
 namespace eco::slurm {
@@ -13,12 +14,46 @@ ClusterSim::ClusterSim(ClusterConfig config)
       market_(config.market),
       green_policy_(&market_, config.green),
       priority_(config.priority_weights,
-                config.nodes * config.node.machine.cpu.cores),
-      pending_index_(&priority_, &fairshare_, config.use_multifactor) {
+                config.nodes * config.node.machine.cpu.cores) {
   for (int i = 0; i < config_.nodes; ++i) {
     std::string name = config_.node.machine.hostname;
     if (config_.nodes > 1) name += "-" + std::to_string(i);
     nodes_.push_back(std::make_unique<NodeSim>(name, config_.node, &queue_));
+  }
+
+  // One shard per partition. An empty node_ranges list means the partition
+  // owns every node (the historical single-queue behaviour).
+  shards_.reserve(config_.partitions.size());
+  for (std::size_t p = 0; p < config_.partitions.size(); ++p) {
+    const PartitionConfig& partition = config_.partitions[p];
+    auto shard = std::make_unique<PartitionShard>(&priority_,
+                                                  config_.use_multifactor);
+    shard->config = &config_.partitions[p];
+    shard->member.assign(nodes_.size(), 0);
+    if (partition.node_ranges.empty()) {
+      std::fill(shard->member.begin(), shard->member.end(), char{1});
+    } else {
+      for (const auto& [first, last] : partition.node_ranges) {
+        const int lo = std::max(0, first);
+        const int hi = std::min(last, static_cast<int>(nodes_.size()) - 1);
+        for (int i = lo; i <= hi; ++i) shard->member[i] = 1;
+      }
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!shard->member[i]) continue;
+      shard->node_indices.push_back(i);
+      nodes_[i]->AddPartition(partition.name);
+    }
+    shard_by_name_.emplace(partition.name, p);
+    shards_.push_back(std::move(shard));
+  }
+  if (shards_.size() > 1) {
+    std::vector<int> owners(nodes_.size(), 0);
+    for (const auto& shard : shards_) {
+      for (const std::size_t i : shard->node_indices) {
+        if (++owners[i] > 1) partitions_overlap_ = true;
+      }
+    }
   }
 }
 
@@ -85,10 +120,46 @@ int ClusterSim::FreeNodes() const {
   return free;
 }
 
-std::vector<std::size_t> ClusterSim::PickFreeNodes(int count) const {
+int ClusterSim::FreeNodesInShard(const PartitionShard& shard) const {
+  int free = 0;
+  for (const std::size_t i : shard.node_indices) {
+    if (nodes_[i]->idle()) ++free;
+  }
+  return free;
+}
+
+int ClusterSim::FreeNodesIn(const std::string& partition) const {
+  const auto it = shard_by_name_.find(partition);
+  if (it == shard_by_name_.end()) return -1;
+  return FreeNodesInShard(*shards_[it->second]);
+}
+
+const std::vector<std::size_t>& ClusterSim::partition_nodes(
+    std::size_t i) const {
+  return shards_.at(i)->node_indices;
+}
+
+const SchedulerStats* ClusterSim::sched_stats(
+    const std::string& partition) const {
+  const auto it = shard_by_name_.find(partition);
+  if (it == shard_by_name_.end()) return nullptr;
+  return &shards_[it->second]->stats;
+}
+
+void ClusterSim::ResetSchedStats() {
+  stats_ = SchedulerStats{};
+  for (const auto& shard : shards_) shard->stats = SchedulerStats{};
+}
+
+ClusterSim::PartitionShard& ClusterSim::ShardOf(const JobRecord& job) {
+  return *shards_[shard_by_name_.at(job.request.partition)];
+}
+
+std::vector<std::size_t> ClusterSim::PickFreeNodes(
+    const PartitionShard& shard, int count) const {
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < nodes_.size() && static_cast<int>(out.size()) < count;
-       ++i) {
+  for (const std::size_t i : shard.node_indices) {
+    if (static_cast<int>(out.size()) >= count) break;
     if (nodes_[i]->idle()) out.push_back(i);
   }
   return out;
@@ -133,20 +204,27 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
   ScopedTimer timer(&stats_.submit_ns);
   ++stats_.submit_calls;
 
-  // Partition routing: unknown partitions are rejected like slurmctld's
-  // "invalid partition specified"; limits clamp the time limit.
-  const PartitionConfig* partition = ResolvePartition(
-      request.partition == "batch" ? std::string() : request.partition);
+  // Partition routing: an EMPTY name selects the default partition; any
+  // non-empty name must match exactly, or the job is rejected like
+  // slurmctld's "invalid partition specified". (A partition literally named
+  // "batch" that is not the default is therefore honoured, not rerouted.)
+  // Limits clamp the time limit.
+  const PartitionConfig* partition = ResolvePartition(request.partition);
   if (partition == nullptr) {
     return Result<JobId>::Error("submit: invalid partition '" +
                                 request.partition + "'");
   }
   request.partition = partition->name;
   request.time_limit_s = std::min(request.time_limit_s, partition->max_time_s);
+  const std::size_t partition_index =
+      static_cast<std::size_t>(partition - config_.partitions.data());
+  PartitionShard* shard = shards_[partition_index].get();
 
-  // Validation a real slurmctld does before plugins run.
+  // Validation a real slurmctld does before plugins run. Node counts are
+  // validated against the job's partition, not the whole cluster — a job
+  // wider than its partition could never start.
   if (request.min_nodes < 1 ||
-      request.min_nodes > static_cast<int>(nodes_.size())) {
+      request.min_nodes > static_cast<int>(shard->node_indices.size())) {
     return Result<JobId>::Error("submit: bad node count " +
                                 std::to_string(request.min_nodes));
   }
@@ -164,6 +242,25 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
     return Result<JobId>::Error(plugin_status.message());
   }
   JobRequest effective = wrapper.ToRequest(request);
+
+  // A plugin may have rewritten the partition; re-route (and re-validate the
+  // node count) so the job lands in a shard that actually exists.
+  if (effective.partition != request.partition) {
+    const PartitionConfig* rewritten = ResolvePartition(effective.partition);
+    if (rewritten == nullptr) {
+      return Result<JobId>::Error("submit: invalid partition '" +
+                                  effective.partition + "'");
+    }
+    effective.partition = rewritten->name;
+    shard = shards_[static_cast<std::size_t>(rewritten -
+                                             config_.partitions.data())]
+                .get();
+    if (effective.min_nodes < 1 ||
+        effective.min_nodes > static_cast<int>(shard->node_indices.size())) {
+      return Result<JobId>::Error("submit: bad node count " +
+                                  std::to_string(effective.min_nodes));
+    }
+  }
 
   // Post-plugin validation against the hardware.
   const auto& cpu = config_.node.machine.cpu;
@@ -191,6 +288,7 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
 
   submit_order_[id] = submit_counter_++;
   JobRecord& job = jobs_[id] = record;
+  ++shard->stats.submit_calls;
 
   // Green-window hold (§6.2.4).
   const bool wants_green =
@@ -218,12 +316,17 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
     EnterPendingIndexed(job);
   }
 
-  const std::uint64_t depth =
-      config_.use_legacy_scheduler
-          ? pending_.size()
-          : pending_index_.size() + waiting_deps_.size();
+  const std::uint64_t depth = config_.use_legacy_scheduler
+                                  ? pending_.size()
+                                  : IndexedPendingDepth();
   stats_.pending_peak = std::max(stats_.pending_peak, depth);
   return id;
+}
+
+std::uint64_t ClusterSim::IndexedPendingDepth() const {
+  std::uint64_t depth = waiting_deps_.size();
+  for (const auto& shard : shards_) depth += shard->pending.size();
+  return depth;
 }
 
 IndexedJob ClusterSim::ToIndexedJob(const JobRecord& job) const {
@@ -263,7 +366,11 @@ void ClusterSim::EnterPendingIndexed(JobRecord& job) {
     waiting_deps_[job.id] = unmet;
     return;
   }
-  pending_index_.Insert(ToIndexedJob(job));
+  PartitionShard& shard = ShardOf(job);
+  shard.pending.Insert(ToIndexedJob(job));
+  shard.stats.pending_peak =
+      std::max(shard.stats.pending_peak,
+               static_cast<std::uint64_t>(shard.pending.size()));
 }
 
 void ClusterSim::NotifyDependents(JobId id, bool completed) {
@@ -281,7 +388,7 @@ void ClusterSim::NotifyDependents(JobId id, bool completed) {
       FinalizeJob(job, JobState::kFailed);  // recursion dooms its own waiters
     } else if (--wit->second == 0) {
       waiting_deps_.erase(wit);
-      pending_index_.Insert(ToIndexedJob(job));
+      ShardOf(job).pending.Insert(ToIndexedJob(job));
     }
   }
 }
@@ -310,7 +417,7 @@ void ClusterSim::Dispatch() {
   if (config_.use_legacy_scheduler) {
     DispatchLegacy();
   } else {
-    DispatchIndexed();
+    DispatchSharded();
   }
 }
 
@@ -319,18 +426,26 @@ void ClusterSim::RemoveFromPending(JobId id) {
     pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
                    pending_.end());
   } else {
-    pending_index_.Erase(id);
+    ShardOf(jobs_.at(id)).pending.Erase(id);
   }
 }
 
-void ClusterSim::DispatchIndexed() {
-  if (pending_index_.empty()) return;
-  const IndexedPlan plan = PlanScheduleIndexed(
-      config_.policy, pending_index_, timeline_, FreeNodes(), queue_.now(),
-      config_.backfill_max_job_test);
+IndexedPlan ClusterSim::PlanShard(PartitionShard& shard) {
+  ScopedTimer timer(&shard.stats.dispatch_ns);
+  ++shard.stats.dispatch_calls;
+  IndexedPlan plan = PlanScheduleIndexed(
+      config_.policy, shard.pending, shard.timeline, FreeNodesInShard(shard),
+      queue_.now(), config_.backfill_max_job_test);
+  shard.stats.plan_candidates += plan.candidates;
+  shard.stats.backfill_planned += plan.backfilled;
+  return plan;
+}
+
+int ClusterSim::ExecutePlanIndexed(PartitionShard& shard,
+                                   const IndexedPlan& plan) {
   stats_.plan_candidates += plan.candidates;
   stats_.backfill_planned += plan.backfilled;
-  if (plan.starts.empty()) return;
+  if (plan.starts.empty()) return 0;
 
   std::vector<JobId> to_start;
   to_start.reserve(plan.starts.size());
@@ -340,37 +455,96 @@ void ClusterSim::DispatchIndexed() {
     jobs_.at(start.id).priority = start.priority;
     to_start.push_back(start.id);
   }
-  ExecuteStartList(to_start);
+  return ExecuteStartList(to_start, shard);
 }
 
-void ClusterSim::DispatchLegacy() {
-  if (pending_.empty()) return;
+void ClusterSim::DispatchSharded() {
+  // Only shards with pending work pay anything this pass.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->pending.empty()) active.push_back(i);
+  }
+  if (active.empty()) return;
 
-  // Dependency screening (afterok semantics): jobs whose dependencies can
-  // never complete are failed; jobs still waiting are left out of the plan.
-  for (const JobId id : std::vector<JobId>(pending_.begin(), pending_.end())) {
-    auto& job = jobs_.at(id);
-    bool doomed = false;
-    for (const JobId dep : job.request.depends_on) {
-      const auto it = jobs_.find(dep);
-      if (it == jobs_.end() || it->second.state == JobState::kFailed ||
-          it->second.state == JobState::kCancelled) {
-        doomed = true;
-        break;
-      }
+  // Disjoint partitions: planning touches only shard-local state (its own
+  // pending index, timeline, fair-share tracker, and its own nodes' idle
+  // flags), so all active shards plan concurrently. Execution stays serial
+  // in partition-config order — starts only consume the executing shard's
+  // nodes, so deferred plans are exactly what an interleaved serial walk
+  // would have produced, and the schedule is pool-size invariant.
+  if (!partitions_overlap_ && active.size() > 1) {
+    std::vector<IndexedPlan> plans(active.size());
+    ThreadPool& pool =
+        config_.pool != nullptr ? *config_.pool : ThreadPool::Global();
+    pool.ParallelForChunks(
+        0, static_cast<std::int64_t>(active.size()), 1,
+        [&](std::int64_t, std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            plans[static_cast<std::size_t>(i)] =
+                PlanShard(*shards_[active[static_cast<std::size_t>(i)]]);
+          }
+        });
+    // A job FAILED during execution (power cap on an idle cluster, node
+    // start failure) finalizes immediately, and dooming its dependents can
+    // charge usage to another shard's fair-share tracker — state a later
+    // shard's precomputed plan already read. Replan those shards serially;
+    // shards before the first failure saw exactly what the interleaved walk
+    // would have shown them, so the schedule stays bitwise identical to it.
+    bool replan = false;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      PartitionShard& shard = *shards_[active[i]];
+      if (replan) plans[i] = PlanShard(shard);
+      if (ExecutePlanIndexed(shard, plans[i]) > 0) replan = true;
     }
-    if (doomed) {
-      ECO_WARN << "job " << id << " failed: DependencyNeverSatisfied";
-      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
-                     pending_.end());
-      FinalizeJob(job, JobState::kFailed);
-    }
+    return;
   }
 
+  // Overlapping partitions (or a single active shard): a shard's starts can
+  // consume nodes a later shard also owns, so plan+execute interleave in the
+  // fixed partition-config order.
+  for (const std::size_t i : active) {
+    const IndexedPlan plan = PlanShard(*shards_[i]);
+    ExecutePlanIndexed(*shards_[i], plan);
+  }
+}
+
+void ClusterSim::ScreenDoomedLegacy() {
+  // Dependency screening (afterok semantics): jobs whose dependencies can
+  // never complete are failed; looped so a doomed job's own dependents fall
+  // in the same pass regardless of queue order (the sharded engine's
+  // NotifyDependents cascade dooms them at the same sim time).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const JobId id :
+         std::vector<JobId>(pending_.begin(), pending_.end())) {
+      auto& job = jobs_.at(id);
+      bool doomed = false;
+      for (const JobId dep : job.request.depends_on) {
+        const auto it = jobs_.find(dep);
+        if (it == jobs_.end() || it->second.state == JobState::kFailed ||
+            it->second.state == JobState::kCancelled) {
+          doomed = true;
+          break;
+        }
+      }
+      if (doomed) {
+        ECO_WARN << "job " << id << " failed: DependencyNeverSatisfied";
+        pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                       pending_.end());
+        FinalizeJob(job, JobState::kFailed);
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<JobId> ClusterSim::PlanLegacyShard(PartitionShard& shard) {
+  ScopedTimer timer(&shard.stats.dispatch_ns);
   std::vector<PlanInput> plan;
-  plan.reserve(pending_.size());
   for (const JobId id : pending_) {
     auto& job = jobs_.at(id);
+    if (job.request.partition != shard.config->name) continue;
     // Still-waiting dependencies keep the job out of this pass.
     bool waiting = false;
     for (const JobId dep : job.request.depends_on) {
@@ -381,7 +555,7 @@ void ClusterSim::DispatchLegacy() {
     }
     if (waiting) continue;
     job.priority = config_.use_multifactor
-                       ? priority_.Compute(job, queue_.now(), fairshare_)
+                       ? priority_.Compute(job, queue_.now(), shard.fairshare)
                        : 0.0;
     PlanInput input;
     input.id = id;
@@ -392,28 +566,55 @@ void ClusterSim::DispatchLegacy() {
     plan.push_back(input);
   }
   stats_.plan_candidates += plan.size();
+  shard.stats.plan_candidates += plan.size();
+  if (plan.empty()) return {};
+  ++shard.stats.dispatch_calls;
 
+  // Release horizon of every job holding nodes this partition owns — jobs
+  // started through an overlapping partition block this one too.
   std::vector<RunningInput> running;
   for (const auto& [id, run] : running_) {
+    int held = 0;
+    for (const std::size_t i : run.node_indices) {
+      if (shard.member[i]) ++held;
+    }
+    if (held == 0) continue;
     const auto& job = jobs_.at(id);
     RunningInput input;
-    input.nodes_held = static_cast<int>(run.node_indices.size());
+    input.nodes_held = held;
     input.expected_end = job.start_time + job.request.time_limit_s;
     running.push_back(input);
   }
 
-  const std::vector<JobId> to_start =
-      PlanSchedule(config_.policy, plan, running, FreeNodes(),
-                   static_cast<int>(nodes_.size()), queue_.now());
-  ExecuteStartList(to_start);
+  return PlanSchedule(config_.policy, plan, running, FreeNodesInShard(shard),
+                      static_cast<int>(shard.node_indices.size()),
+                      queue_.now());
 }
 
-void ClusterSim::ExecuteStartList(const std::vector<JobId>& to_start) {
+void ClusterSim::DispatchLegacy() {
+  if (pending_.empty()) return;
+  ScreenDoomedLegacy();
+
+  int failed = 0;
+  for (const auto& shard : shards_) {
+    if (pending_.empty()) break;
+    const std::vector<JobId> to_start = PlanLegacyShard(*shard);
+    failed += ExecuteStartList(to_start, *shard);
+  }
+  // A job failed during execution (power cap on an idle cluster, node start
+  // failure) dooms its dependents NOW, like the sharded engine's
+  // NotifyDependents — not at some later pass.
+  if (failed > 0) ScreenDoomedLegacy();
+}
+
+int ClusterSim::ExecuteStartList(const std::vector<JobId>& to_start,
+                                 PartitionShard& shard) {
   // Power-cap policy ([12]-style budget): track the projected cluster draw
   // and skip jobs that would breach it; they stay queued for the next pass.
   double projected_watts =
       config_.power_cap_watts > 0.0 ? ClusterWatts() : 0.0;
 
+  int failed = 0;
   for (const JobId id : to_start) {
     auto& job = jobs_.at(id);
     if (config_.power_cap_watts > 0.0) {
@@ -425,6 +626,7 @@ void ClusterSim::ExecuteStartList(const std::vector<JobId>& to_start) {
                    << "cluster (" << estimate << " W > budget); failing it";
           RemoveFromPending(id);
           FinalizeJob(job, JobState::kFailed);
+          ++failed;
           continue;
         }
         ECO_DEBUG << "job " << id << " deferred by power cap ("
@@ -434,18 +636,21 @@ void ClusterSim::ExecuteStartList(const std::vector<JobId>& to_start) {
       }
       projected_watts += estimate;
     }
-    const auto node_idx = PickFreeNodes(job.request.min_nodes);
+    const auto node_idx = PickFreeNodes(shard, job.request.min_nodes);
     if (static_cast<int>(node_idx.size()) < job.request.min_nodes) continue;
     const Status started = StartJob(job, node_idx);
     if (started.ok()) {
       ++stats_.jobs_started;
+      ++shard.stats.jobs_started;
       RemoveFromPending(id);
     } else {
       ECO_WARN << "job " << id << " failed to start: " << started.message();
       RemoveFromPending(id);
       FinalizeJob(job, JobState::kFailed);
+      ++failed;
     }
   }
+  return failed;
 }
 
 Status ClusterSim::StartJob(JobRecord& job,
@@ -478,11 +683,28 @@ Status ClusterSim::StartJob(JobRecord& job,
   run.timeout_event = queue_.ScheduleAfter(
       job.request.time_limit_s, [this, id](SimTime) { OnTimeout(id); });
   running_[id] = std::move(run);
-  timeline_.Add(id, job.start_time + job.request.time_limit_s,
-                static_cast<int>(node_idx.size()));
+  // Every shard whose node set intersects the allocation sees the release in
+  // its own timeline (overlapping partitions backfill around each other's
+  // jobs). The intersection count is what that shard gets back at release.
+  const SimTime release = job.start_time + job.request.time_limit_s;
+  for (const auto& shard : shards_) {
+    int held = 0;
+    for (const std::size_t i : node_idx) {
+      if (shard->member[i]) ++held;
+    }
+    if (held == 0) continue;
+    shard->timeline.Add(id, release, held);
+    shard->stats.timeline_peak =
+        std::max(shard->stats.timeline_peak,
+                 static_cast<std::uint64_t>(shard->timeline.size()));
+  }
   stats_.timeline_peak = std::max(
-      stats_.timeline_peak, static_cast<std::uint64_t>(timeline_.size()));
+      stats_.timeline_peak, static_cast<std::uint64_t>(running_.size()));
   return Status::Ok();
+}
+
+void ClusterSim::RemoveFromTimelines(JobId id) {
+  for (const auto& shard : shards_) shard->timeline.Remove(id);
 }
 
 void ClusterSim::OnNodeDone(JobId id, const RunStats& stats) {
@@ -506,7 +728,7 @@ void ClusterSim::OnNodeDone(JobId id, const RunStats& stats) {
       run.aggregate.avg_cpu_temp / static_cast<double>(run.node_indices.size());
   queue_.Cancel(run.timeout_event);
   running_.erase(it);
-  timeline_.Remove(id);
+  RemoveFromTimelines(id);
   FinalizeJob(job, JobState::kCompleted);
   RequestDispatch();
 }
@@ -535,7 +757,7 @@ void ClusterSim::OnTimeout(JobId id) {
   job.avg_cpu_temp =
       aggregate.avg_cpu_temp / static_cast<double>(run.node_indices.size());
   running_.erase(it);
-  timeline_.Remove(id);
+  RemoveFromTimelines(id);
   FinalizeJob(job, JobState::kCancelled);
   RequestDispatch();
 }
@@ -543,8 +765,11 @@ void ClusterSim::OnTimeout(JobId id) {
 void ClusterSim::FinalizeJob(JobRecord& job, JobState state) {
   job.state = state;
   job.end_time = queue_.now();
-  fairshare_.AddUsage(job.request.user_id,
-                      job.RunSeconds() * job.request.num_tasks, queue_.now());
+  // Usage decays within the job's partition only: both engines charge the
+  // shard's tracker, so legacy-vs-sharded equivalence holds per partition.
+  ShardOf(job).fairshare.AddUsage(
+      job.request.user_id, job.RunSeconds() * job.request.num_tasks,
+      queue_.now());
   accounting_.Record(job);
   if (!config_.use_legacy_scheduler) {
     NotifyDependents(job.id, state == JobState::kCompleted);
@@ -571,7 +796,7 @@ Status ClusterSim::Cancel(JobId id) {
         }
         queue_.Cancel(run_it->second.timeout_event);
         running_.erase(run_it);
-        timeline_.Remove(id);
+        RemoveFromTimelines(id);
       }
       FinalizeJob(job, JobState::kCancelled);
       RequestDispatch();

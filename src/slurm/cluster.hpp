@@ -9,18 +9,26 @@
 //
 // Two scheduler engines share the same policy semantics (see DESIGN.md,
 // "Scheduler complexity"):
-//   - indexed (default): PendingIndex + NodeTimeline; dispatch cost scales
-//     with what it starts, not with queue depth. Million-job capable.
-//   - legacy (use_legacy_scheduler): the original sort-everything pass, kept
-//     as the A/B baseline for bench_p2_sched_throughput and the
-//     schedule-equivalence suite.
+//   - sharded/indexed (default): one PendingIndex + NodeTimeline + fair-share
+//     tracker per partition; dispatch cost scales with what it starts, not
+//     with queue depth, and a backlog in one partition cannot stall another.
+//     Partitions with disjoint node sets plan concurrently on the shared
+//     ThreadPool; overlapping partitions fall back to a deterministic serial
+//     walk in partition-config order. Either way the schedule is bitwise
+//     identical to the fixed-order serial walk at any pool size.
+//   - legacy (use_legacy_scheduler): the original sort-everything pass (now
+//     walked per partition in the same fixed order), kept as the A/B
+//     baseline for the throughput benches and the schedule-equivalence
+//     suite.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -33,13 +41,23 @@
 #include "slurm/sched_index.hpp"
 #include "slurm/scheduler.hpp"
 
+namespace eco {
+class ThreadPool;
+}  // namespace eco
+
 namespace eco::slurm {
 
-// A Slurm partition: a named queue with its own time-limit policy.
+// A Slurm partition: a named queue with its own time-limit policy and node
+// set (slurm.conf's `PartitionName=... Nodes=...`).
 struct PartitionConfig {
   std::string name = "batch";
   double max_time_s = 7 * 24 * 3600.0;  // requests above this are clamped
   bool is_default = true;
+  // Nodes this partition owns, as inclusive [first, last] node-index ranges
+  // (out-of-range bounds are clamped to the cluster). Empty = every node —
+  // the historical behaviour, and what the default partition usually wants.
+  // Partitions may overlap; overlapping partitions schedule serially.
+  std::vector<std::pair<int, int>> node_ranges;
 };
 
 struct ClusterConfig {
@@ -73,9 +91,17 @@ struct ClusterConfig {
   // Indexed engine only: examine at most this many backfill candidates per
   // pass (Slurm's bf_max_job_test). 0 = unlimited, matching legacy.
   int backfill_max_job_test = 0;
+  // Pool the sharded engine plans disjoint partitions on. nullptr selects
+  // the process-wide ThreadPool::Global(). The schedule is pool-size
+  // invariant; the pool only changes wall-clock time.
+  ThreadPool* pool = nullptr;
 };
 
-// Hot-path counters and scoped-timer sinks, exposed via sched_stats().
+// Hot-path counters and scoped-timer sinks. One cluster-wide aggregate is
+// exposed via sched_stats(); the sharded engine additionally keeps one
+// instance per partition, exposed via sched_stats(partition_name) — there
+// dispatch_calls/dispatch_ns count the partition's own planning passes, so
+// per-partition pass latency is dispatch_ns / dispatch_calls.
 struct SchedulerStats {
   std::uint64_t submit_calls = 0;
   std::uint64_t submit_ns = 0;
@@ -138,6 +164,14 @@ class ClusterSim {
   // for an unknown partition name.
   [[nodiscard]] const PartitionConfig* ResolvePartition(
       const std::string& name) const;
+  // Node indices owned by partitions()[i], sorted ascending.
+  [[nodiscard]] const std::vector<std::size_t>& partition_nodes(
+      std::size_t i) const;
+  // True when any node belongs to more than one partition (forces the
+  // sharded engine onto the serial dispatch walk).
+  [[nodiscard]] bool partitions_overlap() const { return partitions_overlap_; }
+  // Idle nodes within one partition's node set; -1 for an unknown name.
+  [[nodiscard]] int FreeNodesIn(const std::string& partition) const;
 
   // scancel.
   Status Cancel(JobId id);
@@ -156,7 +190,11 @@ class ClusterSim {
   Result<JobRecord> RunJobToCompletion(JobRequest request);
 
   [[nodiscard]] const SchedulerStats& sched_stats() const { return stats_; }
-  void ResetSchedStats() { stats_ = SchedulerStats{}; }
+  // Per-partition counters (both engines fill them); nullptr for an unknown
+  // partition name.
+  [[nodiscard]] const SchedulerStats* sched_stats(
+      const std::string& partition) const;
+  void ResetSchedStats();
 
  private:
   struct RunningJob {
@@ -166,26 +204,63 @@ class ClusterSim {
     std::uint64_t timeout_event = 0;
   };
 
+  // One partition's slice of the scheduling state. The whole hot path is
+  // sharded on these: a dispatch pass touches only the shards with pending
+  // work, and a million-job backlog in one shard never enters another
+  // shard's planning loop.
+  struct PartitionShard {
+    PartitionShard(const MultifactorPriority* priority, bool multifactor)
+        : pending(priority, &fairshare, multifactor) {}
+    const PartitionConfig* config = nullptr;
+    std::vector<std::size_t> node_indices;  // sorted ascending
+    std::vector<char> member;               // per-node membership bitmap
+    FairShareTracker fairshare;             // per-partition decayed usage
+    PendingIndex pending;                   // sharded engine
+    NodeTimeline timeline;  // kept current in both modes; overlap-aware
+    SchedulerStats stats;
+  };
+
   // Validate + plugin pipeline + queue, WITHOUT a scheduling pass.
   Result<JobId> Enqueue(JobRequest request);
   // Dispatch now, or coalesce into one same-timestamp event (defer mode).
   void RequestDispatch();
   void Dispatch();
   void DispatchLegacy();
-  void DispatchIndexed();
+  void DispatchSharded();
+  // One shard's planning pass (sharded engine). Touches only shard-local
+  // state, so disjoint shards may run this concurrently.
+  [[nodiscard]] IndexedPlan PlanShard(PartitionShard& shard);
+  // One shard's legacy pass: filter pending_ by partition, recompute
+  // priorities against the shard's fair-share tracker, full sort.
+  [[nodiscard]] std::vector<JobId> PlanLegacyShard(PartitionShard& shard);
+  // Returns the number of jobs FAILED during execution (see
+  // ExecuteStartList) so the parallel dispatch can replan later shards.
+  int ExecutePlanIndexed(PartitionShard& shard, const IndexedPlan& plan);
   // The shared tail of both engines: power cap, node pick, start, dequeue.
-  void ExecuteStartList(const std::vector<JobId>& to_start);
+  // Returns the number of jobs it had to FAIL (power cap on idle cluster or
+  // node start failure) so the legacy walk can re-screen dependents.
+  int ExecuteStartList(const std::vector<JobId>& to_start,
+                       PartitionShard& shard);
+  // Legacy engine: fail pending jobs whose dependencies can never complete,
+  // looping until the doom cascade reaches a fixpoint (matches the sharded
+  // engine's recursive NotifyDependents timing).
+  void ScreenDoomedLegacy();
   void RemoveFromPending(JobId id);
-  // Indexed engine: index the job, park it on unmet dependencies, or doom it.
+  // Sharded engine: index the job, park it on unmet dependencies, or doom it.
   void EnterPendingIndexed(JobRecord& job);
-  // Indexed engine: wake or doom jobs waiting on `id` after it finalized.
+  // Sharded engine: wake or doom jobs waiting on `id` after it finalized.
   void NotifyDependents(JobId id, bool completed);
   [[nodiscard]] IndexedJob ToIndexedJob(const JobRecord& job) const;
   Status StartJob(JobRecord& job, const std::vector<std::size_t>& node_idx);
   void OnNodeDone(JobId id, const RunStats& stats);
   void OnTimeout(JobId id);
   void FinalizeJob(JobRecord& job, JobState state);
-  [[nodiscard]] std::vector<std::size_t> PickFreeNodes(int count) const;
+  [[nodiscard]] PartitionShard& ShardOf(const JobRecord& job);
+  [[nodiscard]] int FreeNodesInShard(const PartitionShard& shard) const;
+  [[nodiscard]] std::vector<std::size_t> PickFreeNodes(
+      const PartitionShard& shard, int count) const;
+  void RemoveFromTimelines(JobId id);
+  [[nodiscard]] std::uint64_t IndexedPendingDepth() const;
 
   ClusterConfig config_;
   EventQueue queue_;
@@ -193,16 +268,18 @@ class ClusterSim {
   AccountingDb accounting_;
   EnergyMarket market_;
   GreenWindowPolicy green_policy_;
-  FairShareTracker fairshare_;
   MultifactorPriority priority_;
 
   std::vector<std::unique_ptr<NodeSim>> nodes_;
+  // Shards line up with config_.partitions; unique_ptr keeps the fair-share
+  // pointer handed to each shard's PendingIndex stable.
+  std::vector<std::unique_ptr<PartitionShard>> shards_;
+  std::unordered_map<std::string, std::size_t> shard_by_name_;
+  bool partitions_overlap_ = false;
   std::map<JobId, JobRecord> jobs_;
   std::map<JobId, RunningJob> running_;
   std::vector<JobId> pending_;  // legacy engine; submission order preserved
-  PendingIndex pending_index_;  // indexed engine
-  NodeTimeline timeline_;       // kept current in both modes
-  // Indexed engine's dependency tables: jobs parked on unmet afterok deps
+  // Dependency tables (sharded engine): jobs parked on unmet afterok deps
   // (id -> count still outstanding) and the reverse edges that wake them.
   std::unordered_map<JobId, int> waiting_deps_;
   std::unordered_map<JobId, std::vector<JobId>> dependents_;

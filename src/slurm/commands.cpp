@@ -43,10 +43,15 @@ std::string Reason(const JobRecord& job) {
 
 }  // namespace
 
-std::string Squeue(const ClusterSim& cluster) {
+std::string Squeue(const ClusterSim& cluster,
+                   const std::string& partition_filter) {
   TextTable table({"JOBID", "PARTITION", "NAME", "USER", "ST", "TIME",
                    "NODES", "NODELIST(REASON)"});
   for (const auto& job : cluster.Queue()) {
+    if (!partition_filter.empty() &&
+        job.request.partition != partition_filter) {
+      continue;
+    }
     const double elapsed =
         job.state == JobState::kRunning ? cluster.Now() - job.start_time : 0.0;
     table.AddRow({std::to_string(job.id), job.request.partition,
@@ -58,16 +63,23 @@ std::string Squeue(const ClusterSim& cluster) {
   return table.Render();
 }
 
-std::string Sinfo(const ClusterSim& cluster) {
-  // Group nodes by state like sinfo's summary view.
-  std::map<std::string, std::vector<std::string>> by_state;
-  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
-    const NodeSim& node = cluster.node(i);
-    by_state[node.idle() ? "idle" : "alloc"].push_back(node.name());
-  }
+std::string Sinfo(const ClusterSim& cluster,
+                  const std::string& partition_filter) {
   TextTable table({"PARTITION", "AVAIL", "TIMELIMIT", "NODES", "STATE",
                    "NODELIST"});
-  for (const auto& partition : cluster.partitions()) {
+  const auto& partitions = cluster.partitions();
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const PartitionConfig& partition = partitions[p];
+    if (!partition_filter.empty() && partition.name != partition_filter) {
+      continue;
+    }
+    // Group THIS partition's nodes by state, like sinfo's summary view —
+    // node counts reflect the partition's real node set, not the cluster.
+    std::map<std::string, std::vector<std::string>> by_state;
+    for (const std::size_t i : cluster.partition_nodes(p)) {
+      const NodeSim& node = cluster.node(i);
+      by_state[node.idle() ? "idle" : "alloc"].push_back(node.name());
+    }
     const std::string label =
         partition.name + (partition.is_default ? "*" : "");
     for (const auto& [state, names] : by_state) {

@@ -15,11 +15,19 @@
 
 namespace eco::slurm {
 
-// squeue: one line per pending/held/running job.
-std::string Squeue(const ClusterSim& cluster);
+// squeue: one line per pending/held/running job. A non-empty
+// `partition_filter` behaves like `squeue -p <name>`: only jobs routed to
+// that partition are listed (unknown names simply match nothing, as the
+// real tool prints an empty listing).
+std::string Squeue(const ClusterSim& cluster,
+                   const std::string& partition_filter = "");
 
-// sinfo: partition/node state summary.
-std::string Sinfo(const ClusterSim& cluster);
+// sinfo: partition/node state summary. Each partition row covers only the
+// nodes that partition actually owns; overlapping nodes appear under every
+// owner, like NodeName= listed in several PartitionName= lines. A non-empty
+// `partition_filter` behaves like `sinfo -p <name>`.
+std::string Sinfo(const ClusterSim& cluster,
+                  const std::string& partition_filter = "");
 
 // scontrol show job <id>: the full job record, or an error line.
 std::string ScontrolShowJob(const ClusterSim& cluster, JobId id);

@@ -64,7 +64,9 @@ struct JobRequest {
   KiloHertz cpu_freq_max = 0;
   double time_limit_s = 3600.0;
   std::string comment;
-  std::string partition = "batch";
+  // Empty routes to the cluster's default partition (sbatch with no -p);
+  // a non-empty name must match a configured partition exactly.
+  std::string partition;
   std::string script;
   // Optional deadline (absolute sim time, 0 = none) for the §6.2.1 extension.
   SimTime deadline = 0.0;

@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/sim_clock.hpp"
@@ -60,6 +61,15 @@ class NodeSim : public ipmi::PowerSource {
   [[nodiscard]] JobId running_job() const { return job_id_; }
   [[nodiscard]] KiloHertz current_frequency() const { return freq_; }
 
+  // Partitions this node belongs to, in cluster-config order. Tagged by
+  // ClusterSim at construction; a node in overlapping partitions carries
+  // every owner's name (like slurm.conf NodeName= appearing in several
+  // PartitionName= lines).
+  [[nodiscard]] const std::vector<std::string>& partitions() const {
+    return partitions_;
+  }
+  void AddPartition(const std::string& name) { partitions_.push_back(name); }
+
   using CompletionCallback = std::function<void(JobId, const RunStats&)>;
   // Observes every energy accrual: (system_watts, cpu_watts, dt_seconds).
   // Used to drive external energy counters (e.g. the RAPL simulator behind
@@ -95,6 +105,7 @@ class NodeSim : public ipmi::PowerSource {
   std::string name_;
   NodeParams params_;
   EventQueue* queue_;
+  std::vector<std::string> partitions_;
   hw::PowerModel power_model_;
   mutable hw::ThermalModel thermal_;
   hw::DvfsPolicy dvfs_;

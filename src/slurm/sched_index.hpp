@@ -17,6 +17,14 @@
 // fair-share changes move whole users up or down, which the k-way merge in
 // Cursor resolves by evaluating the true priority of one head job per user
 // — the same bitwise expression the legacy path sorts by.
+//
+// Since the multi-partition sharding, ClusterSim owns one PendingIndex +
+// NodeTimeline pair PER PARTITION (a shard). Nothing here knows about
+// partitions: a shard's index only ever sees jobs routed to it, and its
+// timeline only sees the slice of each allocation that lands on the shard's
+// nodes, so these structures stay partition-agnostic and single-threaded —
+// concurrency lives entirely in ClusterSim::DispatchSharded, which plans
+// disjoint shards in parallel with no shared mutable state.
 #pragma once
 
 #include <cstdint>

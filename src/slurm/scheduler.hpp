@@ -18,6 +18,13 @@ namespace eco::slurm {
 
 // Decayed per-user usage tracking for the fair-share factor.
 //
+// ClusterSim keeps one tracker per partition shard: usage accrues in the
+// partition a job ran in, so a user burning hours in one partition keeps
+// full fair-share standing in another (Slurm's
+// PriorityFlags=NO_FAIR_TREE-style per-partition accounting). Both engines
+// charge the same shard tracker, which is what keeps legacy-vs-sharded
+// schedules byte-identical.
+//
 // The cluster-wide decayed total is maintained incrementally: every user's
 // contribution decays at the same exponential rate, so the total itself
 // decays like a single usage entry and one (amount, as_of) pair tracks it.

@@ -64,6 +64,10 @@ std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
           rng.Uniform(0.6, 0.95));
       request.time_limit_s = mix.filler_max_s * 1.5;
     }
+    if (!mix.partitions.empty()) {
+      request.partition =
+          mix.partitions[rng.NextBounded(mix.partitions.size())];
+    }
     out.push_back(std::move(job));
   }
   return out;

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,6 +36,10 @@ struct WorkloadMix {
   // seconds). Drain benches set it to the node tick so completions land in
   // shared waves instead of one event per job; 0 leaves durations untouched.
   double duration_quantum_s = 0.0;
+  // Non-empty: each job is routed uniformly at random to one of these
+  // partition names. Drawn AFTER the per-job stream above, so an empty list
+  // reproduces the historical single-partition stream bit-for-bit.
+  std::vector<std::string> partitions;
 };
 
 struct GeneratedJob {

@@ -64,6 +64,64 @@ TEST(Partitions, SinfoListsAllPartitionsWithLimits) {
   EXPECT_NE(out.find("0:10:00"), std::string::npos);  // debug's 600 s
 }
 
+TEST(Partitions, SqueueFiltersByPartition) {
+  slurm::ClusterConfig config = TwoPartitionCluster();
+  config.nodes = 2;
+  slurm::ClusterSim cluster(config);
+  slurm::JobRequest request;
+  request.name = "batch-job";
+  request.num_tasks = 4;
+  request.workload = slurm::WorkloadSpec::Fixed(300.0);
+  ASSERT_TRUE(cluster.Submit(request).ok());
+  request.name = "debug-job";
+  request.partition = "debug";
+  ASSERT_TRUE(cluster.Submit(request).ok());
+
+  // squeue -p debug lists only the debug job; unknown names list nothing.
+  const std::string all = slurm::Squeue(cluster);
+  EXPECT_NE(all.find("batch-job"), std::string::npos);
+  EXPECT_NE(all.find("debug-job"), std::string::npos);
+  const std::string debug_only = slurm::Squeue(cluster, "debug");
+  EXPECT_EQ(debug_only.find("batch-job"), std::string::npos);
+  EXPECT_NE(debug_only.find("debug-job"), std::string::npos);
+  const std::string none = slurm::Squeue(cluster, "gpu");
+  EXPECT_EQ(none.find("-job"), std::string::npos);
+  cluster.RunUntilIdle();
+}
+
+TEST(Partitions, SinfoReportsRealPerPartitionNodeCounts) {
+  // 6 nodes: "batch" owns 0..3, "debug" owns 4..5. sinfo's NODES column
+  // must reflect each partition's own node set, and -p filters rows.
+  slurm::ClusterConfig config = TwoPartitionCluster();
+  config.nodes = 6;
+  config.partitions[0].node_ranges = {{0, 3}};
+  config.partitions[1].node_ranges = {{4, 5}};
+  slurm::ClusterSim cluster(config);
+
+  // Occupy one debug node so states split within the partition.
+  slurm::JobRequest request;
+  request.num_tasks = 4;
+  request.partition = "debug";
+  request.workload = slurm::WorkloadSpec::Fixed(300.0);
+  ASSERT_TRUE(cluster.Submit(request).ok());
+
+  const std::string first_batch_node = cluster.node(0).name();
+  const std::string first_debug_node = cluster.node(4).name();
+  const std::string debug_rows = slurm::Sinfo(cluster, "debug");
+  EXPECT_EQ(debug_rows.find("batch"), std::string::npos);
+  EXPECT_NE(debug_rows.find("alloc"), std::string::npos);
+  EXPECT_NE(debug_rows.find(first_debug_node), std::string::npos);
+  EXPECT_EQ(debug_rows.find(first_batch_node + ","), std::string::npos);
+
+  const std::string batch_rows = slurm::Sinfo(cluster, "batch");
+  EXPECT_NE(batch_rows.find("batch*"), std::string::npos);
+  // All 4 batch nodes idle, in one row, with no debug nodes mixed in.
+  EXPECT_NE(batch_rows.find("4"), std::string::npos);
+  EXPECT_EQ(batch_rows.find("alloc"), std::string::npos);
+  EXPECT_EQ(batch_rows.find(first_debug_node), std::string::npos);
+  cluster.RunUntilIdle();
+}
+
 TEST(Partitions, ResolvePartitionFallsBackToFirstWithoutDefault) {
   slurm::ClusterConfig config = TwoPartitionCluster();
   config.partitions[0].is_default = false;

@@ -4,11 +4,12 @@
 // randomized small workloads, across FIFO/backfill, multifactor on/off,
 // dependencies, cancels, timeouts, green holds, and the eco plugin.
 //
-// Scope note: power-cap configs are excluded on purpose. When an idle
-// cluster fails a job that alone exceeds the cap, the legacy engine dooms
-// that job's dependents at its *next* dispatch while the indexed engine
-// dooms them immediately — same outcome, different timestamp. Every other
-// path is covered here.
+// Power-cap configs are covered too. The historical doom-timing divergence
+// (legacy doomed a cap-failed job's dependents at its *next* dispatch, the
+// indexed engine immediately) is resolved: DispatchLegacy re-screens for
+// doomed dependents after any execution-time failure, so both engines fail
+// them at the same sim timestamp — see PowerCapDoomTimingMatches for the
+// exact former repro.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -193,6 +194,69 @@ TEST_F(SchedEquivalence, GreenHoldReleaseMatches) {
   config.enable_green_hold = true;
   RunEquivalence(config, 909, 50, /*with_deps=*/true, /*green=*/true,
                  "green-hold");
+}
+
+TEST_F(SchedEquivalence, PowerCapSchedulesMatch) {
+  // Budget ~2.5 one-node jobs above idle draw: narrow jobs get deferred by
+  // the cap under load, and 3-node jobs exceed it outright on an idle
+  // cluster (the failure path whose doom timing used to diverge).
+  ClusterConfig config = BaseConfig(SchedulerPolicy::kBackfill, true);
+  ClusterSim probe(config);
+  JobRequest one_node;
+  one_node.num_tasks = 4;
+  one_node.workload = WorkloadSpec::Fixed(100.0, 0.9);
+  config.power_cap_watts =
+      probe.ClusterWatts() + 2.5 * probe.EstimateJobWatts(one_node);
+  for (const std::uint64_t seed : {1212ull, 1313ull}) {
+    RunEquivalence(config, seed, 50, /*with_deps=*/true, /*green=*/false,
+                   "power-cap seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(SchedEquivalence, PowerCapDoomTimingMatches) {
+  // Exact repro of the divergence this suite used to exclude: an idle
+  // cluster fails a job that alone exceeds the cap. Its dependent must be
+  // doomed at the SAME sim time in both engines — the legacy dispatcher
+  // re-screens after execution failures instead of waiting for its next
+  // scheduling pass.
+  ClusterConfig config = BaseConfig(SchedulerPolicy::kBackfill, true);
+  ClusterSim probe(config);
+  JobRequest big;
+  big.name = "over-cap";
+  big.min_nodes = 3;
+  big.num_tasks = 12;
+  big.workload = WorkloadSpec::Fixed(100.0, 0.9);
+  big.time_limit_s = 500.0;
+  config.power_cap_watts =
+      probe.ClusterWatts() + 0.5 * probe.EstimateJobWatts(big);
+
+  SimTime end_times[2] = {-1.0, -2.0};
+  for (const bool legacy : {true, false}) {
+    ClusterConfig engine_config = config;
+    engine_config.use_legacy_scheduler = legacy;
+    ClusterSim cluster(engine_config);
+    const auto big_id = cluster.Submit(big);
+    ASSERT_TRUE(big_id.ok());
+    JobRequest dependent;
+    dependent.name = "doomed-dependent";
+    dependent.num_tasks = 4;
+    dependent.workload = WorkloadSpec::Fixed(50.0, 0.9);
+    dependent.time_limit_s = 500.0;
+    dependent.depends_on.push_back(*big_id);
+    const auto dep_id = cluster.Submit(dependent);
+    ASSERT_TRUE(dep_id.ok());
+    cluster.RunUntilIdle();
+
+    const auto big_job = cluster.GetJob(*big_id);
+    const auto dep_job = cluster.GetJob(*dep_id);
+    ASSERT_TRUE(big_job.has_value() && dep_job.has_value());
+    EXPECT_EQ(big_job->state, JobState::kFailed);
+    EXPECT_EQ(dep_job->state, JobState::kFailed);
+    // The dependent dies in the same pass as the cap failure, not later.
+    EXPECT_EQ(dep_job->end_time, big_job->end_time);
+    end_times[legacy ? 0 : 1] = dep_job->end_time;
+  }
+  EXPECT_EQ(end_times[0], end_times[1]);
 }
 
 TEST_F(SchedEquivalence, EcoPluginRewritesMatch) {
