@@ -2,12 +2,56 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
 namespace eco::bench {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::Set(const std::string& key, double value) {
+  metrics_[key] = Json(value);
+}
+
+void BenchReport::Set(const std::string& key, std::uint64_t value) {
+  metrics_[key] = Json(value);
+}
+
+void BenchReport::Set(const std::string& key, const std::string& value) {
+  metrics_[key] = Json(value);
+}
+
+void BenchReport::SetJson(const std::string& key, Json value) {
+  metrics_[key] = std::move(value);
+}
+
+Json BenchReport::ToJson() const {
+  return Json(JsonObject{{"bench", Json(name_)}, {"metrics", Json(metrics_)}});
+}
+
+std::string BenchReport::Write() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("ECO_BENCH_ARTIFACT_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    ECO_WARN << "bench report: cannot write " << path;
+    return "";
+  }
+  out << ToJson().Dump(2) << "\n";
+  if (!out.good()) {
+    ECO_WARN << "bench report: short write to " << path;
+    return "";
+  }
+  ECO_INFO << "bench report: wrote " << path;
+  return path;
+}
 namespace {
 
 // Tables 4, 5 and 6 of the paper, transcribed verbatim:

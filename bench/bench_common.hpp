@@ -8,8 +8,34 @@
 
 #include "chronus/domain.hpp"
 #include "chronus/env.hpp"
+#include "common/json.hpp"
 
 namespace eco::bench {
+
+// Machine-readable bench artifact: each bench collects its headline numbers
+// here and Write() drops a BENCH_<name>.json next to the binary (or into
+// $ECO_BENCH_ARTIFACT_DIR when set), so CI can archive the perf trajectory
+// across PRs instead of scraping stdout tables.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+  // ~BenchReport() does NOT write; call Write() once the numbers are final.
+
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, std::uint64_t value);
+  void Set(const std::string& key, const std::string& value);
+  void SetJson(const std::string& key, Json value);
+
+  // The artifact body: {"bench": <name>, "metrics": {...}}.
+  [[nodiscard]] Json ToJson() const;
+  // Returns the path written, or "" on failure (failure only logs — a bench
+  // must not fail its gates because a disk write did).
+  std::string Write() const;
+
+ private:
+  std::string name_;
+  JsonObject metrics_;
+};
 
 // The paper's measurement grid: 23 core counts × {1.5, 2.2, 2.5} GHz ×
 // HT on/off = 138 configurations (Tables 4-6).

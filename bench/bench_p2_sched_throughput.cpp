@@ -18,18 +18,24 @@
 //    engines actually ran 100k, so --max-jobs smoke runs stay green.
 //
 // Flags: --max-jobs N caps every scale (bench-smoke uses --max-jobs 1000),
-// --skip-legacy / --skip-indexed run one side only.
+// --skip-legacy / --skip-indexed run one side only, --trace PATH writes a
+// Chrome trace_event JSON of an indexed drain (open in chrome://tracing or
+// Perfetto), --overhead-check asserts that an attached-but-disabled tracer
+// stays within noise of the no-tracer baseline.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/log.hpp"
 #include "common/perf.hpp"
+#include "common/telemetry/trace.hpp"
 #include "slurm/cluster.hpp"
 #include "slurm/workload_gen.hpp"
 
@@ -77,7 +83,8 @@ struct DrainResult {
   SchedulerStats stats;
 };
 
-DrainResult RunDrain(bool legacy, const std::vector<JobRequest>& backlog) {
+DrainResult RunDrain(bool legacy, const std::vector<JobRequest>& backlog,
+                     telemetry::Tracer* tracer = nullptr) {
   ClusterConfig config;
   config.nodes = kNodes;
   config.node.tick_seconds = kTickSeconds;
@@ -86,6 +93,7 @@ DrainResult RunDrain(bool legacy, const std::vector<JobRequest>& backlog) {
   // Slurm's bf_max_job_test: bound the backfill probe. Indexed engine only;
   // the legacy planner always walks the whole queue (that is the baseline).
   config.backfill_max_job_test = 100;
+  config.tracer = tracer;
 
   ClusterSim cluster(config);
   using Clock = std::chrono::steady_clock;
@@ -110,6 +118,56 @@ DrainResult RunDrain(bool legacy, const std::vector<JobRequest>& backlog) {
   return out;
 }
 
+// One indexed drain with tracing ON, exported as Chrome trace_event JSON.
+// The trace timestamps are sim-time, so the bytes are identical whatever
+// ThreadPool size planned the schedule.
+void WriteTrace(const std::string& path, int scale) {
+  telemetry::Tracer tracer;
+  tracer.set_enabled(true);
+  ClusterConfig config;
+  config.nodes = kNodes;
+  config.node.tick_seconds = kTickSeconds;
+  config.defer_dispatch = true;
+  config.backfill_max_job_test = 100;
+  config.tracer = &tracer;
+  ClusterSim cluster(config);
+  cluster.SubmitBatch(MakeBacklog(scale));
+  cluster.RunUntilIdle();
+  std::ofstream out(path);
+  if (!out) {
+    Check(false, "cannot write trace file " + path);
+    return;
+  }
+  out << tracer.ChromeTraceJson(cluster.TelemetryTrackNames());
+  std::printf("trace: %zu events @ %d jobs -> %s\n", tracer.size(), scale,
+              path.c_str());
+}
+
+// Disabled-cost gate: median drain time with an attached-but-disabled
+// tracer must stay within noise of the no-tracer baseline. Medians of 3
+// interleaved reps; the bound is generous (1.25x + 50 ms) because CI
+// machines are noisy — a real regression (per-event work while disabled)
+// shows up as a multiple, not a percentage.
+void OverheadCheck(int scale) {
+  const auto backlog = MakeBacklog(scale);
+  std::vector<double> base_s, disabled_s;
+  telemetry::Tracer tracer;  // never enabled
+  for (int rep = 0; rep < 3; ++rep) {
+    base_s.push_back(RunDrain(/*legacy=*/false, backlog).wall_s);
+    disabled_s.push_back(
+        RunDrain(/*legacy=*/false, backlog, &tracer).wall_s);
+  }
+  std::sort(base_s.begin(), base_s.end());
+  std::sort(disabled_s.begin(), disabled_s.end());
+  const double base = base_s[1], disabled = disabled_s[1];
+  std::printf(
+      "overhead-check @%d jobs: baseline %.3f s, disabled-tracer %.3f s "
+      "(%.2fx)\n",
+      scale, base, disabled, disabled / std::max(base, 1e-9));
+  Check(disabled <= base * 1.25 + 0.05,
+        "disabled-tracing drain exceeded noise bound vs baseline");
+}
+
 void Report(const char* engine, int scale, const DrainResult& r) {
   const SchedulerStats& s = r.stats;
   std::printf(
@@ -128,6 +186,8 @@ int main(int argc, char** argv) {
   int max_jobs = 1'000'000;
   bool run_legacy = true;
   bool run_indexed = true;
+  bool overhead_check = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-jobs") == 0 && i + 1 < argc) {
       max_jobs = std::atoi(argv[++i]);
@@ -135,14 +195,20 @@ int main(int argc, char** argv) {
       run_legacy = false;
     } else if (std::strcmp(argv[i], "--skip-indexed") == 0) {
       run_indexed = false;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--overhead-check") == 0) {
+      overhead_check = true;
     } else {
       std::printf(
-          "usage: %s [--max-jobs N] [--skip-legacy] [--skip-indexed]\n",
+          "usage: %s [--max-jobs N] [--skip-legacy] [--skip-indexed] "
+          "[--trace PATH] [--overhead-check]\n",
           argv[0]);
       return 2;
     }
   }
   Logger::Instance().SetLevel(LogLevel::kWarn);
+  eco::bench::BenchReport report("p2_sched_throughput");
 
   const std::vector<int> legacy_scales = {1'000, 10'000, 100'000};
   const std::vector<int> indexed_scales = {1'000, 10'000, 100'000, 1'000'000};
@@ -153,6 +219,7 @@ int main(int argc, char** argv) {
       if (scale > max_jobs) break;
       const auto result = RunDrain(/*legacy=*/true, MakeBacklog(scale));
       Report("legacy", scale, result);
+      report.Set("legacy_wall_s_" + std::to_string(scale), result.wall_s);
       if (scale == kGateScale) legacy_gate_s = result.wall_s;
     }
   }
@@ -161,6 +228,9 @@ int main(int argc, char** argv) {
       if (scale > max_jobs) break;
       const auto result = RunDrain(/*legacy=*/false, MakeBacklog(scale));
       Report("indexed", scale, result);
+      report.Set("indexed_wall_s_" + std::to_string(scale), result.wall_s);
+      report.Set("indexed_passes_" + std::to_string(scale),
+                 result.stats.dispatch_calls);
       if (scale == kGateScale) indexed_gate_s = result.wall_s;
     }
   }
@@ -168,11 +238,19 @@ int main(int argc, char** argv) {
   if (legacy_gate_s > 0.0 && indexed_gate_s > 0.0) {
     const double speedup = legacy_gate_s / indexed_gate_s;
     std::printf("\ndrain speedup @100k: %.1fx\n", speedup);
+    report.Set("speedup_100k", speedup);
     Check(speedup >= kGateSpeedup,
           "expected >= 10x indexed drain speedup at 100k jobs");
   } else {
     std::printf("\n(100k legacy/indexed pair not run — speedup gate skipped)\n");
   }
+
+  if (!trace_path.empty()) {
+    WriteTrace(trace_path, std::min(max_jobs, kGateScale));
+    report.Set("trace_path", trace_path);
+  }
+  if (overhead_check) OverheadCheck(std::min(max_jobs, 20'000));
+  report.Write();
 
   if (g_failures > 0) {
     std::printf("\n%d check(s) FAILED\n", g_failures);

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/log.hpp"
 #include "common/perf.hpp"
 #include "slurm/cluster.hpp"
@@ -95,7 +96,7 @@ std::vector<JobRequest> MakeDrainBacklog(int count, int partitions) {
   return requests;
 }
 
-void RunDrain(int partitions, int count) {
+void RunDrain(int partitions, int count, eco::bench::BenchReport& report) {
   const ClusterConfig config = PartitionedConfig(partitions);
   ClusterSim cluster(config);
   const auto backlog = MakeDrainBacklog(count, partitions);
@@ -140,6 +141,9 @@ void RunDrain(int partitions, int count) {
       "pass avg %8.1f us  worst %8.1f us\n",
       partitions, count, wall_s, count / std::max(wall_s, 1e-9),
       timed > 0 ? sum_pass_us / timed : 0.0, worst_pass_us);
+  const std::string prefix = "drain_p" + std::to_string(partitions);
+  report.Set(prefix + "_wall_s", wall_s);
+  report.Set(prefix + "_worst_pass_us", worst_pass_us);
 }
 
 // Floods "a" (nodes 0..127) and times probe submissions into idle "b".
@@ -226,25 +230,30 @@ int main(int argc, char** argv) {
     }
   }
   Logger::Instance().SetLevel(LogLevel::kWarn);
+  eco::bench::BenchReport report("p3_partition_scaling");
 
   const int drain_jobs = std::min(100'000, max_jobs);
   for (const int partitions : {1, 4, 16}) {
-    RunDrain(partitions, drain_jobs);
+    RunDrain(partitions, drain_jobs, report);
   }
 
   const int backlog = std::min(kIsolationBacklog, max_jobs);
   const double sharded_tail = RunIsolation(/*legacy=*/false, backlog);
   const double legacy_tail = RunIsolation(/*legacy=*/true, backlog);
+  report.Set("isolation_sharded_tail_us", sharded_tail * 1e6);
+  report.Set("isolation_legacy_tail_us", legacy_tail * 1e6);
   if (backlog == kIsolationBacklog) {
     const double ratio = legacy_tail / std::max(sharded_tail, 1e-12);
     std::printf("\nisolation tail ratio (legacy/sharded) @100k: %.1fx\n",
                 ratio);
+    report.Set("isolation_tail_ratio_100k", ratio);
     Check(ratio >= kGateTailRatio,
           "expected >= 10x better idle-partition tail latency vs the "
           "unsharded engine at 100k backlog");
   } else {
     std::printf("\n(backlog < 100k — isolation tail gate skipped)\n");
   }
+  report.Write();
 
   if (g_failures > 0) {
     std::printf("\n%d check(s) FAILED\n", g_failures);

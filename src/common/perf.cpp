@@ -13,17 +13,28 @@ std::uint64_t NowNanos() {
 
 std::string FormatNanos(std::uint64_t ns) {
   char buf[64];
-  if (ns >= 1'000'000'000ull) {
-    std::snprintf(buf, sizeof(buf), "%.3f s", static_cast<double>(ns) / 1e9);
-  } else if (ns >= 1'000'000ull) {
-    std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(ns) / 1e6);
-  } else if (ns >= 1'000ull) {
-    std::snprintf(buf, sizeof(buf), "%.3f us", static_cast<double>(ns) / 1e3);
-  } else {
+  if (ns < 1'000ull) {
+    // Sub-microsecond values (including 0) print as integer nanoseconds.
     std::snprintf(buf, sizeof(buf), "%llu ns",
                   static_cast<unsigned long long>(ns));
+    return buf;
   }
-  return buf;
+  // Pick the largest unit whose printed value stays below 1000 — with the
+  // twist that "%.3f" rounds, so 999'999'500 ns must already promote to
+  // "1.000 s" rather than print "1000.000 ms". 999.9995 is the smallest
+  // value "%.3f" renders as 1000.000.
+  static constexpr struct {
+    double divisor;
+    const char* unit;
+  } kUnits[] = {{1e3, "us"}, {1e6, "ms"}, {1e9, "s"}};
+  for (const auto& u : kUnits) {
+    const double value = static_cast<double>(ns) / u.divisor;
+    if (value < 999.9995 || u.divisor == 1e9) {
+      std::snprintf(buf, sizeof(buf), "%.3f %s", value, u.unit);
+      return buf;
+    }
+  }
+  return buf;  // unreachable: the "s" entry always matches
 }
 
 }  // namespace eco

@@ -1,0 +1,179 @@
+// Metrics registry — the process's (or one subsystem's) named counters,
+// gauges and fixed-bucket histograms.
+//
+// This is the observability substrate the schedulers, the eco plugin, the
+// energy-gather host and the thread pool publish into (DESIGN.md,
+// "Telemetry"). Design rules:
+//
+//  1. Handles, not lookups, on the hot path. GetCounter()/GetGauge()/
+//     GetHistogram() take the registry mutex once; the returned pointer is
+//     stable for the registry's lifetime and every update through it is
+//     lock-free.
+//  2. Sharded atomics for pooled code. A Counter spreads its value over
+//     cache-line-sized shards indexed by a per-thread slot, so concurrent
+//     Add() calls from ThreadPool workers don't bounce one cache line;
+//     single-threaded callers always hit the same shard (one relaxed
+//     fetch_add, the "cheap single-threaded fast path").
+//  3. Deterministic export. Metrics render sorted by name (std::map), and
+//     numbers format identically run-to-run, so Prometheus/JSON dumps are
+//     golden-testable.
+//
+// Naming follows Prometheus conventions: `eco_<subsystem>_<what>[_total]`,
+// with labels inline in the name (`eco_sched_jobs_started_total{partition="a"}`
+// via LabeledName()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/perf.hpp"
+
+namespace eco::telemetry {
+
+// Monotone counter. Add() is wait-free; Value() sums the shards (reads are
+// rare: exporters and stats snapshots only).
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Add(std::uint64_t n = 1) {
+    shards_[Slot()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t Slot();
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+// Last-write-wins double value, plus a monotone-max mode for peaks
+// (pending-queue high-water marks, pool queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void SetMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds, sorted
+// ascending; an implicit +Inf bucket catches the rest. Observe() is two
+// sharded counter increments plus a CAS for the sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  [[nodiscard]] std::vector<std::uint64_t> BucketCounts() const;
+  [[nodiscard]] std::uint64_t Count() const { return count_.Value(); }
+  [[nodiscard]] double Sum() const { return sum_.Value(); }
+  void Reset();
+
+  // "[0,1) 3  [1,10) 1  [10,+Inf) 0" — the sdiag one-line rendering.
+  [[nodiscard]] std::string FormatBuckets() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Counter>> buckets_;  // bounds_.size() + 1
+  Counter count_;
+  Gauge sum_;
+};
+
+// "name{key="value"}" — inline-label naming for per-partition/per-node
+// metric families.
+[[nodiscard]] std::string LabeledName(const std::string& name,
+                                      const std::string& key,
+                                      const std::string& value);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Create-or-get; returned pointers stay valid for the registry's lifetime.
+  // GetHistogram returns the existing histogram regardless of `bounds` when
+  // the name is already registered.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  // Lookup without creating; nullptr when absent.
+  [[nodiscard]] const Counter* FindCounter(const std::string& name) const;
+  [[nodiscard]] const Gauge* FindGauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* FindHistogram(const std::string& name) const;
+
+  // Prometheus text exposition format, metrics sorted by name.
+  [[nodiscard]] std::string PrometheusText() const;
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] Json ToJson() const;
+
+  // Zeroes every metric; handles stay valid.
+  void Reset();
+
+  // Process-wide default registry (the eco plugin and the thread pool
+  // publish here; a ClusterSim defaults to a private registry instead so
+  // per-partition families from different clusters never collide).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Adds the scope's elapsed wall nanoseconds to a Counter on destruction —
+// the registry-backed ScopedTimer. A null counter makes it a no-op.
+class ScopedCounterTimer {
+ public:
+  explicit ScopedCounterTimer(Counter* sink)
+      : sink_(sink), start_(sink != nullptr ? NowNanos() : 0) {}
+  ScopedCounterTimer(const ScopedCounterTimer&) = delete;
+  ScopedCounterTimer& operator=(const ScopedCounterTimer&) = delete;
+  ~ScopedCounterTimer() {
+    if (sink_ != nullptr) sink_->Add(NowNanos() - start_);
+  }
+
+ private:
+  Counter* sink_;
+  std::uint64_t start_;
+};
+
+}  // namespace eco::telemetry

@@ -1,0 +1,122 @@
+#include "common/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace eco::telemetry {
+namespace {
+
+bool EventOrder(const TraceEvent& a, const TraceEvent& b) {
+  if (a.sim_time != b.sim_time) return a.sim_time < b.sim_time;
+  return a.seq < b.seq;
+}
+
+Json JsonlObject(const TraceEvent& e) {
+  JsonObject obj;
+  obj["t"] = Json(e.sim_time);
+  obj["seq"] = Json(e.seq);
+  obj["ph"] = Json(std::string(1, e.phase));
+  obj["name"] = Json(e.name);
+  obj["cat"] = Json(e.category);
+  obj["track"] = Json(static_cast<long long>(e.track));
+  if (e.phase == 'X') obj["dur"] = Json(e.dur_s);
+  if (!e.args.empty()) obj["args"] = Json(e.args);
+  return Json(std::move(obj));
+}
+
+Json ChromeObject(const TraceEvent& e) {
+  JsonObject obj;
+  obj["name"] = Json(e.name);
+  obj["cat"] = Json(e.category);
+  obj["ph"] = Json(std::string(1, e.phase));
+  obj["ts"] = Json(e.sim_time * 1e6);  // trace_event wants microseconds
+  if (e.phase == 'X') obj["dur"] = Json(e.dur_s * 1e6);
+  if (e.phase == 'i') obj["s"] = Json(std::string("t"));  // thread-scoped
+  obj["pid"] = Json(static_cast<long long>(1));
+  obj["tid"] = Json(static_cast<long long>(e.track));
+  if (!e.args.empty()) obj["args"] = Json(e.args);
+  return Json(std::move(obj));
+}
+
+Json ThreadNameMeta(int tid, const std::string& name) {
+  JsonObject obj;
+  obj["name"] = Json(std::string("thread_name"));
+  obj["ph"] = Json(std::string("M"));
+  obj["pid"] = Json(static_cast<long long>(1));
+  obj["tid"] = Json(static_cast<long long>(tid));
+  obj["args"] = Json(JsonObject{{"name", Json(name)}});
+  return Json(std::move(obj));
+}
+
+}  // namespace
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Instant(double sim_time, std::string name, std::string category,
+                     JsonObject args, int track) {
+  TraceEvent event;
+  event.sim_time = sim_time;
+  event.phase = 'i';
+  event.track = track;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::SortedEvents() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(), EventOrder);
+  return out;
+}
+
+std::string Tracer::Jsonl() const {
+  std::string out;
+  for (const TraceEvent& e : SortedEvents()) {
+    out += JsonlObject(e).Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Tracer::ChromeTraceJson(
+    const std::vector<std::string>& track_names) const {
+  JsonArray events;
+  for (std::size_t i = 0; i < track_names.size(); ++i) {
+    events.push_back(ThreadNameMeta(static_cast<int>(i), track_names[i]));
+  }
+  for (const TraceEvent& e : SortedEvents()) {
+    events.push_back(ChromeObject(e));
+  }
+  JsonObject root;
+  root["displayTimeUnit"] = Json(std::string("ms"));
+  root["traceEvents"] = Json(std::move(events));
+  return Json(std::move(root)).Dump();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace eco::telemetry

@@ -1,0 +1,92 @@
+// Structured event tracer — job-lifecycle events and scheduler spans.
+//
+// The tracer records TraceEvents keyed by (sim_time, seq): sim_time is the
+// simulation clock at the moment the event fired, seq a monotone sequence
+// number assigned under the tracer mutex. Because every producer in the
+// simulator emits from the serial sim thread (never from inside a parallel
+// PlanShard), the (sim_time, seq) order — and therefore every exported
+// byte — is identical whatever ThreadPool size planned the schedule.
+// Wall-clock timings deliberately never appear here; they live in the
+// MetricsRegistry.
+//
+// Disabled cost: callers guard with `tracer != nullptr && tracer->enabled()`
+// (one relaxed atomic load, same shape as Logger::Enabled), so a
+// disabled or absent tracer costs a branch per site.
+//
+// Exports:
+//  - Jsonl(): one JSON object per line, events sorted by (sim_time, seq) —
+//    the structured log for grepping and the lifecycle tests.
+//  - ChromeTraceJson(track_names): Chrome trace_event JSON ("traceEvents"
+//    array) loadable in chrome://tracing or Perfetto. Track 0 is the
+//    scheduler lane (instant events); tracks 1..N map to `track_names`
+//    (per-node lanes carrying 'X' complete events for job runs). Sim-time
+//    seconds map to microseconds (ts = sim_time * 1e6).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace eco::telemetry {
+
+struct TraceEvent {
+  double sim_time = 0.0;   // seconds on the simulation clock
+  std::uint64_t seq = 0;   // stable tie-break, assigned by Record()
+  char phase = 'i';        // 'i' instant, 'X' complete (has dur_s)
+  double dur_s = 0.0;      // 'X' only: duration in sim seconds
+  int track = 0;           // 0 = scheduler lane, i+1 = node lane i
+  std::string name;        // e.g. "submit", "start", "doom", "job 42"
+  std::string category;    // e.g. "lifecycle", "sched", "job"
+  JsonObject args;         // event payload (job id, partition, reason, ...)
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The per-site guard: one relaxed load.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Records `event` (seq is assigned here; any caller-set seq is ignored).
+  // No-op while disabled, so a race between set_enabled and a guarded
+  // caller loses at most that one event.
+  void Record(TraceEvent event);
+
+  // Convenience for the common instant case.
+  void Instant(double sim_time, std::string name, std::string category,
+               JsonObject args, int track = 0);
+
+  void Clear();
+  [[nodiscard]] std::size_t size() const;
+
+  // Events sorted by (sim_time, seq).
+  [[nodiscard]] std::vector<TraceEvent> SortedEvents() const;
+
+  // One compact JSON object per line, sorted.
+  [[nodiscard]] std::string Jsonl() const;
+
+  // Chrome trace_event JSON. `track_names[i]` names tid i (metadata
+  // thread_name events); unnamed tracks stay numeric.
+  [[nodiscard]] std::string ChromeTraceJson(
+      const std::vector<std::string>& track_names) const;
+
+  // Process-wide default tracer (disabled until someone enables it).
+  static Tracer& Global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace eco::telemetry

@@ -4,12 +4,38 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "common/telemetry/metrics.hpp"
+
 namespace eco {
 namespace {
 
 // Set while a pool worker (any pool) is executing a chunk, so nested
 // ParallelFor calls run serially instead of deadlocking on a full queue.
 thread_local bool t_inside_worker = false;
+
+// Process-global pool telemetry (all pools publish here; handles resolved
+// once, updates are lock-free).
+struct PoolMetrics {
+  telemetry::Counter* parallel_calls;
+  telemetry::Counter* serial_calls;
+  telemetry::Counter* chunks;
+  telemetry::Gauge* queue_depth;
+  telemetry::Gauge* queue_depth_peak;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      auto& reg = telemetry::MetricsRegistry::Global();
+      return PoolMetrics{
+          reg.GetCounter("eco_pool_parallel_calls_total"),
+          reg.GetCounter("eco_pool_serial_calls_total"),
+          reg.GetCounter("eco_pool_chunks_total"),
+          reg.GetGauge("eco_pool_queue_depth"),
+          reg.GetGauge("eco_pool_queue_depth_peak"),
+      };
+    }();
+    return m;
+  }
+};
 
 std::uint64_t MixSeed(std::uint64_t x) {
   x ^= x >> 33;
@@ -116,6 +142,9 @@ void ThreadPool::ParallelForChunks(std::int64_t begin, std::int64_t end,
   // Chunk indices match the parallel decomposition, so per-chunk RNG streams
   // and reduction order are identical.
   if (chunks == 1 || workers_.empty() || t_inside_worker) {
+    const PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.serial_calls->Add(1);
+    metrics.chunks->Add(static_cast<std::uint64_t>(chunks));
     for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
       const std::int64_t lo = begin + chunk * grain;
       const std::int64_t hi = std::min(lo + grain, end);
@@ -123,6 +152,10 @@ void ThreadPool::ParallelForChunks(std::int64_t begin, std::int64_t end,
     }
     return;
   }
+
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.parallel_calls->Add(1);
+  metrics.chunks->Add(static_cast<std::uint64_t>(chunks));
 
   auto job = std::make_shared<Job>();
   job->begin = begin;
@@ -137,6 +170,9 @@ void ThreadPool::ParallelForChunks(std::int64_t begin, std::int64_t end,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::int64_t i = 0; i < helpers; ++i) queue_.push_back(job);
+    const auto depth = static_cast<double>(queue_.size());
+    metrics.queue_depth->Set(depth);
+    metrics.queue_depth_peak->SetMax(depth);
   }
   wake_.notify_all();
 
@@ -163,6 +199,7 @@ void ThreadPool::WorkerMain() {
       if (stopping_ && queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
     }
     RunChunks(*job);
   }

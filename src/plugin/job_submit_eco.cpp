@@ -9,6 +9,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "common/telemetry/metrics.hpp"
 #include "sysinfo/simple_hash.hpp"
 
 namespace eco::plugin {
@@ -23,6 +24,41 @@ EcoPluginStats& Stats() {
   static EcoPluginStats stats;
   return stats;
 }
+
+// The same counters, published process-wide so sdiag and the exporters see
+// them without linking the plugin layer.
+struct RegistryStats {
+  telemetry::Counter* calls;
+  telemetry::Counter* modified;
+  telemetry::Counter* skipped;
+  telemetry::Counter* errors;
+  telemetry::Counter* cache_hits;
+  telemetry::Counter* cache_misses;
+
+  static const RegistryStats& Get() {
+    static const RegistryStats r = [] {
+      auto& reg = telemetry::MetricsRegistry::Global();
+      return RegistryStats{
+          reg.GetCounter("eco_plugin_calls_total"),
+          reg.GetCounter("eco_plugin_modified_total"),
+          reg.GetCounter("eco_plugin_skipped_total"),
+          reg.GetCounter("eco_plugin_errors_total"),
+          reg.GetCounter("eco_plugin_cache_hits_total"),
+          reg.GetCounter("eco_plugin_cache_misses_total"),
+      };
+    }();
+    return r;
+  }
+
+  void Reset() const {
+    calls->Reset();
+    modified->Reset();
+    skipped->Reset();
+    errors->Reset();
+    cache_hits->Reset();
+    cache_misses->Reset();
+  }
+};
 
 bool CommentOptsIn(const char* comment) {
   return comment != nullptr &&
@@ -94,7 +130,10 @@ void SetChronusGateway(std::shared_ptr<chronus::ChronusGateway> gateway) {
 }
 
 EcoPluginStats GetEcoPluginStats() { return Stats(); }
-void ResetEcoPluginStats() { Stats() = EcoPluginStats{}; }
+void ResetEcoPluginStats() {
+  Stats() = EcoPluginStats{};
+  RegistryStats::Get().Reset();
+}
 
 void ClearEcoDecisionCache() {
   std::lock_guard<std::mutex> lock(CacheMutex());
@@ -123,7 +162,9 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
   using Clock = std::chrono::steady_clock;
   const auto t0 = Clock::now();
   auto& stats = Stats();
+  const RegistryStats& reg = RegistryStats::Get();
   ++stats.calls;
+  reg.calls->Add(1);
   const auto record_time = [&] {
     stats.total_seconds +=
         std::chrono::duration<double>(Clock::now() - t0).count();
@@ -132,6 +173,7 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
   const auto gateway = Gateway();
   if (job_desc == nullptr || gateway == nullptr) {
     ++stats.skipped;
+    reg.skipped->Add(1);
     record_time();
     return SLURM_SUCCESS;
   }
@@ -144,6 +186,7 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
       (state == chronus::PluginState::kUser && opted_in);
   if (!should_run) {
     ++stats.skipped;
+    reg.skipped->Add(1);
     record_time();
     return SLURM_SUCCESS;
   }
@@ -166,6 +209,8 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
       ApplyDecision(job_desc, d);
       ++stats.cache_hits;
       ++stats.modified;
+      reg.cache_hits->Add(1);
+      reg.modified->Add(1);
       ECO_INFO << "job_submit_eco: job " << job_desc->job_id
                << " set from cache to " << d.cores << " tasks @ " << d.freq
                << " kHz, " << d.tpc << " threads/core";
@@ -174,6 +219,7 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
     }
   }
   ++stats.cache_misses;
+  reg.cache_misses->Add(1);
 
   const auto config_json = gateway->slurm_config(system_hash, binary_hash);
   if (!config_json.ok()) {
@@ -181,6 +227,7 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
              << config_json.message() << "); leaving job " << job_desc->job_id
              << " unchanged";
     ++stats.errors;
+    reg.errors->Add(1);
     record_time();
     return SLURM_SUCCESS;
   }
@@ -188,6 +235,7 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
   if (!parsed.ok() || !parsed->is_object()) {
     ECO_WARN << "job_submit_eco: bad configuration JSON; leaving job unchanged";
     ++stats.errors;
+    reg.errors->Add(1);
     record_time();
     return SLURM_SUCCESS;
   }
@@ -202,6 +250,7 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
     Cache()[key] = decision;
   }
   ++stats.modified;
+  reg.modified->Add(1);
   ECO_INFO << "job_submit_eco: job " << job_desc->job_id << " set to "
            << decision.cores << " tasks @ " << decision.freq << " kHz, "
            << decision.tpc << " threads/core";

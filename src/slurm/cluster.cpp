@@ -9,15 +9,92 @@
 
 namespace eco::slurm {
 
+namespace {
+
+// One registry family per SchedulerStats field; "" binds the unlabelled
+// cluster-wide names, anything else appends partition="<name>".
+std::string SchedName(const char* base, const std::string& partition) {
+  if (partition.empty()) return base;
+  return telemetry::LabeledName(base, "partition", partition);
+}
+
+}  // namespace
+
+void SchedMetricSet::Bind(telemetry::MetricsRegistry& registry,
+                          const std::string& partition) {
+  submit_calls =
+      registry.GetCounter(SchedName("eco_sched_submit_calls_total", partition));
+  submit_ns =
+      registry.GetCounter(SchedName("eco_sched_submit_ns_total", partition));
+  dispatch_calls = registry.GetCounter(
+      SchedName("eco_sched_dispatch_calls_total", partition));
+  dispatch_ns =
+      registry.GetCounter(SchedName("eco_sched_dispatch_ns_total", partition));
+  dispatch_coalesced = registry.GetCounter(
+      SchedName("eco_sched_dispatch_coalesced_total", partition));
+  plan_candidates = registry.GetCounter(
+      SchedName("eco_sched_plan_candidates_total", partition));
+  jobs_started =
+      registry.GetCounter(SchedName("eco_sched_jobs_started_total", partition));
+  backfill_planned = registry.GetCounter(
+      SchedName("eco_sched_backfill_planned_total", partition));
+  pending_peak =
+      registry.GetGauge(SchedName("eco_sched_pending_peak", partition));
+  timeline_peak =
+      registry.GetGauge(SchedName("eco_sched_timeline_peak", partition));
+  wait_seconds = registry.GetHistogram(
+      SchedName("eco_sched_wait_seconds", partition),
+      {1.0, 10.0, 60.0, 600.0, 3600.0, 86400.0});
+}
+
+SchedulerStats SchedMetricSet::Snapshot() const {
+  SchedulerStats out;
+  out.submit_calls = submit_calls->Value();
+  out.submit_ns = submit_ns->Value();
+  out.dispatch_calls = dispatch_calls->Value();
+  out.dispatch_ns = dispatch_ns->Value();
+  out.dispatch_coalesced = dispatch_coalesced->Value();
+  out.plan_candidates = plan_candidates->Value();
+  out.jobs_started = jobs_started->Value();
+  out.backfill_planned = backfill_planned->Value();
+  out.pending_peak = static_cast<std::uint64_t>(pending_peak->Value());
+  out.timeline_peak = static_cast<std::uint64_t>(timeline_peak->Value());
+  return out;
+}
+
+void SchedMetricSet::Reset() const {
+  submit_calls->Reset();
+  submit_ns->Reset();
+  dispatch_calls->Reset();
+  dispatch_ns->Reset();
+  dispatch_coalesced->Reset();
+  plan_candidates->Reset();
+  jobs_started->Reset();
+  backfill_planned->Reset();
+  pending_peak->Reset();
+  timeline_peak->Reset();
+  wait_seconds->Reset();
+}
+
 ClusterSim::ClusterSim(ClusterConfig config)
     : config_(config),
       market_(config.market),
       green_policy_(&market_, config.green),
       priority_(config.priority_weights,
                 config.nodes * config.node.machine.cpu.cores) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = config_.tracer;
+  metrics_set_.Bind(*metrics_, "");
+
   for (int i = 0; i < config_.nodes; ++i) {
     std::string name = config_.node.machine.hostname;
     if (config_.nodes > 1) name += "-" + std::to_string(i);
+    node_track_by_name_.emplace(name, i + 1);  // track 0 = scheduler lane
     nodes_.push_back(std::make_unique<NodeSim>(name, config_.node, &queue_));
   }
 
@@ -44,6 +121,7 @@ ClusterSim::ClusterSim(ClusterConfig config)
       shard->node_indices.push_back(i);
       nodes_[i]->AddPartition(partition.name);
     }
+    shard->metrics.Bind(*metrics_, partition.name);
     shard_by_name_.emplace(partition.name, p);
     shards_.push_back(std::move(shard));
   }
@@ -143,12 +221,35 @@ const SchedulerStats* ClusterSim::sched_stats(
     const std::string& partition) const {
   const auto it = shard_by_name_.find(partition);
   if (it == shard_by_name_.end()) return nullptr;
-  return &shards_[it->second]->stats;
+  PartitionShard& shard = *shards_[it->second];
+  shard.stats_view = shard.metrics.Snapshot();
+  return &shard.stats_view;
 }
 
 void ClusterSim::ResetSchedStats() {
-  stats_ = SchedulerStats{};
-  for (const auto& shard : shards_) shard->stats = SchedulerStats{};
+  // Zeroes this cluster's scheduler families only — other publishers into a
+  // shared registry (eco plugin, thread pool) keep their values.
+  metrics_set_.Reset();
+  for (const auto& shard : shards_) shard->metrics.Reset();
+}
+
+std::vector<std::string> ClusterSim::TelemetryTrackNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size() + 1);
+  names.emplace_back("scheduler");
+  for (const auto& node : nodes_) names.push_back(node->name());
+  return names;
+}
+
+void ClusterSim::TraceLifecycle(const char* name, const JobRecord& job,
+                                const char* reason) {
+  JsonObject args;
+  args["job"] = Json(static_cast<long long>(job.id));
+  args["partition"] = Json(job.request.partition);
+  if (reason != nullptr && reason[0] != '\0') {
+    args["reason"] = Json(std::string(reason));
+  }
+  tracer_->Instant(queue_.now(), name, "lifecycle", std::move(args));
 }
 
 ClusterSim::PartitionShard& ClusterSim::ShardOf(const JobRecord& job) {
@@ -201,8 +302,8 @@ std::vector<Result<JobId>> ClusterSim::SubmitBatch(
 }
 
 Result<JobId> ClusterSim::Enqueue(JobRequest request) {
-  ScopedTimer timer(&stats_.submit_ns);
-  ++stats_.submit_calls;
+  telemetry::ScopedCounterTimer timer(metrics_set_.submit_ns);
+  metrics_set_.submit_calls->Add(1);
 
   // Partition routing: an EMPTY name selects the default partition; any
   // non-empty name must match exactly, or the job is rejected like
@@ -288,7 +389,8 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
 
   submit_order_[id] = submit_counter_++;
   JobRecord& job = jobs_[id] = record;
-  ++shard->stats.submit_calls;
+  shard->metrics.submit_calls->Add(1);
+  if (TraceEnabled()) TraceLifecycle("submit", job);
 
   // Green-window hold (§6.2.4).
   const bool wants_green =
@@ -301,6 +403,9 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
       auto it = jobs_.find(id);
       if (it == jobs_.end() || it->second.state != JobState::kHeld) return;
       it->second.state = JobState::kPending;
+      if (TraceEnabled()) {
+        TraceLifecycle("eligible", it->second, "GreenWindow");
+      }
       if (config_.use_legacy_scheduler) {
         pending_.push_back(id);
       } else {
@@ -308,6 +413,7 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
       }
       RequestDispatch();
     });
+    if (TraceEnabled()) TraceLifecycle("hold", job, "GreenWindow");
     ECO_INFO << "job " << id << " held for green window until "
              << job.eligible_time;
   } else if (config_.use_legacy_scheduler) {
@@ -319,7 +425,7 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
   const std::uint64_t depth = config_.use_legacy_scheduler
                                   ? pending_.size()
                                   : IndexedPendingDepth();
-  stats_.pending_peak = std::max(stats_.pending_peak, depth);
+  metrics_set_.pending_peak->SetMax(static_cast<double>(depth));
   return id;
 }
 
@@ -351,7 +457,7 @@ void ClusterSim::EnterPendingIndexed(JobRecord& job) {
     if (it == jobs_.end() || it->second.state == JobState::kFailed ||
         it->second.state == JobState::kCancelled) {
       ECO_WARN << "job " << job.id << " failed: DependencyNeverSatisfied";
-      FinalizeJob(job, JobState::kFailed);
+      FinalizeJob(job, JobState::kFailed, "DependencyNeverSatisfied");
       return;
     }
   }
@@ -368,9 +474,8 @@ void ClusterSim::EnterPendingIndexed(JobRecord& job) {
   }
   PartitionShard& shard = ShardOf(job);
   shard.pending.Insert(ToIndexedJob(job));
-  shard.stats.pending_peak =
-      std::max(shard.stats.pending_peak,
-               static_cast<std::uint64_t>(shard.pending.size()));
+  shard.metrics.pending_peak->SetMax(
+      static_cast<double>(shard.pending.size()));
 }
 
 void ClusterSim::NotifyDependents(JobId id, bool completed) {
@@ -385,9 +490,11 @@ void ClusterSim::NotifyDependents(JobId id, bool completed) {
     if (!completed) {
       waiting_deps_.erase(wit);
       ECO_WARN << "job " << waiter << " failed: DependencyNeverSatisfied";
-      FinalizeJob(job, JobState::kFailed);  // recursion dooms its own waiters
+      // Recursion dooms its own waiters.
+      FinalizeJob(job, JobState::kFailed, "DependencyNeverSatisfied");
     } else if (--wit->second == 0) {
       waiting_deps_.erase(wit);
+      if (TraceEnabled()) TraceLifecycle("eligible", job, "DependenciesMet");
       ShardOf(job).pending.Insert(ToIndexedJob(job));
     }
   }
@@ -399,7 +506,7 @@ void ClusterSim::RequestDispatch() {
     return;
   }
   if (dispatch_scheduled_) {
-    ++stats_.dispatch_coalesced;
+    metrics_set_.dispatch_coalesced->Add(1);
     return;
   }
   dispatch_scheduled_ = true;
@@ -412,8 +519,8 @@ void ClusterSim::RequestDispatch() {
 }
 
 void ClusterSim::Dispatch() {
-  ScopedTimer timer(&stats_.dispatch_ns);
-  ++stats_.dispatch_calls;
+  telemetry::ScopedCounterTimer timer(metrics_set_.dispatch_ns);
+  metrics_set_.dispatch_calls->Add(1);
   if (config_.use_legacy_scheduler) {
     DispatchLegacy();
   } else {
@@ -431,20 +538,31 @@ void ClusterSim::RemoveFromPending(JobId id) {
 }
 
 IndexedPlan ClusterSim::PlanShard(PartitionShard& shard) {
-  ScopedTimer timer(&shard.stats.dispatch_ns);
-  ++shard.stats.dispatch_calls;
+  // Runs on pool workers during parallel dispatch; the Counter handles are
+  // thread-safe, and nothing here may touch the tracer (trace events come
+  // from the serial ExecutePlanIndexed so the trace is pool-size invariant).
+  telemetry::ScopedCounterTimer timer(shard.metrics.dispatch_ns);
+  shard.metrics.dispatch_calls->Add(1);
   IndexedPlan plan = PlanScheduleIndexed(
       config_.policy, shard.pending, shard.timeline, FreeNodesInShard(shard),
       queue_.now(), config_.backfill_max_job_test);
-  shard.stats.plan_candidates += plan.candidates;
-  shard.stats.backfill_planned += plan.backfilled;
+  shard.metrics.plan_candidates->Add(plan.candidates);
+  shard.metrics.backfill_planned->Add(plan.backfilled);
   return plan;
 }
 
 int ClusterSim::ExecutePlanIndexed(PartitionShard& shard,
                                    const IndexedPlan& plan) {
-  stats_.plan_candidates += plan.candidates;
-  stats_.backfill_planned += plan.backfilled;
+  metrics_set_.plan_candidates->Add(plan.candidates);
+  metrics_set_.backfill_planned->Add(plan.backfilled);
+  if (TraceEnabled() && (plan.candidates > 0 || !plan.starts.empty())) {
+    JsonObject args;
+    args["partition"] = Json(shard.config->name);
+    args["candidates"] = Json(plan.candidates);
+    args["planned"] = Json(static_cast<long long>(plan.starts.size()));
+    args["backfilled"] = Json(plan.backfilled);
+    tracer_->Instant(queue_.now(), "plan", "sched", std::move(args));
+  }
   if (plan.starts.empty()) return 0;
 
   std::vector<JobId> to_start;
@@ -532,7 +650,7 @@ void ClusterSim::ScreenDoomedLegacy() {
         ECO_WARN << "job " << id << " failed: DependencyNeverSatisfied";
         pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
                        pending_.end());
-        FinalizeJob(job, JobState::kFailed);
+        FinalizeJob(job, JobState::kFailed, "DependencyNeverSatisfied");
         changed = true;
       }
     }
@@ -540,7 +658,7 @@ void ClusterSim::ScreenDoomedLegacy() {
 }
 
 std::vector<JobId> ClusterSim::PlanLegacyShard(PartitionShard& shard) {
-  ScopedTimer timer(&shard.stats.dispatch_ns);
+  telemetry::ScopedCounterTimer timer(shard.metrics.dispatch_ns);
   std::vector<PlanInput> plan;
   for (const JobId id : pending_) {
     auto& job = jobs_.at(id);
@@ -565,10 +683,10 @@ std::vector<JobId> ClusterSim::PlanLegacyShard(PartitionShard& shard) {
     input.tiebreak = submit_order_.at(id);
     plan.push_back(input);
   }
-  stats_.plan_candidates += plan.size();
-  shard.stats.plan_candidates += plan.size();
+  metrics_set_.plan_candidates->Add(plan.size());
+  shard.metrics.plan_candidates->Add(plan.size());
   if (plan.empty()) return {};
-  ++shard.stats.dispatch_calls;
+  shard.metrics.dispatch_calls->Add(1);
 
   // Release horizon of every job holding nodes this partition owns — jobs
   // started through an overlapping partition block this one too.
@@ -599,6 +717,12 @@ void ClusterSim::DispatchLegacy() {
   for (const auto& shard : shards_) {
     if (pending_.empty()) break;
     const std::vector<JobId> to_start = PlanLegacyShard(*shard);
+    if (TraceEnabled() && !to_start.empty()) {
+      JsonObject args;
+      args["partition"] = Json(shard->config->name);
+      args["planned"] = Json(static_cast<long long>(to_start.size()));
+      tracer_->Instant(queue_.now(), "plan", "sched", std::move(args));
+    }
     failed += ExecuteStartList(to_start, *shard);
   }
   // A job failed during execution (power cap on an idle cluster, node start
@@ -625,13 +749,14 @@ int ClusterSim::ExecuteStartList(const std::vector<JobId>& to_start,
           ECO_WARN << "job " << id << " exceeds the power cap on an idle "
                    << "cluster (" << estimate << " W > budget); failing it";
           RemoveFromPending(id);
-          FinalizeJob(job, JobState::kFailed);
+          FinalizeJob(job, JobState::kFailed, "PowerCap");
           ++failed;
           continue;
         }
         ECO_DEBUG << "job " << id << " deferred by power cap ("
                   << projected_watts + estimate << " W > "
                   << config_.power_cap_watts << " W)";
+        if (TraceEnabled()) TraceLifecycle("defer", job, "PowerCap");
         continue;
       }
       projected_watts += estimate;
@@ -640,13 +765,22 @@ int ClusterSim::ExecuteStartList(const std::vector<JobId>& to_start,
     if (static_cast<int>(node_idx.size()) < job.request.min_nodes) continue;
     const Status started = StartJob(job, node_idx);
     if (started.ok()) {
-      ++stats_.jobs_started;
-      ++shard.stats.jobs_started;
+      metrics_set_.jobs_started->Add(1);
+      shard.metrics.jobs_started->Add(1);
+      shard.metrics.wait_seconds->Observe(job.WaitSeconds());
+      if (TraceEnabled()) {
+        JsonObject args;
+        args["job"] = Json(static_cast<long long>(job.id));
+        args["partition"] = Json(job.request.partition);
+        args["nodes"] = Json(static_cast<long long>(job.allocated_nodes));
+        args["wait_s"] = Json(job.WaitSeconds());
+        tracer_->Instant(queue_.now(), "start", "lifecycle", std::move(args));
+      }
       RemoveFromPending(id);
     } else {
       ECO_WARN << "job " << id << " failed to start: " << started.message();
       RemoveFromPending(id);
-      FinalizeJob(job, JobState::kFailed);
+      FinalizeJob(job, JobState::kFailed, "StartFailed");
       ++failed;
     }
   }
@@ -694,12 +828,10 @@ Status ClusterSim::StartJob(JobRecord& job,
     }
     if (held == 0) continue;
     shard->timeline.Add(id, release, held);
-    shard->stats.timeline_peak =
-        std::max(shard->stats.timeline_peak,
-                 static_cast<std::uint64_t>(shard->timeline.size()));
+    shard->metrics.timeline_peak->SetMax(
+        static_cast<double>(shard->timeline.size()));
   }
-  stats_.timeline_peak = std::max(
-      stats_.timeline_peak, static_cast<std::uint64_t>(running_.size()));
+  metrics_set_.timeline_peak->SetMax(static_cast<double>(running_.size()));
   return Status::Ok();
 }
 
@@ -758,13 +890,34 @@ void ClusterSim::OnTimeout(JobId id) {
       aggregate.avg_cpu_temp / static_cast<double>(run.node_indices.size());
   running_.erase(it);
   RemoveFromTimelines(id);
-  FinalizeJob(job, JobState::kCancelled);
+  FinalizeJob(job, JobState::kCancelled, "TimeLimit");
   RequestDispatch();
 }
 
-void ClusterSim::FinalizeJob(JobRecord& job, JobState state) {
+void ClusterSim::FinalizeJob(JobRecord& job, JobState state,
+                             const char* reason) {
   job.state = state;
   job.end_time = queue_.now();
+  if (TraceEnabled()) {
+    TraceLifecycle(state == JobState::kCompleted ? "end" : "doom", job,
+                   reason);
+    // The job's run becomes a span on its first node's lane, so the drain
+    // reads as a per-node Gantt chart in Perfetto.
+    if (job.allocated_nodes > 0) {
+      telemetry::TraceEvent span;
+      span.sim_time = job.start_time;
+      span.phase = 'X';
+      span.dur_s = job.RunSeconds();
+      span.track = node_track_by_name_.at(job.node);
+      span.name = "job " + std::to_string(job.id);
+      span.category = "job";
+      span.args["job"] = Json(static_cast<long long>(job.id));
+      span.args["partition"] = Json(job.request.partition);
+      span.args["nodes"] = Json(static_cast<long long>(job.allocated_nodes));
+      span.args["state"] = Json(std::string(JobStateName(state)));
+      tracer_->Record(std::move(span));
+    }
+  }
   // Usage decays within the job's partition only: both engines charge the
   // shard's tracker, so legacy-vs-sharded equivalence holds per partition.
   ShardOf(job).fairshare.AddUsage(
@@ -785,7 +938,7 @@ Status ClusterSim::Cancel(JobId id) {
     case JobState::kHeld:
       RemoveFromPending(id);
       waiting_deps_.erase(id);
-      FinalizeJob(job, JobState::kCancelled);
+      FinalizeJob(job, JobState::kCancelled, "Cancelled");
       RequestDispatch();  // dependents of a cancelled job must fail promptly
       return Status::Ok();
     case JobState::kRunning: {
@@ -798,7 +951,7 @@ Status ClusterSim::Cancel(JobId id) {
         running_.erase(run_it);
         RemoveFromTimelines(id);
       }
-      FinalizeJob(job, JobState::kCancelled);
+      FinalizeJob(job, JobState::kCancelled, "Cancelled");
       RequestDispatch();
       return Status::Ok();
     }

@@ -33,6 +33,8 @@
 
 #include "common/error.hpp"
 #include "common/sim_clock.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/trace.hpp"
 #include "slurm/accounting.hpp"
 #include "slurm/energy_market.hpp"
 #include "slurm/job.hpp"
@@ -95,13 +97,24 @@ struct ClusterConfig {
   // the process-wide ThreadPool::Global(). The schedule is pool-size
   // invariant; the pool only changes wall-clock time.
   ThreadPool* pool = nullptr;
+  // Registry the scheduler publishes its counters/histograms to. nullptr
+  // (default) = the cluster owns a private registry, so per-partition metric
+  // families from two ClusterSims in one process never collide.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  // Job-lifecycle tracer. nullptr (default) = no tracing whatsoever; an
+  // attached-but-disabled tracer costs one relaxed load per site.
+  telemetry::Tracer* tracer = nullptr;
 };
 
-// Hot-path counters and scoped-timer sinks. One cluster-wide aggregate is
-// exposed via sched_stats(); the sharded engine additionally keeps one
-// instance per partition, exposed via sched_stats(partition_name) — there
-// dispatch_calls/dispatch_ns count the partition's own planning passes, so
-// per-partition pass latency is dispatch_ns / dispatch_calls.
+// Snapshot of the scheduler's hot-path counters, assembled on demand from
+// the telemetry registry (the live values are Counter/Gauge handles in a
+// SchedMetricSet). One cluster-wide aggregate is exposed via sched_stats();
+// the sharded engine additionally keeps one family per partition, exposed
+// via sched_stats(partition_name) — there dispatch_calls/dispatch_ns count
+// the partition's own planning passes, so per-partition pass latency is
+// dispatch_ns / dispatch_calls. DEPRECATED for new code: read the registry
+// (ClusterSim::metrics()) or Sdiag() instead; these accessors exist for the
+// established tests and benches.
 struct SchedulerStats {
   std::uint64_t submit_calls = 0;
   std::uint64_t submit_ns = 0;
@@ -117,6 +130,31 @@ struct SchedulerStats {
   std::uint64_t backfill_planned = 0;
   std::uint64_t pending_peak = 0;   // deepest pending queue observed
   std::uint64_t timeline_peak = 0;  // most concurrent running entries
+};
+
+// The registry handles behind one SchedulerStats family. Bind() registers
+// the family ("" = the cluster-wide aggregate, otherwise every metric name
+// carries a partition="..." label); Snapshot() materialises the legacy
+// struct view. Counter handles are safe to bump from pool workers (the
+// sharded engine's parallel planning).
+struct SchedMetricSet {
+  telemetry::Counter* submit_calls = nullptr;
+  telemetry::Counter* submit_ns = nullptr;
+  telemetry::Counter* dispatch_calls = nullptr;
+  telemetry::Counter* dispatch_ns = nullptr;
+  telemetry::Counter* dispatch_coalesced = nullptr;
+  telemetry::Counter* plan_candidates = nullptr;
+  telemetry::Counter* jobs_started = nullptr;
+  telemetry::Counter* backfill_planned = nullptr;
+  telemetry::Gauge* pending_peak = nullptr;
+  telemetry::Gauge* timeline_peak = nullptr;
+  // Queue-wait seconds observed at each job start (sdiag's per-partition
+  // queue histogram).
+  telemetry::Histogram* wait_seconds = nullptr;
+
+  void Bind(telemetry::MetricsRegistry& registry, const std::string& partition);
+  [[nodiscard]] SchedulerStats Snapshot() const;
+  void Reset() const;
 };
 
 class ClusterSim {
@@ -189,9 +227,24 @@ class ClusterSim {
   // Fails if the job is rejected or ends in a non-completed state.
   Result<JobRecord> RunJobToCompletion(JobRequest request);
 
-  [[nodiscard]] const SchedulerStats& sched_stats() const { return stats_; }
+  // Telemetry registry this cluster publishes into (the config-provided one
+  // or the cluster's private default).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() const {
+    return *metrics_;
+  }
+  [[nodiscard]] telemetry::Tracer* tracer() const { return tracer_; }
+  // Track names for Tracer::ChromeTraceJson(): track 0 is the scheduler
+  // lane, tracks 1..N are the node lanes the job-run spans land on.
+  [[nodiscard]] std::vector<std::string> TelemetryTrackNames() const;
+
+  // DEPRECATED struct view (see SchedulerStats): snapshots the registry on
+  // every call. Prefer metrics() / commands::Sdiag().
+  [[nodiscard]] const SchedulerStats& sched_stats() const {
+    stats_view_ = metrics_set_.Snapshot();
+    return stats_view_;
+  }
   // Per-partition counters (both engines fill them); nullptr for an unknown
-  // partition name.
+  // partition name. Same deprecation note as sched_stats().
   [[nodiscard]] const SchedulerStats* sched_stats(
       const std::string& partition) const;
   void ResetSchedStats();
@@ -217,7 +270,8 @@ class ClusterSim {
     FairShareTracker fairshare;             // per-partition decayed usage
     PendingIndex pending;                   // sharded engine
     NodeTimeline timeline;  // kept current in both modes; overlap-aware
-    SchedulerStats stats;
+    SchedMetricSet metrics;          // partition="<name>" registry family
+    mutable SchedulerStats stats_view;  // refreshed by sched_stats(name)
   };
 
   // Validate + plugin pipeline + queue, WITHOUT a scheduling pass.
@@ -254,7 +308,19 @@ class ClusterSim {
   Status StartJob(JobRecord& job, const std::vector<std::size_t>& node_idx);
   void OnNodeDone(JobId id, const RunStats& stats);
   void OnTimeout(JobId id);
-  void FinalizeJob(JobRecord& job, JobState state);
+  // `reason` lands in the trace's end/doom event ("" for a normal end):
+  // DependencyNeverSatisfied, TimeLimit, Cancelled, PowerCap, StartFailed.
+  void FinalizeJob(JobRecord& job, JobState state, const char* reason = "");
+  // One relaxed load; the guard every trace site uses (Logger::Enabled
+  // shape, so a disabled or absent tracer costs a branch).
+  [[nodiscard]] bool TraceEnabled() const {
+    return tracer_ != nullptr && tracer_->enabled();
+  }
+  // Instant lifecycle event on the scheduler track (call only from the
+  // serial sim thread — never from a parallel PlanShard — so the trace is
+  // pool-size invariant).
+  void TraceLifecycle(const char* name, const JobRecord& job,
+                      const char* reason = nullptr);
   [[nodiscard]] PartitionShard& ShardOf(const JobRecord& job);
   [[nodiscard]] int FreeNodesInShard(const PartitionShard& shard) const;
   [[nodiscard]] std::vector<std::size_t> PickFreeNodes(
@@ -284,7 +350,15 @@ class ClusterSim {
   std::unordered_map<JobId, int> waiting_deps_;
   std::unordered_map<JobId, std::vector<JobId>> dependents_;
   bool dispatch_scheduled_ = false;  // a deferred pass is already queued
-  SchedulerStats stats_;
+  // Telemetry: the private fallback registry, the registry actually in use,
+  // the optional tracer, the cluster-wide metric family and its snapshot
+  // view, and the node-name -> trace-track map (track 0 = scheduler).
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+  SchedMetricSet metrics_set_;
+  mutable SchedulerStats stats_view_;
+  std::unordered_map<std::string, int> node_track_by_name_;
   JobId next_id_ = 1;
   std::uint64_t submit_counter_ = 0;
   std::map<JobId, std::uint64_t> submit_order_;

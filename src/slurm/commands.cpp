@@ -3,8 +3,10 @@
 #include <map>
 #include <sstream>
 
+#include "common/perf.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/telemetry/metrics.hpp"
 
 namespace eco::slurm {
 namespace {
@@ -112,6 +114,85 @@ std::string ScontrolShowJob(const ClusterSim& cluster, JobId id) {
   if (job->state == JobState::kCompleted) {
     out << "   ConsumedEnergy=" << FormatDouble(job->system_joules, 0) << "J"
         << " Gflops=" << FormatDouble(job->gflops, 3) << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string MeanNanos(std::uint64_t total_ns, std::uint64_t calls) {
+  if (calls == 0) return "n/a";
+  return FormatNanos(total_ns / calls);
+}
+
+}  // namespace
+
+std::string Sdiag(const ClusterSim& cluster) {
+  const SchedulerStats stats = cluster.sched_stats();
+  std::ostringstream out;
+  out << "*******************************************************\n";
+  out << "sdiag output at t=" << FormatDouble(cluster.Now(), 1) << "s\n";
+  out << "*******************************************************\n";
+  out << "Main schedule statistics (microseconds):\n";
+  out << "  Submit calls:            " << stats.submit_calls << "\n";
+  out << "  Mean submit latency:     "
+      << MeanNanos(stats.submit_ns, stats.submit_calls) << "\n";
+  out << "  Schedule cycles:         " << stats.dispatch_calls << "\n";
+  out << "  Mean cycle time:         "
+      << MeanNanos(stats.dispatch_ns, stats.dispatch_calls) << "\n";
+  out << "  Total cycle time:        " << FormatNanos(stats.dispatch_ns)
+      << "\n";
+  out << "  Cycles coalesced:        " << stats.dispatch_coalesced << "\n";
+  out << "  Queue candidates seen:   " << stats.plan_candidates << "\n";
+  out << "  Jobs started:            " << stats.jobs_started << "\n";
+  out << "  Backfilled jobs:         " << stats.backfill_planned << "\n";
+  out << "  Pending queue peak:      " << stats.pending_peak << "\n";
+  out << "  Concurrent running peak: " << stats.timeline_peak << "\n";
+
+  // Eco plugin decision cache (published into the process-wide registry by
+  // job_submit_eco; absent when the plugin never ran).
+  const auto& global = telemetry::MetricsRegistry::Global();
+  const telemetry::Counter* hits =
+      global.FindCounter("eco_plugin_cache_hits_total");
+  const telemetry::Counter* misses =
+      global.FindCounter("eco_plugin_cache_misses_total");
+  out << "Eco plugin decision cache:\n";
+  if (hits == nullptr && misses == nullptr) {
+    out << "  (plugin not loaded)\n";
+  } else {
+    const std::uint64_t h = hits != nullptr ? hits->Value() : 0;
+    const std::uint64_t m = misses != nullptr ? misses->Value() : 0;
+    out << "  Hits:   " << h << "\n";
+    out << "  Misses: " << m << "\n";
+    out << "  Ratio:  "
+        << (h + m > 0
+                ? FormatDouble(static_cast<double>(h) /
+                                   static_cast<double>(h + m),
+                               3)
+                : "n/a")
+        << "\n";
+  }
+
+  out << "Per-partition statistics:\n";
+  for (const PartitionConfig& partition : cluster.partitions()) {
+    const SchedulerStats* ps = cluster.sched_stats(partition.name);
+    if (ps == nullptr) continue;
+    out << "  Partition " << partition.name << ":\n";
+    out << "    Submitted: " << ps->submit_calls
+        << "  Started: " << ps->jobs_started
+        << "  Backfilled: " << ps->backfill_planned << "\n";
+    out << "    Planning passes: " << ps->dispatch_calls
+        << "  Mean pass time: "
+        << MeanNanos(ps->dispatch_ns, ps->dispatch_calls)
+        << "  Candidates: " << ps->plan_candidates << "\n";
+    out << "    Pending peak: " << ps->pending_peak
+        << "  Timeline peak: " << ps->timeline_peak << "\n";
+    const telemetry::Histogram* wait = cluster.metrics().FindHistogram(
+        telemetry::LabeledName("eco_sched_wait_seconds", "partition",
+                               partition.name));
+    if (wait != nullptr && wait->Count() > 0) {
+      out << "    Queue wait (s): " << wait->FormatBuckets() << "\n";
+    }
   }
   return out.str();
 }

@@ -35,4 +35,11 @@ std::string ScontrolShowJob(const ClusterSim& cluster, JobId id);
 // sreport-style per-user totals from accounting: jobs, CPU-hours, energy.
 std::string SreportUserEnergy(const AccountingDb& accounting);
 
+// sdiag: scheduler diagnostics straight from the telemetry registry —
+// cycle counts and mean cycle time, submit latency, coalescing, backfill
+// depth, queue peaks, per-partition pass counters + queue-wait histograms,
+// and the eco plugin's decision-cache hit ratio (read from the process
+// registry, where the plugin publishes).
+std::string Sdiag(const ClusterSim& cluster);
+
 }  // namespace eco::slurm

@@ -33,6 +33,22 @@ void EnergyGatherHost::Unload() {
   has_baseline_ = false;
 }
 
+void EnergyGatherHost::SetTelemetry(telemetry::MetricsRegistry* registry,
+                                    const std::string& node_label) {
+  if (registry == nullptr) {
+    polls_total_ = nullptr;
+    joules_total_ = nullptr;
+    watts_ = nullptr;
+    return;
+  }
+  polls_total_ = registry->GetCounter(
+      telemetry::LabeledName("eco_energy_polls_total", "node", node_label));
+  joules_total_ = registry->GetCounter(
+      telemetry::LabeledName("eco_energy_joules_total", "node", node_label));
+  watts_ = registry->GetGauge(
+      telemetry::LabeledName("eco_energy_watts", "node", node_label));
+}
+
 Result<acct_gather_energy_t> EnergyGatherHost::Read() const {
   if (ops_ == nullptr) {
     return Result<acct_gather_energy_t>::Error(
@@ -43,6 +59,10 @@ Result<acct_gather_energy_t> EnergyGatherHost::Read() const {
     return Result<acct_gather_energy_t>::Error(
         std::string("acct_gather_energy: read failed (") + ops_->plugin_type +
         ")");
+  }
+  if (polls_total_ != nullptr) {
+    polls_total_->Add(1);
+    watts_->Set(static_cast<double>(energy.current_watts));
   }
   return energy;
 }
@@ -59,6 +79,7 @@ Result<double> EnergyGatherHost::PollDelta() {
                                   ? energy->consumed_joules - last_joules_
                                   : 0;  // counter reset upstream
   last_joules_ = energy->consumed_joules;
+  if (joules_total_ != nullptr) joules_total_->Add(delta);
   return static_cast<double>(delta);
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/telemetry/metrics.hpp"
 #include "slurm/plugin_api.h"
 
 namespace eco::slurm {
@@ -18,6 +19,12 @@ class EnergyGatherHost {
   ~EnergyGatherHost();
   EnergyGatherHost(const EnergyGatherHost&) = delete;
   EnergyGatherHost& operator=(const EnergyGatherHost&) = delete;
+
+  // Publishes this host's polls into `registry` under node="<node_label>"
+  // labels: eco_energy_polls_total, eco_energy_joules_total (consumed
+  // deltas), eco_energy_watts (last observed draw). nullptr detaches.
+  void SetTelemetry(telemetry::MetricsRegistry* registry,
+                    const std::string& node_label);
 
   // Loads the plugin (running init()). Only one energy plugin can be active,
   // like slurm.conf's single AcctGatherEnergyType line.
@@ -39,6 +46,10 @@ class EnergyGatherHost {
   const acct_gather_energy_plugin_ops_t* ops_ = nullptr;
   bool has_baseline_ = false;
   std::uint64_t last_joules_ = 0;
+  // Telemetry handles (null when detached).
+  telemetry::Counter* polls_total_ = nullptr;
+  telemetry::Counter* joules_total_ = nullptr;
+  telemetry::Gauge* watts_ = nullptr;
 };
 
 }  // namespace eco::slurm

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/telemetry/metrics.hpp"
 #include "hw/rapl.hpp"
 #include "plugin/acct_gather_energy.hpp"
 #include "slurm/energy_gather.hpp"
@@ -94,6 +95,50 @@ TEST(EnergyGatherHost, IpmiPluginIntegratesPowerOverPolls) {
   auto reading = host.Read();
   ASSERT_TRUE(reading.ok());
   EXPECT_EQ(reading->current_watts, 200u);
+  host.Unload();
+  plugin::SetIpmiEnergySource(nullptr, nullptr);
+}
+
+TEST(EnergyGatherHost, PublishesPerNodeTelemetry) {
+  FixedSource source(200.0);
+  ipmi::BmcParams quiet;
+  quiet.noise_stddev_watts = 0.0;
+  ipmi::BmcSimulator bmc(&source, quiet, Rng(1));
+  EventQueue clock;
+  plugin::SetIpmiEnergySource(&bmc, &clock);
+
+  telemetry::MetricsRegistry registry;
+  slurm::EnergyGatherHost host;
+  host.SetTelemetry(&registry, "node000");
+  ASSERT_TRUE(host.Load(plugin::IpmiEnergyOps()).ok());
+
+  ASSERT_TRUE(host.PollDelta().ok());  // baseline poll
+  for (int i = 0; i < 3; ++i) {
+    clock.ScheduleAfter(10.0, [](SimTime) {});
+    clock.RunAll();
+    ASSERT_TRUE(host.PollDelta().ok());
+  }
+
+  const auto* polls =
+      registry.FindCounter("eco_energy_polls_total{node=\"node000\"}");
+  const auto* joules =
+      registry.FindCounter("eco_energy_joules_total{node=\"node000\"}");
+  const auto* watts =
+      registry.FindGauge("eco_energy_watts{node=\"node000\"}");
+  ASSERT_NE(polls, nullptr);
+  ASSERT_NE(joules, nullptr);
+  ASSERT_NE(watts, nullptr);
+  EXPECT_EQ(polls->Value(), 4u);  // baseline + 3 deltas
+  EXPECT_NEAR(static_cast<double>(joules->Value()), 200.0 * 30.0, 5.0);
+  EXPECT_DOUBLE_EQ(watts->Value(), 200.0);
+
+  // Detaching stops publication but keeps the host working.
+  host.SetTelemetry(nullptr, "");
+  clock.ScheduleAfter(10.0, [](SimTime) {});
+  clock.RunAll();
+  ASSERT_TRUE(host.PollDelta().ok());
+  EXPECT_EQ(polls->Value(), 4u);
+
   host.Unload();
   plugin::SetIpmiEnergySource(nullptr, nullptr);
 }
