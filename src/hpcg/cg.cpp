@@ -28,13 +28,18 @@ CgResult CgSolver::Solve(const Vec& b, Vec& x) {
   ThreadPool* pool = options_.pool;
 
   // r = b - A x
-  SpMV(geo_, x, ap_, pool);
-  Waxpby(1.0, b, -1.0, ap_, r_, pool);
-  flops += SpMVFlops(geo_) + WaxpbyFlops(n);
-
-  double norm_r = Norm2(r_, pool);
-  flops += DotFlops(n);
+  double norm_r;
+  if (options_.fused_kernels) {
+    SpMV(geo_, x, ap_, pool);
+    norm_r = std::sqrt(FusedWaxpbyDot(1.0, b, -1.0, ap_, r_, pool));
+  } else {
+    SpMV(geo_, x, ap_, pool);
+    Waxpby(1.0, b, -1.0, ap_, r_, pool);
+    norm_r = Norm2(r_, pool);
+  }
+  flops += SpMVFlops(geo_) + WaxpbyFlops(n) + DotFlops(n);
   result.initial_residual = norm_r;
+  result.residual_history.push_back(norm_r);
   const double stop = options_.tolerance * norm_r;
 
   double rtz = 0.0;
@@ -62,18 +67,26 @@ CgResult CgSolver::Solve(const Vec& b, Vec& x) {
       flops += WaxpbyFlops(n);
     }
 
-    SpMV(geo_, p_, ap_, pool);
-    const double pap = Dot(p_, ap_, pool);
+    double pap;
+    if (options_.fused_kernels) {
+      SpMVDot(geo_, p_, ap_, &pap, pool);
+    } else {
+      SpMV(geo_, p_, ap_, pool);
+      pap = Dot(p_, ap_, pool);
+    }
     flops += SpMVFlops(geo_) + DotFlops(n);
     if (pap <= 0.0) break;  // loss of positive definiteness (numerical)
 
     const double alpha = rtz / pap;
     Waxpby(1.0, x, alpha, p_, x, pool);
-    Waxpby(1.0, r_, -alpha, ap_, r_, pool);
-    flops += 2 * WaxpbyFlops(n);
-
-    norm_r = Norm2(r_, pool);
-    flops += DotFlops(n);
+    if (options_.fused_kernels) {
+      norm_r = std::sqrt(FusedWaxpbyDot(1.0, r_, -alpha, ap_, r_, pool));
+    } else {
+      Waxpby(1.0, r_, -alpha, ap_, r_, pool);
+      norm_r = Norm2(r_, pool);
+    }
+    flops += 2 * WaxpbyFlops(n) + DotFlops(n);
+    result.residual_history.push_back(norm_r);
     ++result.iterations;
   }
 

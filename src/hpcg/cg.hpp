@@ -22,6 +22,13 @@ struct CgOptions {
   // pool size, but not bitwise-equal to the lexicographic serial smoother).
   ThreadPool* pool = nullptr;
   bool colored_symgs = false;
+  // Fused single-pass kernels: SpMV+dot for p'Ap and waxpby+dot for the
+  // residual update + norm², one memory sweep each instead of two. Bitwise
+  // identical to the unfused sequence at every pool size — the fused ops
+  // keep the exact kReduceGrain chunk-ordered partial association
+  // (tests/test_hpcg_kernels.cpp proves the residual histories match).
+  // false keeps the unfused sequence, the oracle for equivalence tests.
+  bool fused_kernels = true;
 };
 
 struct CgResult {
@@ -30,6 +37,10 @@ struct CgResult {
   double final_residual = 0.0;
   bool converged = false;        // only meaningful when tolerance > 0
   std::uint64_t flops = 0;
+  // ||r|| after setup ([0] == initial_residual) and after every iteration —
+  // the bitwise fingerprint equivalence tests compare across kernel paths
+  // and pool sizes.
+  std::vector<double> residual_history;
   double seconds = 0.0;          // wall time of the solve
   [[nodiscard]] double Gflops() const {
     return seconds > 0.0 ? static_cast<double>(flops) / seconds / 1e9 : 0.0;

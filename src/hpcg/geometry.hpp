@@ -28,6 +28,17 @@ struct Geometry {
     return ix >= 0 && ix < nx && iy >= 0 && iy < ny && iz >= 0 && iz < nz;
   }
 
+  // Stored nonzeros of the boundary-truncated 27-point operator, closed form.
+  // Row (ix,iy,iz) stores extent(ix,nx)*extent(iy,ny)*extent(iz,nz) entries
+  // (diagonal included), where extent(i,n) = |{-1,0,1} ∩ valid steps| — so the
+  // grid total factorises per axis: sum_i extent(i,n) = 3n-2 for every n >= 1.
+  [[nodiscard]] std::uint64_t NonZeros() const {
+    const auto axis = [](int n) {
+      return static_cast<std::uint64_t>(3 * static_cast<std::int64_t>(n) - 2);
+    };
+    return axis(nx) * axis(ny) * axis(nz);
+  }
+
   // True when every dimension is even and >= 4, i.e. one more multigrid
   // coarsening level is possible.
   [[nodiscard]] bool Coarsenable() const {

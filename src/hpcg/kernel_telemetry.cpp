@@ -1,0 +1,61 @@
+#include "hpcg/kernel_telemetry.hpp"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace eco::hpcg {
+
+namespace detail {
+std::atomic<const KernelTable*> g_kernel_table{nullptr};
+}  // namespace detail
+
+const char* KernelName(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kSpMV:
+      return "spmv";
+    case Kernel::kSpMVDot:
+      return "spmv_dot";
+    case Kernel::kSpMVResidual:
+      return "spmv_residual";
+    case Kernel::kSymGS:
+      return "symgs";
+    case Kernel::kSymGSColored:
+      return "symgs_colored";
+    case Kernel::kDot:
+      return "dot";
+    case Kernel::kWaxpby:
+      return "waxpby";
+    case Kernel::kWaxpbyDot:
+      return "waxpby_dot";
+  }
+  return "unknown";
+}
+
+void SetKernelTelemetry(telemetry::MetricsRegistry* registry) {
+  // Tables are retained forever (attach is O(1) per process, tables are
+  // tiny): a kernel racing with a re-attach keeps a valid pointer.
+  static std::mutex mutex;
+  static std::vector<std::unique_ptr<detail::KernelTable>> retained;
+
+  if (registry == nullptr) {
+    detail::g_kernel_table.store(nullptr, std::memory_order_release);
+    return;
+  }
+  auto table = std::make_unique<detail::KernelTable>();
+  for (int k = 0; k < kKernelCount; ++k) {
+    const char* name = KernelName(static_cast<Kernel>(k));
+    detail::KernelCounters& c = table->kernels[k];
+    c.calls = registry->GetCounter(
+        telemetry::LabeledName("eco_hpcg_kernel_calls_total", "kernel", name));
+    c.flops = registry->GetCounter(
+        telemetry::LabeledName("eco_hpcg_kernel_flops_total", "kernel", name));
+    c.wall_ns = registry->GetCounter(telemetry::LabeledName(
+        "eco_hpcg_kernel_wall_ns_total", "kernel", name));
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  detail::g_kernel_table.store(table.get(), std::memory_order_release);
+  retained.push_back(std::move(table));
+}
+
+}  // namespace eco::hpcg

@@ -1,0 +1,87 @@
+// The `hpcg_kernel` telemetry family: per-kernel invocation, FLOP and wall-
+// nanosecond counters published into a PR-4 MetricsRegistry
+// (`eco_hpcg_kernel_{calls,flops,wall_ns}_total{kernel="spmv"}` …).
+//
+// Off by default. Detached (the default), a kernel call costs exactly one
+// acquire load of a global pointer — the same discipline as the disabled
+// lifecycle tracer, so the kernels stay inside the PR-4 trace-overhead gate.
+// Attached, each kernel call adds two monotonic clock reads and three
+// sharded-counter increments (wait-free, pool-worker safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/perf.hpp"
+#include "common/telemetry/metrics.hpp"
+
+namespace eco::hpcg {
+
+// Every instrumented kernel, in export order.
+enum class Kernel : int {
+  kSpMV = 0,
+  kSpMVDot,
+  kSpMVResidual,
+  kSymGS,
+  kSymGSColored,
+  kDot,
+  kWaxpby,
+  kWaxpbyDot,
+};
+inline constexpr int kKernelCount = 8;
+
+// Label value used in the metric family ("spmv", "symgs", ...).
+const char* KernelName(Kernel kernel);
+
+// Attaches the family to `registry` (creating the counter handles), or
+// detaches with nullptr. Counter handles live as long as the registry;
+// attach tables are retained for the process lifetime so a concurrent
+// kernel never reads a freed table. Not meant for per-iteration toggling —
+// attach once per bench/sim.
+void SetKernelTelemetry(telemetry::MetricsRegistry* registry);
+
+namespace detail {
+
+struct KernelCounters {
+  telemetry::Counter* calls = nullptr;
+  telemetry::Counter* flops = nullptr;
+  telemetry::Counter* wall_ns = nullptr;
+};
+
+struct KernelTable {
+  KernelCounters kernels[kKernelCount];
+};
+
+extern std::atomic<const KernelTable*> g_kernel_table;
+
+}  // namespace detail
+
+// RAII guard a kernel opens for one invocation: counts calls/flops/elapsed
+// wall nanos when telemetry is attached, and is a single relaxed-cost load
+// when detached.
+class KernelScope {
+ public:
+  KernelScope(Kernel kernel, std::uint64_t flops)
+      : table_(detail::g_kernel_table.load(std::memory_order_acquire)),
+        kernel_(kernel),
+        flops_(flops),
+        start_(table_ != nullptr ? NowNanos() : 0) {}
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+  ~KernelScope() {
+    if (table_ == nullptr) return;
+    const detail::KernelCounters& c =
+        table_->kernels[static_cast<int>(kernel_)];
+    c.calls->Add(1);
+    c.flops->Add(flops_);
+    c.wall_ns->Add(NowNanos() - start_);
+  }
+
+ private:
+  const detail::KernelTable* table_;
+  Kernel kernel_;
+  std::uint64_t flops_;
+  std::uint64_t start_;
+};
+
+}  // namespace eco::hpcg

@@ -14,11 +14,9 @@ Multigrid::Multigrid(const Geometry& fine, int max_levels, ThreadPool* pool,
   residual_.resize(n_levels);
   coarse_r_.resize(n_levels);
   coarse_z_.resize(n_levels);
-  az_.resize(n_levels);
   for (std::size_t level = 0; level < n_levels; ++level) {
     const auto n = static_cast<std::size_t>(geos_[level].size());
     residual_[level].assign(n, 0.0);
-    az_[level].assign(n, 0.0);
     if (level + 1 < n_levels) {
       const auto nc = static_cast<std::size_t>(geos_[level + 1].size());
       coarse_r_[level].assign(nc, 0.0);
@@ -39,9 +37,9 @@ void Multigrid::Cycle(int level, const Vec& r, Vec& z, std::uint64_t& flops) {
   flops += SymGSFlops(geo);
 
   if (level + 1 < levels()) {
-    // residual = r - A z
-    SpMV(geo, z, az_[level], pool_);
-    Waxpby(1.0, r, -1.0, az_[level], residual_[level], pool_);
+    // residual = r - A z, fused: no A z intermediate vector or extra sweep
+    // (bitwise identical to SpMV + Waxpby(1, r, -1, az) — see stencil.hpp).
+    SpMVResidual(geo, z, r, residual_[level], pool_);
     flops += SpMVFlops(geo) + WaxpbyFlops(residual_[level].size());
 
     Restrict(level, residual_[level], coarse_r_[level]);

@@ -42,11 +42,11 @@ class Multigrid {
   std::vector<Geometry> geos_;
   ThreadPool* pool_ = nullptr;
   bool colored_smoother_ = false;
-  // Scratch vectors per level, reused across applications.
+  // Scratch vectors per level, reused across applications. (No A z scratch:
+  // the residual is computed by the fused SpMVResidual kernel.)
   std::vector<Vec> residual_;  // r - A z on this level
   std::vector<Vec> coarse_r_;  // restricted residual (next level's rhs)
   std::vector<Vec> coarse_z_;  // next level's correction
-  std::vector<Vec> az_;        // A z scratch
 };
 
 }  // namespace eco::hpcg

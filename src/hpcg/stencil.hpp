@@ -1,6 +1,17 @@
 // Matrix-free 27-point stencil kernels: SpMV and the symmetric Gauss–Seidel
 // smoother HPCG uses as its preconditioner building block.
 //
+// Kernel microarchitecture (DESIGN.md, "Kernel microarchitecture"): every
+// sweep is decomposed into interior and boundary work. Interior points
+// (1 <= ix < nx-1, same for y and z) have all 26 neighbours, so the inner
+// loops are branch-free walks over 26 precomputed plane/row offsets,
+// accumulated in the exact dz→dy→dx order of the guarded reference path —
+// results are bitwise identical to the reference kernels, which are kept in
+// `ref::` as the oracle the optimized paths are tested against
+// (tests/test_hpcg_kernels.cpp). Boundary shells take the guarded
+// NeighbourSum path. Row bases are computed once per row (row-pointer
+// arithmetic), never via per-point geo.Index calls.
+//
 // Threading: kernels take an optional ThreadPool. SpMV is elementwise and
 // bit-identical to the serial sweep at any pool size. The lexicographic
 // SymGS is inherently sequential and always runs serially; SymGSColored is
@@ -20,6 +31,13 @@
 
 namespace eco::hpcg {
 
+// Unified pool-dispatch floor for the plane-tiled stencil kernels: with
+// fewer than this many z-planes the pool dispatch overhead dominates the
+// plane work and the kernels run the serial path even when a pool is given.
+// (Historically SpMV used `nz < 2` and the colored sweep `nz <= 2`; results
+// are bitwise pool-invariant either way, so one documented constant wins.)
+inline constexpr int kMinPooledPlanes = 3;
+
 // Number of off-diagonal neighbours of point (ix,iy,iz) (≤ 26; fewer at the
 // boundary). The diagonal entry is always 26.0 regardless, keeping the
 // operator diagonally dominant, symmetric and positive definite.
@@ -29,6 +47,20 @@ int NeighbourCount(const Geometry& geo, int ix, int iy, int iz);
 // bit-identical to the serial sweep (disjoint elementwise writes).
 void SpMV(const Geometry& geo, const Vec& x, Vec& y,
           ThreadPool* pool = nullptr);
+
+// Fused y = A x with *xdoty = x'y in the same pass (CG's p'Ap), saving one
+// full re-read of y. The dot keeps the kReduceGrain chunk-ordered partial
+// association of Dot(), and parallelism tiles over those same chunks — the
+// result is bitwise identical to SpMV followed by Dot at any pool size.
+void SpMVDot(const Geometry& geo, const Vec& x, Vec& y, double* xdoty,
+             ThreadPool* pool = nullptr);
+
+// Fused out = r - A x in one pass (the multigrid residual), eliminating the
+// intermediate A x vector and its extra memory sweep. Bitwise identical to
+// SpMV followed by Waxpby(1, r, -1, ax): the ±1 coefficients make every
+// product exact, so the single subtraction rounds to the same double.
+void SpMVResidual(const Geometry& geo, const Vec& x, const Vec& r, Vec& out,
+                  ThreadPool* pool = nullptr);
 
 // One symmetric Gauss–Seidel sweep (forward then backward) on A z = r,
 // updating z in place. This is HPCG's smoother; it is inherently sequential
@@ -44,10 +76,23 @@ void SymGSColored(const Geometry& geo, const Vec& r, Vec& z,
                   ThreadPool* pool = nullptr);
 
 // FLOP costs (HPCG conventions: 2 flops per stored nonzero for SpMV, and
-// forward+backward Gauss–Seidel costs twice an SpMV).
+// forward+backward Gauss–Seidel costs twice an SpMV). O(1): closed-form
+// extent products cached on Geometry (Geometry::NonZeros), pinned against
+// the ref:: loop versions in tests.
 std::uint64_t SpMVFlops(const Geometry& geo);
 std::uint64_t SymGSFlops(const Geometry& geo);
-// Total stored nonzeros of the boundary-truncated operator.
+// Total stored nonzeros of the boundary-truncated operator. O(1).
 std::uint64_t NonZeros(const Geometry& geo);
+
+// The pre-optimization kernels, verbatim: fully guarded NeighbourSum per
+// point, per-point geo.Index arithmetic, O(grid) counter loops. Serial only.
+// These are the bitwise oracle for the optimized paths — never used on a hot
+// path, only by tests and the roofline bench's speedup baseline.
+namespace ref {
+void SpMV(const Geometry& geo, const Vec& x, Vec& y);
+void SymGS(const Geometry& geo, const Vec& r, Vec& z);
+void SymGSColored(const Geometry& geo, const Vec& r, Vec& z);
+std::uint64_t NonZeros(const Geometry& geo);
+}  // namespace ref
 
 }  // namespace eco::hpcg

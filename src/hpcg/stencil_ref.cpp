@@ -1,0 +1,100 @@
+// The pre-optimization stencil kernels, kept verbatim as the bitwise oracle
+// for the branch-free interior/boundary paths in stencil.cpp. Serial only,
+// O(grid) counters — exactly the code the optimized kernels must reproduce
+// bit-for-bit (tests/test_hpcg_kernels.cpp) and beat >= 2x on throughput
+// (bench_p4_kernel_roofline).
+#include "hpcg/stencil.hpp"
+
+namespace eco::hpcg::ref {
+namespace {
+
+constexpr double kDiag = 26.0;
+
+// Sums x over the (up to 26) neighbours of (ix,iy,iz).
+inline double NeighbourSum(const Geometry& geo, const Vec& x, int ix, int iy,
+                           int iz) {
+  double sum = 0.0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int z = iz + dz;
+    if (z < 0 || z >= geo.nz) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = iy + dy;
+      if (y < 0 || y >= geo.ny) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int xx = ix + dx;
+        if (xx < 0 || xx >= geo.nx) continue;
+        sum += x[geo.Index(xx, y, z)];
+      }
+    }
+  }
+  return sum;
+}
+
+// Relaxes every point of one parity color (serial, whole grid).
+void RelaxColor(const Geometry& geo, const Vec& r, Vec& z, int color) {
+  const int cx = color & 1;
+  const int cy = (color >> 1) & 1;
+  const int cz = (color >> 2) & 1;
+  for (int iz = cz; iz < geo.nz; iz += 2) {
+    for (int iy = cy; iy < geo.ny; iy += 2) {
+      for (int ix = cx; ix < geo.nx; ix += 2) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        z[i] = (r[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void SpMV(const Geometry& geo, const Vec& x, Vec& y) {
+  for (int iz = 0; iz < geo.nz; ++iz) {
+    for (int iy = 0; iy < geo.ny; ++iy) {
+      for (int ix = 0; ix < geo.nx; ++ix) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        y[i] = kDiag * x[i] - NeighbourSum(geo, x, ix, iy, iz);
+      }
+    }
+  }
+}
+
+void SymGS(const Geometry& geo, const Vec& r, Vec& z) {
+  // Forward sweep.
+  for (int iz = 0; iz < geo.nz; ++iz) {
+    for (int iy = 0; iy < geo.ny; ++iy) {
+      for (int ix = 0; ix < geo.nx; ++ix) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        z[i] = (r[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
+      }
+    }
+  }
+  // Backward sweep.
+  for (int iz = geo.nz - 1; iz >= 0; --iz) {
+    for (int iy = geo.ny - 1; iy >= 0; --iy) {
+      for (int ix = geo.nx - 1; ix >= 0; --ix) {
+        const std::int64_t i = geo.Index(ix, iy, iz);
+        z[i] = (r[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
+      }
+    }
+  }
+}
+
+void SymGSColored(const Geometry& geo, const Vec& r, Vec& z) {
+  for (int color = 0; color < 8; ++color) RelaxColor(geo, r, z, color);
+  for (int color = 7; color >= 0; --color) RelaxColor(geo, r, z, color);
+}
+
+std::uint64_t NonZeros(const Geometry& geo) {
+  std::uint64_t nnz = 0;
+  for (int iz = 0; iz < geo.nz; ++iz) {
+    for (int iy = 0; iy < geo.ny; ++iy) {
+      for (int ix = 0; ix < geo.nx; ++ix) {
+        nnz += 1 + static_cast<std::uint64_t>(NeighbourCount(geo, ix, iy, iz));
+      }
+    }
+  }
+  return nnz;
+}
+
+}  // namespace eco::hpcg::ref

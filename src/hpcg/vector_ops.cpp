@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "hpcg/kernel_telemetry.hpp"
+
 namespace eco::hpcg {
 namespace {
 
@@ -13,9 +15,26 @@ double DotRange(const Vec& x, const Vec& y, std::int64_t lo, std::int64_t hi) {
   return sum;
 }
 
+// One chunk of the fused waxpby+dot: writes w over [lo, hi) and returns the
+// chunk's w'w partial. The statement shapes match Waxpby's update and
+// DotRange's accumulate exactly, so the stored vector and the partial are
+// bitwise what the unfused pair produces.
+double WaxpbyDotRange(double alpha, const Vec& x, double beta, const Vec& y,
+                      Vec& w, std::int64_t lo, std::int64_t hi) {
+  double sum = 0.0;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    const double wv = alpha * x[u] + beta * y[u];
+    w[u] = wv;
+    sum += wv * wv;
+  }
+  return sum;
+}
+
 }  // namespace
 
 double Dot(const Vec& x, const Vec& y, ThreadPool* pool) {
+  KernelScope scope(Kernel::kDot, DotFlops(x.size()));
   const auto n = static_cast<std::int64_t>(x.size());
   const std::int64_t chunks = ThreadPool::ChunkCount(n, kReduceGrain);
   if (chunks <= 1) return DotRange(x, y, 0, n);
@@ -43,6 +62,7 @@ double Dot(const Vec& x, const Vec& y, ThreadPool* pool) {
 
 void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w,
             ThreadPool* pool) {
+  KernelScope scope(Kernel::kWaxpby, WaxpbyFlops(x.size()));
   const auto n = static_cast<std::int64_t>(x.size());
   const auto body = [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
@@ -55,6 +75,35 @@ void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w,
     return;
   }
   pool->ParallelFor(0, n, kReduceGrain, body);
+}
+
+double FusedWaxpbyDot(double alpha, const Vec& x, double beta, const Vec& y,
+                      Vec& w, ThreadPool* pool) {
+  KernelScope scope(Kernel::kWaxpbyDot,
+                    WaxpbyFlops(x.size()) + DotFlops(x.size()));
+  const auto n = static_cast<std::int64_t>(x.size());
+  const std::int64_t chunks = ThreadPool::ChunkCount(n, kReduceGrain);
+  if (chunks <= 1) return WaxpbyDotRange(alpha, x, beta, y, w, 0, n);
+
+  std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
+  if (pool == nullptr) {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = c * kReduceGrain;
+      const std::int64_t hi = std::min(lo + kReduceGrain, n);
+      partials[static_cast<std::size_t>(c)] =
+          WaxpbyDotRange(alpha, x, beta, y, w, lo, hi);
+    }
+  } else {
+    pool->ParallelForChunks(
+        0, n, kReduceGrain,
+        [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
+          partials[static_cast<std::size_t>(chunk)] =
+              WaxpbyDotRange(alpha, x, beta, y, w, lo, hi);
+        });
+  }
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  return sum;
 }
 
 void Fill(Vec& x, double value) {

@@ -27,6 +27,14 @@ double Dot(const Vec& x, const Vec& y, ThreadPool* pool = nullptr);
 // w = alpha*x + beta*y. 3n flops (HPCG convention).
 void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w,
             ThreadPool* pool = nullptr);
+// Fused w = alpha*x + beta*y returning w'w from the same pass — CG's
+// residual update + norm² in one memory sweep instead of two. Keeps the
+// kReduceGrain chunk-ordered partial association and the exact statement
+// shapes of Waxpby and Dot, so the result is bitwise identical to Waxpby
+// followed by Dot(w, w) at any pool size. Alias-safe for w == x or w == y
+// (elementwise read-then-write, like Waxpby).
+double FusedWaxpbyDot(double alpha, const Vec& x, double beta, const Vec& y,
+                      Vec& w, ThreadPool* pool = nullptr);
 void Fill(Vec& x, double value);
 // Euclidean norm via Dot.
 double Norm2(const Vec& x, ThreadPool* pool = nullptr);

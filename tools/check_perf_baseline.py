@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json artifact against a committed perf baseline.
+
+Every ``*_gflops*`` key present in the baseline must also be present in the
+artifact and must not fall too far below the committed floor:
+
+* drop >= ``--warn`` below the baseline  -> warning (exit 0, GitHub
+  ``::warning`` annotation so the PR surface shows it)
+* drop >= ``--fail`` below the baseline  -> error (exit 1)
+
+Keys in the artifact but not the baseline are ignored (new kernels don't
+need a baseline to land), and non-gflops keys (grid, reps, bytes/flop) are
+never gated. A ``grid`` key in the baseline, when present in both files, must
+match exactly — comparing GFLOPS across problem sizes is meaningless.
+
+Usage:
+    tools/check_perf_baseline.py \
+        --artifact bench-artifacts/BENCH_p4_kernel_roofline.json \
+        --baseline bench/baselines/BENCH_p4_baseline.json \
+        [--warn 0.10] [--fail 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+        sys.exit(f"error: {path} has no 'metrics' object")
+    return doc["metrics"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact", required=True,
+                        help="BENCH_*.json produced by the bench run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline (bench/baselines/...)")
+    parser.add_argument("--warn", type=float, default=0.10,
+                        help="warn when a metric drops >= this fraction "
+                             "below baseline (default 0.10)")
+    parser.add_argument("--fail", type=float, default=0.30,
+                        help="fail when a metric drops >= this fraction "
+                             "below baseline (default 0.30)")
+    args = parser.parse_args()
+
+    artifact = load_metrics(args.artifact)
+    baseline = load_metrics(args.baseline)
+
+    if "grid" in baseline and "grid" in artifact:
+        if artifact["grid"] != baseline["grid"]:
+            print(f"::error::perf baseline grid mismatch: artifact ran "
+                  f"grid={artifact['grid']}, baseline expects "
+                  f"grid={baseline['grid']}")
+            return 1
+
+    gated = sorted(k for k in baseline
+                   if "_gflops" in k and isinstance(baseline[k], (int, float)))
+    if not gated:
+        print(f"::error::no *_gflops keys in baseline {args.baseline}")
+        return 1
+
+    failures = warnings = 0
+    for key in gated:
+        floor = float(baseline[key])
+        if key not in artifact:
+            print(f"::error::perf metric '{key}' missing from artifact "
+                  f"{args.artifact}")
+            failures += 1
+            continue
+        value = float(artifact[key])
+        drop = 1.0 - value / floor if floor > 0 else 0.0
+        status = "ok"
+        if drop >= args.fail:
+            status = "FAIL"
+            failures += 1
+            print(f"::error::perf regression: {key} = {value:.3f} GFLOP/s, "
+                  f"{drop:.0%} below baseline {floor:.3f}")
+        elif drop >= args.warn:
+            status = "warn"
+            warnings += 1
+            print(f"::warning::perf drop: {key} = {value:.3f} GFLOP/s, "
+                  f"{drop:.0%} below baseline {floor:.3f}")
+        print(f"  {key:32s} {value:9.3f} vs floor {floor:9.3f}  "
+              f"({-drop:+7.1%})  {status}")
+
+    print(f"\n{len(gated)} metric(s) gated: {failures} fail, "
+          f"{warnings} warn "
+          f"(warn >= {args.warn:.0%} drop, fail >= {args.fail:.0%} drop)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
