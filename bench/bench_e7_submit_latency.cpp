@@ -67,7 +67,7 @@ BENCHMARK(BM_JobSubmit_NotOptedIn);
 // Attaches the plugin's own instrumentation to the benchmark output: cache
 // hit rate and mean wall time spent inside job_submit per call.
 void ReportPluginStats(benchmark::State& state) {
-  const auto stats = plugin::GetEcoPluginStats();
+  const auto stats = eco::plugin::GetEcoPluginStats();
   const double decided =
       static_cast<double>(stats.cache_hits + stats.cache_misses);
   state.counters["cache_hit_rate"] =
@@ -151,6 +151,51 @@ void BM_SlurmConfigPredictOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_SlurmConfigPredictOnly);
 
+// Captures every per-iteration run so the headline numbers land in
+// BENCH_e7_submit_latency.json like the p-series benches — the submit
+// latency trajectory is tracked across PRs, not scraped from stdout.
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      runs_.push_back(run);
+    }
+  }
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ArtifactReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  eco::bench::BenchReport report("e7_submit_latency");
+  for (const auto& run : reporter.runs()) {
+    std::string key = run.benchmark_name();
+    for (char& c : key) {
+      if (c == '/' || c == ':' || c == ' ') c = '_';
+    }
+    // Default google-benchmark time unit: nanoseconds per iteration.
+    report.Set(key + "_ns", run.GetAdjustedRealTime());
+    for (const auto& [counter_name, counter] : run.counters) {
+      report.Set(key + "_" + counter_name, static_cast<double>(counter));
+    }
+  }
+  const auto stats = eco::plugin::GetEcoPluginStats();
+  report.Set("decision_cache_size",
+             static_cast<std::uint64_t>(eco::plugin::EcoDecisionCacheSize()));
+  report.Set("decision_cache_capacity",
+             static_cast<std::uint64_t>(eco::plugin::EcoDecisionCacheCapacity()));
+  report.Set("decision_cache_evictions", stats.cache_evictions);
+  report.Write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -99,6 +99,32 @@ std::vector<std::uint64_t> Histogram::BucketCounts() const {
   return out;
 }
 
+double Histogram::Quantile(double q) const {
+  const auto counts = BucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds_.size()) {
+      // +Inf bucket: no upper edge to interpolate towards.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double fraction =
+        (target - before) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, fraction));
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket->Reset();
   count_.Reset();

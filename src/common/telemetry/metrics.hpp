@@ -108,6 +108,13 @@ class Histogram {
   // "[0,1) 3  [1,10) 1  [10,+Inf) 0" — the sdiag one-line rendering.
   [[nodiscard]] std::string FormatBuckets() const;
 
+  // Prometheus-style estimated q-quantile (q in [0, 1]): walk the cumulative
+  // bucket counts and interpolate linearly inside the target bucket. The
+  // first bucket interpolates from 0; a quantile landing in the +Inf bucket
+  // returns the last finite bound (the estimate saturates there). 0.0 when
+  // the histogram is empty.
+  [[nodiscard]] double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::unique_ptr<Counter>> buckets_;  // bounds_.size() + 1

@@ -1,7 +1,11 @@
 #include "plugin/job_submit_eco.hpp"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,6 +38,8 @@ struct RegistryStats {
   telemetry::Counter* errors;
   telemetry::Counter* cache_hits;
   telemetry::Counter* cache_misses;
+  telemetry::Counter* cache_evictions;
+  telemetry::Gauge* cache_size;  // live entry count, not reset with stats
 
   static const RegistryStats& Get() {
     static const RegistryStats r = [] {
@@ -45,6 +51,8 @@ struct RegistryStats {
           reg.GetCounter("eco_plugin_errors_total"),
           reg.GetCounter("eco_plugin_cache_hits_total"),
           reg.GetCounter("eco_plugin_cache_misses_total"),
+          reg.GetCounter("eco_plugin_cache_evictions_total"),
+          reg.GetGauge("eco_plugin_cache_size"),
       };
     }();
     return r;
@@ -57,6 +65,8 @@ struct RegistryStats {
     errors->Reset();
     cache_hits->Reset();
     cache_misses->Reset();
+    cache_evictions->Reset();
+    // cache_size mirrors the live cache, which a stats reset leaves intact.
   }
 };
 
@@ -74,14 +84,90 @@ struct Decision {
   long long freq = 0;
 };
 
-std::mutex& CacheMutex() {
-  static std::mutex mutex;
-  return mutex;
+// Striped bounded LRU. Each stripe owns a per-stripe mutex, an LRU list
+// (front = most recently used) and an index into it, so concurrent
+// submitters only serialize when their keys hash to the same stripe.
+// The total capacity is split evenly across stripes; a stripe past its
+// share evicts from its own tail (strict global LRU would need the single
+// lock the striping exists to remove).
+constexpr std::size_t kCacheStripeCount = 8;  // power of two
+constexpr std::size_t kDefaultCacheCapacity = 65536;
+
+struct CacheStripe {
+  std::mutex mutex;
+  std::list<std::pair<std::string, Decision>> lru;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, Decision>>::iterator>
+      index;
+};
+
+std::array<CacheStripe, kCacheStripeCount>& CacheStripes() {
+  static auto* stripes = new std::array<CacheStripe, kCacheStripeCount>();
+  return *stripes;
 }
 
-std::unordered_map<std::string, Decision>& Cache() {
-  static std::unordered_map<std::string, Decision> cache;
-  return cache;
+std::atomic<std::size_t>& CacheCapacity() {
+  static std::atomic<std::size_t> capacity{kDefaultCacheCapacity};
+  return capacity;
+}
+
+// Live total entry count — keeps EcoDecisionCacheSize() and the size gauge
+// O(1) instead of an eight-lock sweep.
+std::atomic<std::size_t>& CacheEntries() {
+  static std::atomic<std::size_t> entries{0};
+  return entries;
+}
+
+CacheStripe& StripeFor(const std::string& key) {
+  return CacheStripes()[std::hash<std::string>{}(key) &
+                        (kCacheStripeCount - 1)];
+}
+
+std::size_t PerStripeCapacity() {
+  return std::max<std::size_t>(
+      1, CacheCapacity().load(std::memory_order_relaxed) / kCacheStripeCount);
+}
+
+// Evicts stripe-tail entries past `cap`; returns how many were dropped.
+// Caller holds the stripe mutex.
+std::size_t TrimStripe(CacheStripe& stripe, std::size_t cap) {
+  std::size_t evicted = 0;
+  while (stripe.index.size() > cap) {
+    stripe.index.erase(stripe.lru.back().first);
+    stripe.lru.pop_back();
+    ++evicted;
+  }
+  if (evicted > 0) {
+    CacheEntries().fetch_sub(evicted, std::memory_order_relaxed);
+  }
+  return evicted;
+}
+
+bool CacheLookup(const std::string& key, Decision* out) {
+  CacheStripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) return false;
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+// Inserts (or refreshes) a decision; returns the number of LRU evictions
+// the insert forced.
+std::size_t CacheInsert(const std::string& key, const Decision& decision) {
+  CacheStripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) {
+    it->second->second = decision;
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+    return 0;
+  }
+  stripe.lru.emplace_front(key, decision);
+  stripe.index.emplace(key, stripe.lru.begin());
+  CacheEntries().fetch_add(1, std::memory_order_relaxed);
+  return TrimStripe(stripe, PerStripeCapacity());
 }
 
 std::string CacheKey(const std::string& system_hash,
@@ -136,13 +222,40 @@ void ResetEcoPluginStats() {
 }
 
 void ClearEcoDecisionCache() {
-  std::lock_guard<std::mutex> lock(CacheMutex());
-  Cache().clear();
+  for (CacheStripe& stripe : CacheStripes()) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    CacheEntries().fetch_sub(stripe.index.size(), std::memory_order_relaxed);
+    stripe.index.clear();
+    stripe.lru.clear();
+  }
+  RegistryStats::Get().cache_size->Set(0.0);
 }
 
 std::size_t EcoDecisionCacheSize() {
-  std::lock_guard<std::mutex> lock(CacheMutex());
-  return Cache().size();
+  return CacheEntries().load(std::memory_order_relaxed);
+}
+
+void SetEcoDecisionCacheCapacity(std::size_t max_entries) {
+  CacheCapacity().store(std::max<std::size_t>(1, max_entries),
+                        std::memory_order_relaxed);
+  // Shrinking below the current size takes effect now, not lazily on the
+  // next insert into each stripe.
+  const std::size_t per_stripe = PerStripeCapacity();
+  std::size_t evicted = 0;
+  for (CacheStripe& stripe : CacheStripes()) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    evicted += TrimStripe(stripe, per_stripe);
+  }
+  if (evicted > 0) {
+    Stats().cache_evictions += evicted;
+    RegistryStats::Get().cache_evictions->Add(evicted);
+  }
+  RegistryStats::Get().cache_size->Set(
+      static_cast<double>(EcoDecisionCacheSize()));
+}
+
+std::size_t EcoDecisionCacheCapacity() {
+  return CacheCapacity().load(std::memory_order_relaxed);
 }
 
 namespace {
@@ -201,22 +314,18 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
   // (system, binary, partition) — skip the gateway round-trip entirely.
   const std::string key =
       CacheKey(system_hash, binary_hash, job_desc->partition);
-  {
-    std::lock_guard<std::mutex> lock(CacheMutex());
-    const auto it = Cache().find(key);
-    if (it != Cache().end()) {
-      const Decision d = it->second;
-      ApplyDecision(job_desc, d);
-      ++stats.cache_hits;
-      ++stats.modified;
-      reg.cache_hits->Add(1);
-      reg.modified->Add(1);
-      ECO_INFO << "job_submit_eco: job " << job_desc->job_id
-               << " set from cache to " << d.cores << " tasks @ " << d.freq
-               << " kHz, " << d.tpc << " threads/core";
-      record_time();
-      return SLURM_SUCCESS;
-    }
+  Decision cached;
+  if (CacheLookup(key, &cached)) {
+    ApplyDecision(job_desc, cached);
+    ++stats.cache_hits;
+    ++stats.modified;
+    reg.cache_hits->Add(1);
+    reg.modified->Add(1);
+    ECO_INFO << "job_submit_eco: job " << job_desc->job_id
+             << " set from cache to " << cached.cores << " tasks @ "
+             << cached.freq << " kHz, " << cached.tpc << " threads/core";
+    record_time();
+    return SLURM_SUCCESS;
   }
   ++stats.cache_misses;
   reg.cache_misses->Add(1);
@@ -245,10 +354,12 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
   decision.tpc = parsed->at("threads_per_core").as_int(0);
   decision.freq = parsed->at("frequency").as_int(0);
   ApplyDecision(job_desc, decision);
-  {
-    std::lock_guard<std::mutex> lock(CacheMutex());
-    Cache()[key] = decision;
+  const std::size_t evicted = CacheInsert(key, decision);
+  if (evicted > 0) {
+    stats.cache_evictions += evicted;
+    reg.cache_evictions->Add(evicted);
   }
+  reg.cache_size->Set(static_cast<double>(EcoDecisionCacheSize()));
   ++stats.modified;
   reg.modified->Add(1);
   ECO_INFO << "job_submit_eco: job " << job_desc->job_id << " set to "

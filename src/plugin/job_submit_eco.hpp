@@ -40,6 +40,7 @@ struct EcoPluginStats {
   std::uint64_t errors = 0;    // chronus lookup or parse failures
   std::uint64_t cache_hits = 0;    // decision served from the submit cache
   std::uint64_t cache_misses = 0;  // decision required a gateway round-trip
+  std::uint64_t cache_evictions = 0;  // LRU entries dropped at the size cap
   double total_seconds = 0.0;      // wall time inside job_submit
 };
 
@@ -50,10 +51,19 @@ void ResetEcoPluginStats();
 
 // The plugin memoizes successful (system_hash, binary_hash, partition) ->
 // configuration decisions so repeat submissions skip the gateway round-trip.
+// The cache is striped (per-stripe mutex, so concurrent submitters do not
+// serialize on one lock) and bounded: each stripe evicts least-recently-used
+// entries past its share of the capacity, and evictions are surfaced via
+// EcoPluginStats::cache_evictions plus the eco_plugin_cache_evictions_total
+// counter and eco_plugin_cache_size gauge in the global metrics registry.
 // SetChronusGateway also clears the cache (a new gateway may predict
 // differently); these helpers expose it to tests and benchmarks.
 void ClearEcoDecisionCache();
 std::size_t EcoDecisionCacheSize();
+// Total entry cap across all stripes. The effective minimum is one entry
+// per stripe; shrinking below the current size evicts immediately.
+void SetEcoDecisionCacheCapacity(std::size_t max_entries);
+std::size_t EcoDecisionCacheCapacity();
 
 // Extracts the executable path from the script's srun line ("" if none) —
 // exposed for tests.

@@ -60,6 +60,9 @@ struct PartitionConfig {
   // the historical behaviour, and what the default partition usually wants.
   // Partitions may overlap; overlapping partitions schedule serially.
   std::vector<std::pair<int, int>> node_ranges;
+  // Fair-share decay half-life for this partition's tracker, seconds.
+  // 0 = inherit ClusterConfig::fairshare_half_life_s.
+  double fairshare_half_life_s = 0.0;
 };
 
 struct ClusterConfig {
@@ -71,6 +74,10 @@ struct ClusterConfig {
   SchedulerPolicy policy = SchedulerPolicy::kBackfill;
   bool use_multifactor = true;  // false = pure submit-order FIFO priority
   MultifactorWeights priority_weights{};
+  // Fair-share decay half-life (Slurm's PriorityDecayHalfLife), seconds.
+  // Previously hard-coded to 7 days inside FairShareTracker; partition
+  // policies override it via PartitionConfig::fairshare_half_life_s.
+  double fairshare_half_life_s = FairShareTracker::kDefaultHalfLifeSeconds;
   // §6.2.4: hold jobs whose comment contains "green" until the energy market
   // is green.
   bool enable_green_hold = false;
@@ -210,6 +217,10 @@ class ClusterSim {
   [[nodiscard]] bool partitions_overlap() const { return partitions_overlap_; }
   // Idle nodes within one partition's node set; -1 for an unknown name.
   [[nodiscard]] int FreeNodesIn(const std::string& partition) const;
+  // Effective fair-share half-life of one partition's tracker ("" = the
+  // default partition); 0 for an unknown name. Exposes the
+  // ClusterConfig/PartitionConfig plumbing for tests and tooling.
+  [[nodiscard]] double FairshareHalfLife(const std::string& partition) const;
 
   // scancel.
   Status Cancel(JobId id);
@@ -262,8 +273,10 @@ class ClusterSim {
   // work, and a million-job backlog in one shard never enters another
   // shard's planning loop.
   struct PartitionShard {
-    PartitionShard(const MultifactorPriority* priority, bool multifactor)
-        : pending(priority, &fairshare, multifactor) {}
+    PartitionShard(const MultifactorPriority* priority, bool multifactor,
+                   double fairshare_half_life_s)
+        : fairshare(fairshare_half_life_s),
+          pending(priority, &fairshare, multifactor) {}
     const PartitionConfig* config = nullptr;
     std::vector<std::size_t> node_indices;  // sorted ascending
     std::vector<char> member;               // per-node membership bitmap

@@ -173,6 +173,40 @@ std::string Sdiag(const ClusterSim& cluster) {
         << "\n";
   }
 
+  // Ingress front door (published into the cluster's registry when a
+  // SubmitIngress was constructed with ClusterSim::metrics(); absent when
+  // submissions go straight to Submit/SubmitBatch).
+  const telemetry::Counter* ing_submitted =
+      cluster.metrics().FindCounter("eco_ingress_submitted_total");
+  if (ing_submitted != nullptr) {
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const telemetry::Counter* c = cluster.metrics().FindCounter(name);
+      return c != nullptr ? c->Value() : 0;
+    };
+    const telemetry::Gauge* peak =
+        cluster.metrics().FindGauge("eco_ingress_backlog_peak");
+    out << "Ingress front door:\n";
+    out << "  Submitted: " << ing_submitted->Value()
+        << "  Admitted: " << counter("eco_ingress_admitted_total")
+        << "  Drained: " << counter("eco_ingress_drained_total")
+        << "  Batches: " << counter("eco_ingress_drain_batches_total")
+        << "\n";
+    out << "  Rate-limited: " << counter("eco_ingress_rate_limited_total")
+        << "  Account-limited: "
+        << counter("eco_ingress_account_limited_total")
+        << "  QOS-rejected: " << counter("eco_ingress_qos_rejected_total")
+        << "\n";
+    out << "  Shed: " << counter("eco_ingress_shed_total")
+        << "  Queue-full: " << counter("eco_ingress_queue_full_total")
+        << "  Backpressure engagements: "
+        << counter("eco_ingress_backpressure_engaged_total") << "\n";
+    out << "  Backlog peak: "
+        << (peak != nullptr
+                ? std::to_string(static_cast<std::uint64_t>(peak->Value()))
+                : "0")
+        << "\n";
+  }
+
   out << "Per-partition statistics:\n";
   for (const PartitionConfig& partition : cluster.partitions()) {
     const SchedulerStats* ps = cluster.sched_stats(partition.name);

@@ -64,6 +64,11 @@ struct JobRequest {
   KiloHertz cpu_freq_max = 0;
   double time_limit_s = 3600.0;
   std::string comment;
+  // sbatch --qos / --account: admission identity for the ingress front door
+  // (tier rules + per-account token buckets). Empty = the default QOS tier /
+  // no account. ClusterSim itself does not interpret either field.
+  std::string qos;
+  std::string account;
   // Empty routes to the cluster's default partition (sbatch with no -p);
   // a non-empty name must match a configured partition exactly.
   std::string partition;

@@ -58,6 +58,12 @@ Result<JobRequest> ParseSbatchScript(const std::string& script,
           out.comment = value;
         } else if (parse_kv(token, "--job-name", value)) {
           out.name = value;
+        } else if (parse_kv(token, "--qos", value)) {
+          out.qos = value;
+        } else if (parse_kv(token, "--account", value)) {
+          out.account = value;
+        } else if (parse_kv(token, "--partition", value)) {
+          out.partition = value;
         }
       }
     } else if (StartsWith(line, "srun ")) {

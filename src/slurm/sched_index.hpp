@@ -88,6 +88,10 @@ class PendingIndex {
       : priority_(priority), fairshare_(fairshare), multifactor_(multifactor) {}
 
   void Insert(const IndexedJob& job);
+  // Pre-sizes the location table for `jobs` further Inserts (a batched
+  // submission burst): one rehash up front instead of a rehash cascade
+  // mid-burst.
+  void Reserve(std::size_t jobs) { locations_.reserve(locations_.size() + jobs); }
   // Removes a job; false if it was not present.
   bool Erase(JobId id);
   [[nodiscard]] bool Contains(JobId id) const {

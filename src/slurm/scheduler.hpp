@@ -31,27 +31,48 @@ namespace eco::slurm {
 // Factor() is therefore O(log users) — one map lookup — instead of a scan
 // over every user per query, which made priority recomputation quadratic in
 // deep queues.
+//
+// User entries live in user-hash buckets: each lookup/update pays
+// O(log(users / buckets)) inside one bucket's map, so a million-user roster
+// behaves like a sixteen-thousand-user one. The decayed total stays a single
+// cluster-wide (amount, as_of) pair — splitting it per bucket would reorder
+// the floating-point sums and break the bitwise legacy-vs-sharded schedule
+// equivalence the test suite pins down.
 class FairShareTracker {
  public:
-  explicit FairShareTracker(double half_life_seconds = 7 * 24 * 3600.0)
-      : half_life_(half_life_seconds) {}
+  // Slurm's PriorityDecayHalfLife default. ClusterConfig::
+  // fairshare_half_life_s (and the per-partition override) plumb this
+  // through at runtime.
+  static constexpr double kDefaultHalfLifeSeconds = 7 * 24 * 3600.0;
+  static constexpr std::size_t kDefaultBuckets = 64;
+
+  explicit FairShareTracker(double half_life_seconds = kDefaultHalfLifeSeconds,
+                            std::size_t buckets = kDefaultBuckets);
 
   void AddUsage(std::uint32_t user, double cpu_seconds, SimTime now);
   // Factor in (0, 1]; 1 = no recent usage, decreasing with decayed usage
   // relative to the cluster-wide average.
   [[nodiscard]] double Factor(std::uint32_t user, SimTime now) const;
-  [[nodiscard]] std::size_t user_count() const { return usage_.size(); }
+  [[nodiscard]] std::size_t user_count() const { return user_count_; }
+  [[nodiscard]] double half_life_seconds() const { return half_life_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
 
  private:
-  [[nodiscard]] double DecayedUsage(std::uint32_t user, SimTime now) const;
-
   struct Usage {
     double amount = 0.0;
     SimTime as_of = 0.0;
   };
+  struct Bucket {
+    std::map<std::uint32_t, Usage> usage;
+  };
+
+  [[nodiscard]] double DecayedUsage(std::uint32_t user, SimTime now) const;
+  [[nodiscard]] std::size_t BucketOf(std::uint32_t user) const;
+
   double half_life_;
-  std::map<std::uint32_t, Usage> usage_;
-  // Incrementally maintained Σ_u DecayedUsage(u): decayed to `total_as_of_`.
+  std::vector<Bucket> buckets_;  // size is a power of two
+  std::size_t user_count_ = 0;
+  // Incrementally maintained Σ_u DecayedUsage(u): decayed to `total_.as_of`.
   Usage total_{};
 };
 

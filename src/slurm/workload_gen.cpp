@@ -68,6 +68,10 @@ std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
       request.partition =
           mix.partitions[rng.NextBounded(mix.partitions.size())];
     }
+    if (!mix.qos.empty()) {
+      request.qos = mix.qos[rng.NextBounded(mix.qos.size())];
+      request.account = "acct-" + request.qos;
+    }
     out.push_back(std::move(job));
   }
   return out;

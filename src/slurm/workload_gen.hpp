@@ -40,6 +40,11 @@ struct WorkloadMix {
   // partition names. Drawn AFTER the per-job stream above, so an empty list
   // reproduces the historical single-partition stream bit-for-bit.
   std::vector<std::string> partitions;
+  // Non-empty: each job gets a QOS tier drawn uniformly from this list and
+  // an account of "acct-<tier>" (the ingress admission layer keys its
+  // token buckets and tier rules on these). Drawn AFTER the partition draw,
+  // so an empty list again reproduces the historical stream bit-for-bit.
+  std::vector<std::string> qos;
 };
 
 struct GeneratedJob {

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chronus/env.hpp"
@@ -23,6 +24,7 @@
 #include "common/rng.hpp"
 #include "plugin/job_submit_eco.hpp"
 #include "slurm/cluster.hpp"
+#include "slurm/ingress.hpp"
 
 namespace eco::slurm {
 namespace {
@@ -316,6 +318,112 @@ TEST_F(SchedEquivalence, EcoPluginRewritesMatch) {
         << "plugin job " << a.id;
     EXPECT_EQ(a.request.num_tasks, b.request.num_tasks) << "plugin job " << a.id;
   }
+}
+
+// ------------------------------------------------- ingress-vs-serial suite
+// The front-door guarantee: requests pushed through SubmitIngress by ANY
+// number of racing producer threads must yield the exact schedule of a
+// serial per-call Submit loop. Each wave arrives at one sim timestamp, which
+// defer_dispatch coalesces into a single scheduling pass either way.
+
+std::vector<std::vector<JobRequest>> MakeWaves(std::uint64_t seed, int waves,
+                                               int per_wave) {
+  Rng rng(seed);
+  std::vector<std::vector<JobRequest>> out(waves);
+  int i = 0;
+  for (auto& wave : out) {
+    for (int j = 0; j < per_wave; ++j) {
+      JobRequest request;
+      request.name = "wave-" + std::to_string(i++);
+      request.user_id = 1000 + static_cast<std::uint32_t>(rng.NextBounded(16));
+      request.min_nodes = rng.UniformInt(1, 3);
+      request.num_tasks = 4 * request.min_nodes;
+      const double duration = rng.Uniform(20.0, 300.0);
+      request.workload = WorkloadSpec::Fixed(duration, rng.Uniform(0.5, 0.95));
+      request.time_limit_s = duration * rng.Uniform(1.2, 4.0);
+      wave.push_back(std::move(request));
+    }
+  }
+  return out;
+}
+
+void RunIngressEquivalence(ClusterConfig config, int producers, int waves,
+                           int per_wave, const std::string& label) {
+  config.use_legacy_scheduler = false;
+  config.defer_dispatch = true;
+  const auto stream = MakeWaves(2024, waves, per_wave);
+  constexpr SimTime kWaveGap = 400.0;
+
+  // Serial reference: one Submit call per request, in stream order.
+  ClusterSim serial(config);
+  std::vector<JobId> serial_ids;
+  for (std::size_t w = 0; w < stream.size(); ++w) {
+    serial.RunUntil(static_cast<SimTime>(w) * kWaveGap);
+    for (const JobRequest& request : stream[w]) {
+      const auto id = serial.Submit(request);
+      ASSERT_TRUE(id.ok()) << label;
+      serial_ids.push_back(*id);
+    }
+  }
+  serial.RunUntilIdle();
+
+  // Ingressed: `producers` threads race each wave into the front door with
+  // caller seqs (the global stream index), then one drain per wave.
+  ClusterSim ingressed(config);
+  IngressConfig ingress_config;
+  ingress_config.stripes = 4;  // fewer stripes than producers: contention
+  ingress_config.metrics = &ingressed.metrics();
+  SubmitIngress ingress(std::move(ingress_config));
+  std::vector<JobId> ingress_ids;
+  std::uint64_t base_seq = 0;
+  for (std::size_t w = 0; w < stream.size(); ++w) {
+    ingressed.RunUntil(static_cast<SimTime>(w) * kWaveGap);
+    const std::vector<JobRequest>& wave = stream[w];
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&ingress, &wave, base_seq, p, producers] {
+        for (std::size_t i = p; i < wave.size();
+             i += static_cast<std::size_t>(producers)) {
+          ASSERT_TRUE(ingress.Submit(wave[i], 0.0, base_seq + i).ok());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    base_seq += wave.size();
+    for (const auto& result : ingress.DrainInto(ingressed)) {
+      ASSERT_TRUE(result.ok()) << label;
+      ingress_ids.push_back(*result);
+    }
+  }
+  ingressed.RunUntilIdle();
+
+  ExpectIdenticalSchedules(serial, serial_ids, ingressed, ingress_ids, label);
+}
+
+TEST_F(SchedEquivalence, IngressBurstMatchesSerialAtAnyProducerCount) {
+  for (const int producers : {1, 4, 8}) {
+    RunIngressEquivalence(BaseConfig(SchedulerPolicy::kBackfill, true),
+                          producers, /*waves=*/1, /*per_wave=*/120,
+                          "ingress burst x" + std::to_string(producers));
+  }
+}
+
+TEST_F(SchedEquivalence, IngressWavesMatchSerialAtAnyProducerCount) {
+  for (const int producers : {1, 4, 8}) {
+    RunIngressEquivalence(BaseConfig(SchedulerPolicy::kBackfill, true),
+                          producers, /*waves=*/3, /*per_wave=*/40,
+                          "ingress waves x" + std::to_string(producers));
+  }
+}
+
+TEST_F(SchedEquivalence, IngressMatchesSerialWithCustomFairshareHalfLife) {
+  // A short half-life makes the fair-share factor move during the run; the
+  // ingress path must still reproduce the serial schedule exactly.
+  ClusterConfig config = BaseConfig(SchedulerPolicy::kBackfill, true);
+  config.fairshare_half_life_s = 1800.0;
+  RunIngressEquivalence(config, /*producers=*/4, /*waves=*/3, /*per_wave=*/40,
+                        "ingress custom half-life");
 }
 
 }  // namespace

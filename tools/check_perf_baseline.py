@@ -1,27 +1,30 @@
 #!/usr/bin/env python3
 """Compare a BENCH_*.json artifact against a committed perf baseline.
 
-Every ``*_gflops*`` key present in the baseline must also be present in the
-artifact and must not fall too far below the committed floor:
+Every baseline key matching ``--metric-regex`` (default: ``_gflops``, the
+kernel-roofline convention) must also be present in the artifact and must
+not fall too far below the committed floor:
 
 * drop >= ``--warn`` below the baseline  -> warning (exit 0, GitHub
   ``::warning`` annotation so the PR surface shows it)
 * drop >= ``--fail`` below the baseline  -> error (exit 1)
 
 Keys in the artifact but not the baseline are ignored (new kernels don't
-need a baseline to land), and non-gflops keys (grid, reps, bytes/flop) are
-never gated. A ``grid`` key in the baseline, when present in both files, must
-match exactly — comparing GFLOPS across problem sizes is meaningless.
+need a baseline to land), and keys not matching the regex (grid, reps,
+bytes/flop) are never gated. A ``grid`` key in the baseline, when present in
+both files, must match exactly — comparing throughput across problem sizes
+is meaningless.
 
 Usage:
     tools/check_perf_baseline.py \
         --artifact bench-artifacts/BENCH_p4_kernel_roofline.json \
         --baseline bench/baselines/BENCH_p4_baseline.json \
-        [--warn 0.10] [--fail 0.30]
+        [--metric-regex _gflops] [--warn 0.10] [--fail 0.30]
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -39,6 +42,11 @@ def main():
                         help="BENCH_*.json produced by the bench run")
     parser.add_argument("--baseline", required=True,
                         help="committed baseline (bench/baselines/...)")
+    parser.add_argument("--metric-regex", default="_gflops",
+                        help="gate baseline keys matching this regex "
+                             "(default '_gflops', the roofline convention); "
+                             "e.g. 'ingest_jobs_per_s' for the ingress "
+                             "storm bench")
     parser.add_argument("--warn", type=float, default=0.10,
                         help="warn when a metric drops >= this fraction "
                              "below baseline (default 0.10)")
@@ -57,10 +65,13 @@ def main():
                   f"grid={baseline['grid']}")
             return 1
 
+    metric_re = re.compile(args.metric_regex)
     gated = sorted(k for k in baseline
-                   if "_gflops" in k and isinstance(baseline[k], (int, float)))
+                   if metric_re.search(k)
+                   and isinstance(baseline[k], (int, float)))
     if not gated:
-        print(f"::error::no *_gflops keys in baseline {args.baseline}")
+        print(f"::error::no keys matching /{args.metric_regex}/ in baseline "
+              f"{args.baseline}")
         return 1
 
     failures = warnings = 0
@@ -77,12 +88,12 @@ def main():
         if drop >= args.fail:
             status = "FAIL"
             failures += 1
-            print(f"::error::perf regression: {key} = {value:.3f} GFLOP/s, "
+            print(f"::error::perf regression: {key} = {value:.3f}, "
                   f"{drop:.0%} below baseline {floor:.3f}")
         elif drop >= args.warn:
             status = "warn"
             warnings += 1
-            print(f"::warning::perf drop: {key} = {value:.3f} GFLOP/s, "
+            print(f"::warning::perf drop: {key} = {value:.3f}, "
                   f"{drop:.0%} below baseline {floor:.3f}")
         print(f"  {key:32s} {value:9.3f} vs floor {floor:9.3f}  "
               f"({-drop:+7.1%})  {status}")
