@@ -8,10 +8,20 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "hpcg/dispatch.hpp"
 
 namespace eco::bench {
 
-BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  // Provenance stamps on every artifact: the ISA tier the kernels dispatch
+  // to and the commit that built the binary, so CI perf trajectories only
+  // ever compare like with like (an sse2 CI runner vs an avx2 perf box is
+  // a tier difference, not a regression).
+  metrics_["isa_tier"] = Json(hpcg::IsaTierName(hpcg::ActiveIsaTier()));
+#ifdef ECO_GIT_SHA
+  metrics_["git_sha"] = Json(ECO_GIT_SHA);
+#endif
+}
 
 void BenchReport::Set(const std::string& key, double value) {
   metrics_[key] = Json(value);

@@ -12,6 +12,15 @@
 //  - Telemetry: with an attached registry the hpcg_kernel counters must
 //    move; detached, kernel timings must stay within the PR-4 overhead
 //    noise bound.
+//  - ISA tiers: every tier this machine supports is forced in turn
+//    (ForceIsaTier) and measured in this one process, emitting
+//    <kernel>_gflops_<tier>_p0 keys plus a tiers_measured list so the
+//    baseline checker can key floors by tier. Each tier must be bitwise
+//    run-to-run deterministic and pool-size invariant; scalar/sse2 must
+//    stay bitwise identical to ref::. On AVX2-capable hardware the avx2
+//    tier must beat sse2 by >= 1.3x on SpMV and SymGS (interleaved
+//    best-of-reps, same gate discipline as the ref speedup check; also
+//    skippable with --no-speedup-check).
 //
 // The headline numbers land in BENCH_p4_kernel_roofline.json (BenchReport),
 // which CI diffs against bench/baselines/BENCH_p4_baseline.json via
@@ -29,6 +38,7 @@
 #include "common/rng.hpp"
 #include "common/telemetry/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "hpcg/dispatch.hpp"
 #include "hpcg/geometry.hpp"
 #include "hpcg/kernel_telemetry.hpp"
 #include "hpcg/stencil.hpp"
@@ -214,6 +224,152 @@ void SpeedupGate(const hpcg::Geometry& geo, int reps,
   Check(gs_speedup >= 2.0, "expected >= 2x SymGS speedup over ref::SymGS");
 }
 
+// -------------------------------------------------------------- ISA tiers
+
+// Determinism contract, checked per tier on full-mantissa random data:
+// run-to-run bitwise, pool-size invariant (serial vs 4-worker pool), the
+// fused SpMVDot vector bitwise equal to plain SpMV, and the narrow tiers
+// (scalar, sse2) bitwise equal to the ref:: oracle. The wide tiers carry
+// their own fixed association (window SpMV, Hsum27 + reciprocal relax), so
+// ref-equality is only asserted where the contract promises it.
+void TierDeterminismChecks(const hpcg::Geometry& geo, hpcg::IsaTier tier) {
+  const std::string t = hpcg::IsaTierName(tier);
+  const auto x = RandomVec(geo.size(), 41);
+  const auto r = RandomVec(geo.size(), 42);
+  ThreadPool pool(4);
+
+  hpcg::Vec a(x.size()), b(x.size());
+  hpcg::SpMV(geo, x, a);
+  hpcg::SpMV(geo, x, b);
+  Check(BitwiseEqual(a, b), t + ": SpMV not run-to-run deterministic");
+  hpcg::SpMV(geo, x, b, &pool);
+  Check(BitwiseEqual(a, b), t + ": SpMV not pool-size invariant");
+
+  double dot_serial = 0.0, dot_pooled = 0.0;
+  hpcg::SpMVDot(geo, x, b, &dot_serial);
+  Check(BitwiseEqual(a, b), t + ": SpMVDot vector != SpMV vector");
+  hpcg::SpMVDot(geo, x, b, &dot_pooled, &pool);
+  Check(dot_serial == dot_pooled, t + ": SpMVDot not pool-size invariant");
+
+  hpcg::Vec za = RandomVec(geo.size(), 43), zb = za;
+  hpcg::SymGS(geo, r, za);
+  hpcg::SymGS(geo, r, zb);
+  Check(BitwiseEqual(za, zb), t + ": SymGS not run-to-run deterministic");
+
+  hpcg::Vec ca = RandomVec(geo.size(), 44), cb = ca;
+  hpcg::SymGSColored(geo, r, ca);
+  hpcg::SymGSColored(geo, r, cb, &pool);
+  Check(BitwiseEqual(ca, cb), t + ": SymGSColored not pool-size invariant");
+
+  if (tier <= hpcg::kDefaultIsaTier) {
+    hpcg::Vec yref(x.size());
+    hpcg::ref::SpMV(geo, x, yref);
+    Check(BitwiseEqual(a, yref), t + ": SpMV != ref::SpMV (bitwise)");
+    hpcg::Vec zref = RandomVec(geo.size(), 43);
+    hpcg::ref::SymGS(geo, r, zref);
+    Check(BitwiseEqual(za, zref), t + ": SymGS != ref::SymGS (bitwise)");
+  }
+}
+
+// Forces each supported tier in turn and measures the whole kernel table
+// serially, so one artifact carries the per-tier roofline. Keys:
+// <kernel>_gflops_<tier>_p0. The default-tier rows above keep their
+// unsuffixed keys, so existing baselines stay comparable.
+void TierSweep(const hpcg::Geometry& geo, int reps,
+               eco::bench::BenchReport& report, bool speedup_check) {
+  const hpcg::IsaTier prior = hpcg::ActiveIsaTier();
+  const auto x = RandomVec(geo.size(), 1);
+  const auto r = RandomVec(geo.size(), 2);
+  hpcg::Vec y(x.size());
+  hpcg::Vec z(x.size(), 0.0);
+  hpcg::Vec w(x.size());
+  double scalar = 0.0;
+  const auto rows = KernelTable(geo);
+
+  std::string tiers_csv;
+  std::printf("\nper-tier roofline (forced via ForceIsaTier, serial):\n");
+  for (int i = 0; i < hpcg::kIsaTierCount; ++i) {
+    const auto tier = static_cast<hpcg::IsaTier>(i);
+    if (!hpcg::IsaTierSupported(tier)) continue;
+    const hpcg::IsaTier got = hpcg::ForceIsaTier(tier);
+    Check(got == tier, std::string("ForceIsaTier(") + hpcg::IsaTierName(tier) +
+                           ") clamped on a machine that supports it");
+    if (!tiers_csv.empty()) tiers_csv += ',';
+    tiers_csv += hpcg::IsaTierName(tier);
+
+    for (const KernelRow& row : rows) {
+      const auto run = [&]() {
+        if (std::strcmp(row.name, "spmv") == 0) {
+          hpcg::SpMV(geo, x, y);
+        } else if (std::strcmp(row.name, "spmv_dot") == 0) {
+          hpcg::SpMVDot(geo, x, y, &scalar);
+        } else if (std::strcmp(row.name, "spmv_residual") == 0) {
+          hpcg::SpMVResidual(geo, x, r, w);
+        } else if (std::strcmp(row.name, "symgs") == 0) {
+          hpcg::SymGS(geo, r, z);
+        } else if (std::strcmp(row.name, "symgs_colored") == 0) {
+          hpcg::SymGSColored(geo, r, z);
+        } else if (std::strcmp(row.name, "dot") == 0) {
+          scalar = hpcg::Dot(x, r);
+        } else if (std::strcmp(row.name, "waxpby") == 0) {
+          hpcg::Waxpby(1.0, x, -0.5, r, w);
+        } else {
+          scalar = hpcg::FusedWaxpbyDot(1.0, x, -0.5, r, w);
+        }
+      };
+      run();  // warm-up under the new tier
+      const double ms = Median(TimeReps(run, reps));
+      const double gflops = static_cast<double>(row.flops) / (ms * 1e6);
+      std::printf("  %-8s %-16s %9.3f ms   %7.3f GFLOP/s\n",
+                  hpcg::IsaTierName(tier), row.name, ms, gflops);
+      report.Set(std::string(row.name) + "_gflops_" +
+                     hpcg::IsaTierName(tier) + "_p0",
+                 gflops);
+    }
+    TierDeterminismChecks(geo, tier);
+  }
+  report.Set("tiers_measured", tiers_csv);
+  report.Set("isa_tier_best", hpcg::IsaTierName(hpcg::BestSupportedIsaTier()));
+
+  // The tier gate: avx2 must beat sse2 by >= 1.3x on SpMV and SymGS.
+  // Interleaved best-of pairs — A/B/A/B so a load spike on this shared box
+  // hits both tiers equally and the min/min ratio stays stable.
+  if (speedup_check && hpcg::IsaTierSupported(hpcg::IsaTier::kAvx2)) {
+    const int gate_reps = std::max(reps * 2, 21);
+    const auto paired_min = [&](auto&& fn) {
+      double sse2_ms = 1e300, avx2_ms = 1e300;
+      for (int i = 0; i < gate_reps; ++i) {
+        hpcg::ForceIsaTier(hpcg::IsaTier::kSse2);
+        sse2_ms = std::min(sse2_ms, TimeReps(fn, 1)[0]);
+        hpcg::ForceIsaTier(hpcg::IsaTier::kAvx2);
+        avx2_ms = std::min(avx2_ms, TimeReps(fn, 1)[0]);
+      }
+      return std::pair<double, double>(sse2_ms, avx2_ms);
+    };
+    const auto [spmv_sse2, spmv_avx2] =
+        paired_min([&] { hpcg::SpMV(geo, x, y); });
+    const auto [gs_sse2, gs_avx2] = paired_min([&] { hpcg::SymGS(geo, r, z); });
+    const double spmv_ratio = spmv_sse2 / std::max(spmv_avx2, 1e-9);
+    const double gs_ratio = gs_sse2 / std::max(gs_avx2, 1e-9);
+    std::printf(
+        "\navx2 vs sse2 (best of %d interleaved, serial):\n"
+        "  SpMV  %7.3f -> %7.3f ms  %5.2fx\n"
+        "  SymGS %7.3f -> %7.3f ms  %5.2fx\n",
+        gate_reps, spmv_sse2, spmv_avx2, spmv_ratio, gs_sse2, gs_avx2,
+        gs_ratio);
+    report.Set("spmv_avx2_vs_sse2", spmv_ratio);
+    report.Set("symgs_avx2_vs_sse2", gs_ratio);
+    Check(spmv_ratio >= 1.3, "expected avx2 SpMV >= 1.3x over sse2");
+    Check(gs_ratio >= 1.3, "expected avx2 SymGS >= 1.3x over sse2");
+  } else if (hpcg::IsaTierSupported(hpcg::IsaTier::kAvx2)) {
+    std::printf("\n(avx2-vs-sse2 gate skipped: --no-speedup-check)\n");
+  } else {
+    std::printf("\n(avx2-vs-sse2 gate skipped: avx2 unsupported here)\n");
+  }
+
+  hpcg::ForceIsaTier(prior);
+}
+
 // -------------------------------------------------------------- telemetry
 
 void TelemetryChecks(const hpcg::Geometry& geo, int reps) {
@@ -362,6 +518,7 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\n(speedup gate skipped: --no-speedup-check)\n");
   }
+  TierSweep(geo, reps, report, speedup_check);
   TelemetryChecks(geo, reps);
 
   const std::string path = report.Write();

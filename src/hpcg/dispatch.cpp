@@ -1,0 +1,162 @@
+#include "hpcg/dispatch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace eco::hpcg {
+namespace {
+
+// -1: not yet resolved. Once resolved (lazily from ECO_FORCE_ISA, or
+// explicitly via ForceIsaTier) the value is the active tier. The first
+// resolution can race benignly: every racer computes the same value.
+std::atomic<int> g_active_tier{-1};
+
+bool CpuSupports(IsaTier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  switch (tier) {
+    case IsaTier::kScalar:
+    case IsaTier::kSse2:
+      return true;
+    case IsaTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case IsaTier::kAvx512:
+      // The wide TU is built with f+dq+vl (+bw); require the same set the
+      // code may emit, not just the foundation.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
+  }
+  return false;
+#else
+  // Non-x86: the scalar and generic-vector sse2 tiers are portable C++;
+  // the wide TUs compile to stubs (GetKernelOps_* == nullptr).
+  return tier == IsaTier::kScalar || tier == IsaTier::kSse2;
+#endif
+}
+
+const detail::KernelOps* TierOps(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return detail::GetKernelOps_scalar();
+    case IsaTier::kSse2:
+      return detail::GetKernelOps_sse2();
+    case IsaTier::kAvx2:
+      return detail::GetKernelOps_avx2();
+    case IsaTier::kAvx512:
+      return detail::GetKernelOps_avx512();
+  }
+  return nullptr;
+}
+
+// Clamp an arbitrary request onto a runnable tier: walk down from the
+// request until supported (scalar always is).
+IsaTier ClampToSupported(IsaTier requested) {
+  int t = static_cast<int>(requested);
+  while (t > 0 && !IsaTierSupported(static_cast<IsaTier>(t))) --t;
+  return static_cast<IsaTier>(t);
+}
+
+IsaTier ResolveFromEnv() {
+  const char* env = std::getenv("ECO_FORCE_ISA");
+  if (env == nullptr || *env == '\0') return kDefaultIsaTier;
+  IsaTier requested;
+  if (!ParseIsaTier(env, &requested)) {
+    ECO_WARN << "ECO_FORCE_ISA='" << env
+             << "' not recognised (scalar|sse2|avx2|avx512|native); using "
+             << IsaTierName(kDefaultIsaTier);
+    return kDefaultIsaTier;
+  }
+  const IsaTier effective = ClampToSupported(requested);
+  if (effective != requested) {
+    ECO_WARN << "ECO_FORCE_ISA=" << IsaTierName(requested)
+             << " not supported on this machine; clamping to "
+             << IsaTierName(effective);
+  }
+  return effective;
+}
+
+}  // namespace
+
+const char* IsaTierName(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kSse2:
+      return "sse2";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseIsaTier(std::string_view name, IsaTier* out) {
+  if (name == "scalar") {
+    *out = IsaTier::kScalar;
+  } else if (name == "sse2") {
+    *out = IsaTier::kSse2;
+  } else if (name == "avx2") {
+    *out = IsaTier::kAvx2;
+  } else if (name == "avx512") {
+    *out = IsaTier::kAvx512;
+  } else if (name == "native" || name == "best" || name == "auto") {
+    *out = BestSupportedIsaTier();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsaTierSupported(IsaTier tier) {
+  return CpuSupports(tier) && TierOps(tier) != nullptr;
+}
+
+IsaTier BestSupportedIsaTier() {
+  return ClampToSupported(IsaTier::kAvx512);
+}
+
+IsaTier ActiveIsaTier() {
+  const int cached = g_active_tier.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<IsaTier>(cached);
+  const IsaTier resolved = ResolveFromEnv();
+  g_active_tier.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+IsaTier ForceIsaTier(IsaTier tier) {
+  const IsaTier effective = ClampToSupported(tier);
+  g_active_tier.store(static_cast<int>(effective), std::memory_order_release);
+  return effective;
+}
+
+std::int64_t ZSlabGrain(const Geometry& geo) {
+  // ~1 MiB of plane data per slab: big enough that the (S+2)/S halo
+  // re-read ratio approaches 1, small enough that slab + halos stay L2-ish.
+  // Capped at ceil(nz/8) so a pool always sees ~8 tasks to balance, and at
+  // 16 planes so huge thin grids don't serialize.
+  constexpr std::int64_t kSlabTargetBytes = std::int64_t{1} << 20;
+  const std::int64_t plane_bytes =
+      static_cast<std::int64_t>(geo.nx) * geo.ny * 8;
+  std::int64_t slab = kSlabTargetBytes / std::max<std::int64_t>(1, plane_bytes);
+  slab = std::min(slab, static_cast<std::int64_t>((geo.nz + 7) / 8));
+  return std::clamp<std::int64_t>(slab, 1, 16);
+}
+
+namespace detail {
+
+const KernelOps& ActiveOps() {
+  const KernelOps* ops = TierOps(ActiveIsaTier());
+  if (ops != nullptr) return *ops;
+  // Unreachable when selection went through ClampToSupported; defend against
+  // a torn build anyway.
+  return *GetKernelOps_scalar();
+}
+
+}  // namespace detail
+}  // namespace eco::hpcg

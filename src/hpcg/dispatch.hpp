@@ -1,0 +1,125 @@
+// Runtime ISA dispatch for the HPCG kernel core.
+//
+// One binary carries four implementations (tiers) of the lane-blocked inner
+// loops — scalar, SSE2, AVX2 and AVX-512 — each compiled in its own TU with
+// the matching -m flags (src/hpcg/CMakeLists.txt), selected at runtime from
+// a CPUID-probed dispatch table of function pointers.
+//
+// Tier selection, in priority order:
+//   1. ForceIsaTier() — tests and benches pin a tier programmatically;
+//   2. the ECO_FORCE_ISA environment variable
+//      (scalar | sse2 | avx2 | avx512 | native);
+//   3. the default: kSse2.
+// A request for a tier the CPU (or the build) cannot run clamps down to the
+// best supported tier, so `ECO_FORCE_ISA=avx512 ctest` passes on any runner.
+//
+// Determinism contract (DESIGN.md, "Runtime SIMD dispatch & calibration
+// loop"):
+//   - scalar and sse2 accumulate every tap in the canonical dz→dy→dx order
+//     and are bitwise identical to the `ref::` oracle for every kernel.
+//     SSE2 stays the *default* so existing goldens never move.
+//   - avx2 and avx512 reassociate: the SpMV family folds the 27 taps as
+//     sliding-window column sums, the Gauss–Seidel relax folds its taps via
+//     a fixed hsum tree and multiplies by a precomputed reciprocal, and the
+//     dot reductions keep per-lane partials. The association is *fixed* per
+//     tier, so results are bitwise run-to-run deterministic, pool-size
+//     invariant, and fused==unfused against that tier's own goldens
+//     (verified per tier in tests/test_hpcg_kernels.cpp) — but not bitwise
+//     equal to ref::, only within the analytic 64·eps·Σ|terms| bound.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hpcg/geometry.hpp"
+#include "hpcg/vector_ops.hpp"
+
+namespace eco::hpcg {
+
+// Tiers in strictly increasing capability order; comparisons rely on it.
+enum class IsaTier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+inline constexpr int kIsaTierCount = 4;
+
+// The default: the widest tier whose results are bitwise identical to the
+// `ref::` oracle on every kernel (wider tiers reassociate reductions).
+inline constexpr IsaTier kDefaultIsaTier = IsaTier::kSse2;
+
+// "scalar" / "sse2" / "avx2" / "avx512" — the spelling ECO_FORCE_ISA takes
+// and the BENCH_*.json artifacts record.
+const char* IsaTierName(IsaTier tier);
+
+// Parses an ECO_FORCE_ISA spelling ("native" maps to BestSupportedIsaTier).
+// Returns false (out untouched) on an unknown name.
+bool ParseIsaTier(std::string_view name, IsaTier* out);
+
+// Whether this process can run the tier: the CPU advertises the ISA and the
+// binary was built with that tier's TU enabled. scalar and sse2 are always
+// supported (their code is plain C++ / generic two-wide vectors).
+bool IsaTierSupported(IsaTier tier);
+
+// The widest supported tier on this machine.
+IsaTier BestSupportedIsaTier();
+
+// The tier the kernels currently dispatch to. Resolved once (force > env >
+// default) and cached; thread-safe.
+IsaTier ActiveIsaTier();
+
+// Pins the dispatch tier (clamped down to the best supported tier when the
+// request cannot run) and returns the tier actually in force. Thread-safe,
+// but not synchronized against kernels already in flight — switch tiers
+// between kernel invocations, not during.
+IsaTier ForceIsaTier(IsaTier tier);
+
+// Plane-blocked cache tiling: the z-grain pooled kernels hand ParallelFor,
+// sized so one task's slab of planes (plus its two halo planes) streams
+// through an L2-ish working set instead of re-fetching halos plane by plane
+// (traffic ratio (S+2)/S per S-plane slab). A function of the geometry
+// alone — never of the pool size — and the tiled kernels are elementwise,
+// so any slab partition is bitwise identical to serial.
+std::int64_t ZSlabGrain(const Geometry& geo);
+
+namespace detail {
+
+// The per-tier entry points the public kernels (stencil.cpp, vector_ops.cpp)
+// dispatch through. Plane/range granularity mirrors the pooled tiling: the
+// pool partitions, the tier computes.
+struct KernelOps {
+  // y = A x over z-planes [z_lo, z_hi).
+  void (*spmv_planes)(const Geometry& geo, const Vec& x, Vec& y, int z_lo,
+                      int z_hi);
+  // out = r - A x over z-planes [z_lo, z_hi).
+  void (*spmv_residual_planes)(const Geometry& geo, const Vec& x, const Vec& r,
+                               Vec& out, int z_lo, int z_hi);
+  // y = A x over flat range [lo, hi), returning the x'y partial with the
+  // tier's DotRange association over the same range.
+  double (*spmv_dot_range)(const Geometry& geo, const Vec& x, Vec& y,
+                           std::int64_t lo, std::int64_t hi);
+  // One parity color of the multicolor smoother over planes [z_lo, z_hi).
+  void (*relax_color_planes)(const Geometry& geo, const Vec& r, Vec& z, int cx,
+                             int cy, int cz, int z_lo, int z_hi);
+  // Full lexicographic symmetric Gauss–Seidel sweep (serial by contract).
+  void (*symgs)(const Geometry& geo, const Vec& r, Vec& z);
+  // BLAS-1 ranges; Dot/FusedWaxpbyDot keep the kReduceGrain chunk structure
+  // in the caller, the tier supplies the in-chunk association.
+  double (*dot_range)(const Vec& x, const Vec& y, std::int64_t lo,
+                      std::int64_t hi);
+  void (*waxpby_range)(double alpha, const Vec& x, double beta, const Vec& y,
+                       Vec& w, std::int64_t lo, std::int64_t hi);
+  double (*waxpby_dot_range)(double alpha, const Vec& x, double beta,
+                             const Vec& y, Vec& w, std::int64_t lo,
+                             std::int64_t hi);
+};
+
+// The table for the active tier (one acquire-ish atomic read + array index).
+const KernelOps& ActiveOps();
+
+// Per-tier tables, defined in the stencil_tier_*.cpp TUs. A TU built
+// without its ISA (non-x86 host) returns nullptr and the tier reports
+// unsupported.
+const KernelOps* GetKernelOps_scalar();
+const KernelOps* GetKernelOps_sse2();
+const KernelOps* GetKernelOps_avx2();
+const KernelOps* GetKernelOps_avx512();
+
+}  // namespace detail
+}  // namespace eco::hpcg

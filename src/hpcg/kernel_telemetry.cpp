@@ -4,6 +4,8 @@
 #include <mutex>
 #include <vector>
 
+#include "hpcg/dispatch.hpp"
+
 namespace eco::hpcg {
 
 namespace detail {
@@ -42,6 +44,11 @@ void SetKernelTelemetry(telemetry::MetricsRegistry* registry) {
     detail::g_kernel_table.store(nullptr, std::memory_order_release);
     return;
   }
+  // Which ISA tier the kernels dispatch to (the IsaTier enum value), so a
+  // scrape can tell an sse2 run from an avx2 run without parsing logs.
+  registry->GetGauge("eco_hpcg_kernel_isa_tier")
+      ->Set(static_cast<double>(ActiveIsaTier()));
+
   auto table = std::make_unique<detail::KernelTable>();
   for (int k = 0; k < kKernelCount; ++k) {
     const char* name = KernelName(static_cast<Kernel>(k));

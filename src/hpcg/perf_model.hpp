@@ -24,10 +24,22 @@
 // HPCG is run in weak scaling: the problem (default 104³) is the *local* grid
 // per rank, so total work scales with the rank count — that is why 32 ranks
 // of a 104³ problem need ~32 GB of the node's 256 GB (12.5 %), matching §5.2.
+//
+// Calibration loop: the paper-fitted defaults stay the defaults, but the
+// model can be refitted from a measured kernel roofline
+// (BENCH_p4_kernel_roofline.json, produced by bench_p4_kernel_roofline) via
+// KernelCalibration + CalibrateFrom(), so node_sim durations and Chronus
+// GFLOPS/W rankings derive from the kernels this repo actually runs instead
+// of the paper's hardware. Set ECO_PERF_CALIBRATION=<artifact path> to apply
+// it to every simulated node.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/units.hpp"
 #include "hw/cpu_spec.hpp"
 
@@ -71,8 +83,39 @@ struct PerfModelParams {
   double phase_amp_per_ghz_above_knee = 0.30;
   double knee_ghz = 2.2;
   double phase_period_s = 45.0;
+  // FLOPs per grid point per CG iteration. Defaults to the official HPCG
+  // accounting; calibration keeps it in the params so TotalFlopsFor /
+  // IterationsForDuration stay consistent with whatever fit is in force.
+  double flops_per_point = HpcgProblem::kFlopsPerPointPerIteration;
 
   static PerfModelParams Epyc7502P() { return PerfModelParams{}; }
+};
+
+// A measured kernel roofline, distilled from a BENCH_p4_kernel_roofline
+// artifact into exactly what CalibrateFrom() needs:
+//   - composite whole-iteration GFLOPS per measured worker count (the
+//     SpMV/SymGS/BLAS-1 rates combined as a flop-share-weighted harmonic
+//     mean, i.e. time-weighted over one CG iteration);
+//   - the streaming bandwidth the BLAS-1 kernels achieved and the best SpMV
+//     rate across ISA tiers, which together locate the machine-balance
+//     point the elasticity floor is derived from.
+struct KernelCalibration {
+  struct Point {
+    int cores = 0;
+    double gflops = 0.0;
+  };
+  std::vector<Point> points;           // sorted by cores, ascending
+  double stream_bandwidth_gbs = 0.0;   // best of dot/waxpby × 8 B/flop
+  double peak_gflops = 0.0;            // best SpMV over every measured tier
+  double iteration_bytes_per_flop = 0.0;  // flop-share-weighted B/flop
+  std::string isa_tier;                // tier the unsuffixed rows ran under
+  std::string source;                  // artifact path ("" when from JSON)
+
+  // Distils a parsed artifact body ({"bench": ..., "metrics": {...}}).
+  // Fails when the required spmv/symgs keys are missing or non-positive.
+  static Result<KernelCalibration> FromArtifact(const Json& artifact);
+  // Reads and parses `path`, then distils it.
+  static Result<KernelCalibration> FromFile(const std::string& path);
 };
 
 class HpcgPerfModel {
@@ -99,9 +142,14 @@ class HpcgPerfModel {
                                      bool ht) const;
 
   // Total FLOPs of a weak-scaled run: `cores` ranks × local problem ×
-  // `iterations` CG iterations.
+  // `iterations` CG iterations, at the official HPCG flop accounting.
   [[nodiscard]] static double TotalFlops(const HpcgProblem& problem, int cores,
                                          int iterations);
+  // Same, at this model's (possibly calibrated) flops_per_point — the
+  // counterpart IterationsForDuration sizes against, so duration × GFLOPS
+  // round-trips exactly through the pair.
+  [[nodiscard]] double TotalFlopsFor(const HpcgProblem& problem, int cores,
+                                     int iterations) const;
 
   // Iteration count that makes the reference configuration run for
   // `target_seconds` (HPCG's "official run" sizing). The paper's runs target
@@ -109,9 +157,25 @@ class HpcgPerfModel {
   [[nodiscard]] int IterationsForDuration(const HpcgProblem& problem,
                                           double target_seconds) const;
 
+  // Refits the reference point (cores, GFLOPS), the core-scaling exponent
+  // (log-log least squares over the measured points, clamped to [0.3, 1.0])
+  // and the elasticity floor (compute fraction at the machine-balance
+  // point) from a measured roofline. By construction the refitted model
+  // reproduces the measured composite GFLOPS at the reference worker count
+  // exactly. Returns false — leaving the model untouched — when the
+  // calibration has no usable points.
+  bool CalibrateFrom(const KernelCalibration& cal);
+
  private:
   PerfModelParams params_;
   double scale_;  // A in the formula, derived from the reference point
 };
+
+// When ECO_PERF_CALIBRATION names a readable roofline artifact, refits
+// `model` from it; otherwise a no-op. The artifact is read and parsed once
+// per process (an unreadable path warns once and is then ignored). NodeSim
+// calls this at construction, so every simulated node — and therefore every
+// Chronus sweep — runs on the measured kernels when the variable is set.
+void ApplyEnvCalibration(HpcgPerfModel* model);
 
 }  // namespace eco::hpcg

@@ -1,570 +1,16 @@
+// Public stencil kernels: telemetry scope + pool tiling + runtime ISA
+// dispatch. The per-tier inner loops live in stencil_tiers.inc, compiled
+// once per tier by the stencil_tier_*.cpp TUs and reached through
+// detail::ActiveOps() (see dispatch.hpp for the tier-selection and
+// determinism contracts).
 #include "hpcg/stencil.hpp"
 
 #include <algorithm>
-#include <type_traits>
 
+#include "hpcg/dispatch.hpp"
 #include "hpcg/kernel_telemetry.hpp"
 
 namespace eco::hpcg {
-namespace {
-
-constexpr double kDiag = 26.0;
-
-// Sums x over the (up to 26) neighbours of (ix,iy,iz) — the fully guarded
-// boundary path. The dz→dy→dx visit order is the contract the branch-free
-// interior paths reproduce: floating-point addition is not reassociated, so
-// matching this order is what keeps interior results bitwise identical.
-inline double NeighbourSum(const Geometry& geo, const Vec& x, int ix, int iy,
-                           int iz) {
-  double sum = 0.0;
-  for (int dz = -1; dz <= 1; ++dz) {
-    const int z = iz + dz;
-    if (z < 0 || z >= geo.nz) continue;
-    for (int dy = -1; dy <= 1; ++dy) {
-      const int y = iy + dy;
-      if (y < 0 || y >= geo.ny) continue;
-      for (int dx = -1; dx <= 1; ++dx) {
-        if (dx == 0 && dy == 0 && dz == 0) continue;
-        const int xx = ix + dx;
-        if (xx < 0 || xx >= geo.nx) continue;
-        sum += x[geo.Index(xx, y, z)];
-      }
-    }
-  }
-  return sum;
-}
-
-// The valid (dz,dy) row-base pointers of one grid row, in the dz→dy order
-// NeighbourSum visits them (rows outside the grid are dropped, so boundary
-// rows get a shorter list). `center` is the index of the (0,0) row, whose
-// dx == 0 tap (the diagonal) is skipped; it is always present. A tap value
-// is q[t][i + dx] where i is the point's offset from the row base —
-// constant-displacement addressing computed once per row, no per-point
-// geo.Index multiplications. Valid for x-interior points (1 <= i <= nx-2).
-struct RowTaps {
-  // Value-initialized so the fixed 9-row readers (only ever reached when
-  // Full() holds) don't trip -Wmaybe-uninitialized on partial rows.
-  const double* q[9] = {};
-  int count;
-  int center;
-
-  void Init(const double* base, std::int64_t row, const Geometry& geo, int iy,
-            int iz) {
-    const auto sy = static_cast<std::int64_t>(geo.nx);
-    const std::int64_t sz = sy * geo.ny;
-    count = 0;
-    center = -1;
-    for (int dz = -1; dz <= 1; ++dz) {
-      if (iz + dz < 0 || iz + dz >= geo.nz) continue;
-      for (int dy = -1; dy <= 1; ++dy) {
-        if (iy + dy < 0 || iy + dy >= geo.ny) continue;
-        if (dz == 0 && dy == 0) center = count;
-        q[count++] = base + row + dz * sz + dy * sy;
-      }
-    }
-  }
-
-  [[nodiscard]] bool Full() const { return count == 9; }
-};
-
-// 26-tap neighbour sum of the fully interior point at row offset i
-// (requires b.Full()): one serial add chain in the canonical dz→dy→dx
-// order, bitwise equal to NeighbourSum. This chain's FP-add latency is the
-// per-point floor — TapsBlock below is how the kernels climb above it.
-inline double Taps26(const RowTaps& b, std::int64_t i) {
-  double s = 0.0;
-  s += b.q[0][i - 1]; s += b.q[0][i]; s += b.q[0][i + 1];
-  s += b.q[1][i - 1]; s += b.q[1][i]; s += b.q[1][i + 1];
-  s += b.q[2][i - 1]; s += b.q[2][i]; s += b.q[2][i + 1];
-  s += b.q[3][i - 1]; s += b.q[3][i]; s += b.q[3][i + 1];
-  s += b.q[4][i - 1];                 s += b.q[4][i + 1];
-  s += b.q[5][i - 1]; s += b.q[5][i]; s += b.q[5][i + 1];
-  s += b.q[6][i - 1]; s += b.q[6][i]; s += b.q[6][i + 1];
-  s += b.q[7][i - 1]; s += b.q[7][i]; s += b.q[7][i + 1];
-  s += b.q[8][i - 1]; s += b.q[8][i]; s += b.q[8][i + 1];
-  return s;
-}
-
-// Variable-row-count scalar chain for x-interior points of boundary rows
-// (and the interior scalar tail): same canonical order over the valid rows.
-inline double TapsVar(const RowTaps& b, std::int64_t i) {
-  double s = 0.0;
-  for (int t = 0; t < b.count; ++t) {
-    s += b.q[t][i - 1];
-    if (t != b.center) s += b.q[t][i];
-    s += b.q[t][i + 1];
-  }
-  return s;
-}
-
-// B independent neighbour sums for the points at row offsets i0 + l*stride.
-// Taps outer / lanes inner: each lane's accumulation order is exactly the
-// canonical scalar chain (bitwise identical per point), but the B chains are
-// mutually independent, so the serial FP-add latency that bounds the scalar
-// chain is hidden behind instruction-level (and, for stride 1, SIMD)
-// parallelism. StrideT is either a compile-time std::integral_constant
-// (SpMV stride 1, colored sweep stride 2) or a runtime std::int64_t
-// (Gauss–Seidel wavefront). The fixed 9-row version is kept separate from
-// the variable-count one so the hot fully-interior case has no per-tap
-// center test.
-template <int B, class StrideT>
-inline void TapsBlock26(const RowTaps& b, std::int64_t i0, StrideT stride_t,
-                        double* s) {
-  const std::int64_t stride = stride_t;
-  for (int l = 0; l < B; ++l) s[l] = 0.0;
-  for (int t = 0; t < 9; ++t) {
-    const double* q = b.q[t] + i0;
-    for (int l = 0; l < B; ++l) s[l] += q[l * stride - 1];
-    if (t != 4) {
-      for (int l = 0; l < B; ++l) s[l] += q[l * stride];
-    }
-    for (int l = 0; l < B; ++l) s[l] += q[l * stride + 1];
-  }
-}
-
-template <int B, class StrideT>
-inline void TapsBlockVar(const RowTaps& b, std::int64_t i0, StrideT stride_t,
-                         double* s) {
-  const std::int64_t stride = stride_t;
-  for (int l = 0; l < B; ++l) s[l] = 0.0;
-  for (int t = 0; t < b.count; ++t) {
-    const double* q = b.q[t] + i0;
-    for (int l = 0; l < B; ++l) s[l] += q[l * stride - 1];
-    if (t != b.center) {
-      for (int l = 0; l < B; ++l) s[l] += q[l * stride];
-    }
-    for (int l = 0; l < B; ++l) s[l] += q[l * stride + 1];
-  }
-}
-
-template <std::int64_t N>
-using StrideC = std::integral_constant<std::int64_t, N>;
-
-// Explicit two-wide vector path for the contiguous (stride-1) 8-lane block.
-// GCC's loop vectorizer leaves the unrolled lane loops scalar, which caps
-// the sweep at the ~2 adds/cycle scalar throughput; pairing adjacent lanes
-// into vector_size(16) accumulators doubles that. Vector addition is
-// element-wise IEEE addition — each lane still receives its taps in the
-// canonical dz→dy→dx order, so results stay bitwise identical.
-using V2d = double __attribute__((vector_size(16)));
-
-inline V2d LoadU(const double* p) {
-  V2d v;
-  __builtin_memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-// Eight contiguous neighbour sums (requires b.Full()): accumulators a0..a3
-// hold lane pairs {0,1}..{6,7}; per lane the add order equals Taps26's.
-inline void Taps26Row8(const RowTaps& b, std::int64_t i0, double* s) {
-  V2d a0 = {0.0, 0.0};
-  V2d a1 = a0;
-  V2d a2 = a0;
-  V2d a3 = a0;
-  for (int t = 0; t < 9; ++t) {
-    const double* q = b.q[t] + i0;
-    a0 += LoadU(q - 1);
-    a1 += LoadU(q + 1);
-    a2 += LoadU(q + 3);
-    a3 += LoadU(q + 5);
-    if (t != 4) {
-      a0 += LoadU(q);
-      a1 += LoadU(q + 2);
-      a2 += LoadU(q + 4);
-      a3 += LoadU(q + 6);
-    }
-    a0 += LoadU(q + 1);
-    a1 += LoadU(q + 3);
-    a2 += LoadU(q + 5);
-    a3 += LoadU(q + 7);
-  }
-  __builtin_memcpy(s + 0, &a0, sizeof(a0));
-  __builtin_memcpy(s + 2, &a1, sizeof(a1));
-  __builtin_memcpy(s + 4, &a2, sizeof(a2));
-  __builtin_memcpy(s + 6, &a3, sizeof(a3));
-}
-
-// Lane counts: 8 contiguous points for the elementwise sweeps (4 SSE / 2 AVX
-// vectors of accumulators), 4 for the stride-2 colored sweep, 6 rows for the
-// Gauss–Seidel wavefront (whose per-step division chains need the extra
-// overlap).
-constexpr int kSpMVLanes = 8;
-constexpr int kColorLanes = 4;
-constexpr int kGsLanes = 6;
-
-// True when plane iz contains fully interior points (all 26 neighbours
-// exist for some (ix,iy) in it).
-inline bool InteriorPlane(const Geometry& geo, int iz) {
-  return geo.nx > 2 && geo.ny > 2 && iz > 0 && iz + 1 < geo.nz;
-}
-
-void SpMVPlanes(const Geometry& geo, const Vec& x, Vec& y, int z_lo,
-                int z_hi) {
-  const double* xp = x.data();
-  double* yp = y.data();
-  const auto sy = static_cast<std::int64_t>(geo.nx);
-  const std::int64_t sz = sy * geo.ny;
-  for (int iz = z_lo; iz < z_hi; ++iz) {
-    for (int iy = 0; iy < geo.ny; ++iy) {
-      const std::int64_t row = iz * sz + iy * sy;
-      if (geo.nx <= 2) {
-        for (int ix = 0; ix < geo.nx; ++ix) {
-          yp[row + ix] = kDiag * xp[row + ix] - NeighbourSum(geo, x, ix, iy, iz);
-        }
-        continue;
-      }
-      RowTaps b;
-      b.Init(xp, row, geo, iy, iz);
-      yp[row] = kDiag * xp[row] - NeighbourSum(geo, x, 0, iy, iz);
-      int ix = 1;
-      double s[kSpMVLanes];
-      if (b.Full()) {
-        for (; ix + kSpMVLanes <= geo.nx - 1; ix += kSpMVLanes) {
-          Taps26Row8(b, ix, s);
-          for (int l = 0; l < kSpMVLanes; ++l) {
-            const std::int64_t i = row + ix + l;
-            yp[i] = kDiag * xp[i] - s[l];
-          }
-        }
-      } else {
-        for (; ix + kSpMVLanes <= geo.nx - 1; ix += kSpMVLanes) {
-          TapsBlockVar<kSpMVLanes>(b, ix, StrideC<1>{}, s);
-          for (int l = 0; l < kSpMVLanes; ++l) {
-            const std::int64_t i = row + ix + l;
-            yp[i] = kDiag * xp[i] - s[l];
-          }
-        }
-      }
-      for (; ix + 1 < geo.nx; ++ix) {
-        const std::int64_t i = row + ix;
-        yp[i] = kDiag * xp[i] - TapsVar(b, ix);
-      }
-      const std::int64_t last = row + geo.nx - 1;
-      yp[last] = kDiag * xp[last] - NeighbourSum(geo, x, geo.nx - 1, iy, iz);
-    }
-  }
-}
-
-// out = r - A x over planes [z_lo, z_hi). The A x value is rounded exactly
-// as SpMV rounds it, and ±1 coefficients keep the final subtraction a single
-// rounding — bitwise equal to SpMV + Waxpby(1, r, -1, ax).
-void SpMVResidualPlanes(const Geometry& geo, const Vec& x, const Vec& r,
-                        Vec& out, int z_lo, int z_hi) {
-  const double* xp = x.data();
-  const double* rp = r.data();
-  double* op = out.data();
-  const auto sy = static_cast<std::int64_t>(geo.nx);
-  const std::int64_t sz = sy * geo.ny;
-  for (int iz = z_lo; iz < z_hi; ++iz) {
-    for (int iy = 0; iy < geo.ny; ++iy) {
-      const std::int64_t row = iz * sz + iy * sy;
-      if (geo.nx <= 2) {
-        for (int ix = 0; ix < geo.nx; ++ix) {
-          const std::int64_t i = row + ix;
-          const double ax = kDiag * xp[i] - NeighbourSum(geo, x, ix, iy, iz);
-          op[i] = rp[i] - ax;
-        }
-        continue;
-      }
-      RowTaps b;
-      b.Init(xp, row, geo, iy, iz);
-      {
-        const double ax = kDiag * xp[row] - NeighbourSum(geo, x, 0, iy, iz);
-        op[row] = rp[row] - ax;
-      }
-      int ix = 1;
-      double s[kSpMVLanes];
-      if (b.Full()) {
-        for (; ix + kSpMVLanes <= geo.nx - 1; ix += kSpMVLanes) {
-          Taps26Row8(b, ix, s);
-          for (int l = 0; l < kSpMVLanes; ++l) {
-            const std::int64_t i = row + ix + l;
-            const double ax = kDiag * xp[i] - s[l];
-            op[i] = rp[i] - ax;
-          }
-        }
-      } else {
-        for (; ix + kSpMVLanes <= geo.nx - 1; ix += kSpMVLanes) {
-          TapsBlockVar<kSpMVLanes>(b, ix, StrideC<1>{}, s);
-          for (int l = 0; l < kSpMVLanes; ++l) {
-            const std::int64_t i = row + ix + l;
-            const double ax = kDiag * xp[i] - s[l];
-            op[i] = rp[i] - ax;
-          }
-        }
-      }
-      for (; ix + 1 < geo.nx; ++ix) {
-        const std::int64_t i = row + ix;
-        const double ax = kDiag * xp[i] - TapsVar(b, ix);
-        op[i] = rp[i] - ax;
-      }
-      {
-        const std::int64_t i = row + geo.nx - 1;
-        const double ax =
-            kDiag * xp[i] - NeighbourSum(geo, x, geo.nx - 1, iy, iz);
-        op[i] = rp[i] - ax;
-      }
-    }
-  }
-}
-
-// y = A x over the flat index range [lo, hi), accumulating sum(x[i] * y[i])
-// exactly as DotRange would over the same range: ascending i, one fused
-// multiply-add statement shape. Walks row segments so x-interior spans run
-// the blocked branch-free path.
-double SpMVDotRange(const Geometry& geo, const Vec& x, Vec& y, std::int64_t lo,
-                    std::int64_t hi) {
-  const double* xp = x.data();
-  double* yp = y.data();
-  const std::int64_t sz = static_cast<std::int64_t>(geo.nx) * geo.ny;
-  double partial = 0.0;
-  std::int64_t i = lo;
-  while (i < hi) {
-    const int iz = static_cast<int>(i / sz);
-    const std::int64_t rem = i - static_cast<std::int64_t>(iz) * sz;
-    const int iy = static_cast<int>(rem / geo.nx);
-    int ix = static_cast<int>(rem - static_cast<std::int64_t>(iy) * geo.nx);
-    const std::int64_t seg_end = std::min(hi, i + (geo.nx - ix));
-    const std::int64_t row = i - ix;
-    if (geo.nx <= 2) {
-      for (; i < seg_end; ++i, ++ix) {
-        const double yv = kDiag * xp[i] - NeighbourSum(geo, x, ix, iy, iz);
-        yp[i] = yv;
-        partial += xp[i] * yv;
-      }
-      continue;
-    }
-    RowTaps b;
-    b.Init(xp, row, geo, iy, iz);
-    if (ix == 0) {
-      const double yv = kDiag * xp[i] - NeighbourSum(geo, x, 0, iy, iz);
-      yp[i] = yv;
-      partial += xp[i] * yv;
-      ++i;
-      ++ix;
-    }
-    const std::int64_t interior_end = std::min(seg_end, row + geo.nx - 1);
-    double s[kSpMVLanes];
-    if (b.Full()) {
-      for (; i + kSpMVLanes <= interior_end; i += kSpMVLanes, ix += kSpMVLanes) {
-        Taps26Row8(b, ix, s);
-        for (int l = 0; l < kSpMVLanes; ++l) {
-          const double yv = kDiag * xp[i + l] - s[l];
-          yp[i + l] = yv;
-          partial += xp[i + l] * yv;
-        }
-      }
-    } else {
-      for (; i + kSpMVLanes <= interior_end; i += kSpMVLanes, ix += kSpMVLanes) {
-        TapsBlockVar<kSpMVLanes>(b, ix, StrideC<1>{}, s);
-        for (int l = 0; l < kSpMVLanes; ++l) {
-          const double yv = kDiag * xp[i + l] - s[l];
-          yp[i + l] = yv;
-          partial += xp[i + l] * yv;
-        }
-      }
-    }
-    for (; i < interior_end; ++i, ++ix) {
-      const double yv = kDiag * xp[i] - TapsVar(b, ix);
-      yp[i] = yv;
-      partial += xp[i] * yv;
-    }
-    if (i < seg_end) {
-      const double yv =
-          kDiag * xp[i] - NeighbourSum(geo, x, geo.nx - 1, iy, iz);
-      yp[i] = yv;
-      partial += xp[i] * yv;
-      ++i;
-    }
-  }
-  return partial;
-}
-
-// Relaxes every point of one parity color inside z-planes [z_lo, z_hi).
-// Neighbours always belong to other colors, so within a color the reads are
-// pre-sweep values: the points are independent, any partitioning or lane
-// blocking is bitwise identical to the sequential order.
-void RelaxColorPlanes(const Geometry& geo, const Vec& r, Vec& z, int cx,
-                      int cy, int cz, int z_lo, int z_hi) {
-  double* zp = z.data();
-  const double* rp = r.data();
-  const auto sy = static_cast<std::int64_t>(geo.nx);
-  const std::int64_t sz = sy * geo.ny;
-  for (int iz = z_lo + ((cz - z_lo) % 2 + 2) % 2; iz < z_hi; iz += 2) {
-    for (int iy = cy; iy < geo.ny; iy += 2) {
-      const std::int64_t row = iz * sz + iy * sy;
-      if (geo.nx <= 2) {
-        for (int ix = cx; ix < geo.nx; ix += 2) {
-          const std::int64_t i = row + ix;
-          zp[i] = (rp[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
-        }
-        continue;
-      }
-      RowTaps b;
-      b.Init(zp, row, geo, iy, iz);
-      int ix = cx;
-      if (ix == 0) {
-        zp[row] = (rp[row] + NeighbourSum(geo, z, 0, iy, iz)) / kDiag;
-        ix = 2;
-      }
-      double s[kColorLanes];
-      if (b.Full()) {
-        for (; ix + 2 * kColorLanes <= geo.nx; ix += 2 * kColorLanes) {
-          TapsBlock26<kColorLanes>(b, ix, StrideC<2>{}, s);
-          for (int l = 0; l < kColorLanes; ++l) {
-            const std::int64_t i = row + ix + 2 * l;
-            zp[i] = (rp[i] + s[l]) / kDiag;
-          }
-        }
-      } else {
-        for (; ix + 2 * kColorLanes <= geo.nx; ix += 2 * kColorLanes) {
-          TapsBlockVar<kColorLanes>(b, ix, StrideC<2>{}, s);
-          for (int l = 0; l < kColorLanes; ++l) {
-            const std::int64_t i = row + ix + 2 * l;
-            zp[i] = (rp[i] + s[l]) / kDiag;
-          }
-        }
-      }
-      for (; ix + 1 < geo.nx; ix += 2) {
-        const std::int64_t i = row + ix;
-        zp[i] = (rp[i] + TapsVar(b, ix)) / kDiag;
-      }
-      for (; ix < geo.nx; ix += 2) {
-        const std::int64_t i = row + ix;
-        zp[i] = (rp[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
-      }
-    }
-  }
-}
-
-void SweepColor(const Geometry& geo, const Vec& r, Vec& z, int color,
-                ThreadPool* pool) {
-  const int cx = color & 1;
-  const int cy = (color >> 1) & 1;
-  const int cz = (color >> 2) & 1;
-  if (pool == nullptr || geo.nz < kMinPooledPlanes) {
-    RelaxColorPlanes(geo, r, z, cx, cy, cz, 0, geo.nz);
-    return;
-  }
-  // Tile over z-planes; within a color all updates are independent, so any
-  // plane partitioning gives bit-identical results.
-  const std::int64_t grain = 2;
-  pool->ParallelFor(0, geo.nz, grain,
-                    [&](std::int64_t z_lo, std::int64_t z_hi) {
-                      RelaxColorPlanes(geo, r, z, cx, cy, cz,
-                                       static_cast<int>(z_lo),
-                                       static_cast<int>(z_hi));
-                    });
-}
-
-// --- Lexicographic Gauss–Seidel, wavefront-blocked ---
-//
-// The sweep is sequential: each update reads already-updated neighbours, so
-// the serial 26-add chain plus the division is a per-point latency floor for
-// the row-by-row loop. The wavefront processes K consecutive interior rows
-// with row j lagging row j-1 by two points (forward: lane j updates
-// ix_j = t - 2j at step t). The K active points are mutually non-adjacent
-// (2 apart in x per row step), and every tap a point reads holds exactly the
-// value it holds at that moment of the lexicographic order:
-//   - row j-1 (above) is updated through ix_j + 2 — its three taps
-//     (ix_j - 1 .. ix_j + 1) are all NEW, as lexicographic order requires;
-//   - row j+1 (below) is updated only through ix_j - 3 — its three taps are
-//     all still OLD, as required;
-//   - in-row: ix_j - 1 was written one step earlier (NEW), ix_j + 1 not yet
-//     (OLD).
-// So the wavefront is bitwise identical to the row-by-row sweep while
-// exposing K independent tap chains per step. The backward sweep mirrors it:
-// lane j is row iy0 - j at ix_j = (nx-1) - t + 2j. Callers only form groups
-// over fully interior rows of interior planes (b.Full() holds).
-template <int K, bool Forward>
-void GsGroup(const Geometry& geo, const Vec& r, Vec& z, int iy0, int iz) {
-  double* zp = z.data();
-  const double* rp = r.data();
-  const auto sy = static_cast<std::int64_t>(geo.nx);
-  const std::int64_t sz = sy * geo.ny;
-  const std::int64_t row0 = iz * sz + static_cast<std::int64_t>(iy0) * sy;
-  RowTaps b;
-  b.Init(zp, row0, geo, iy0, iz);
-  const int nx = geo.nx;
-  const std::int64_t lane_stride = Forward ? (sy - 2) : (2 - sy);
-  const int t_end = nx + 2 * (K - 1);
-  const int steady_lo = 2 * K - 1;  // first t with every lane at interior ix
-  const int steady_hi = nx - 2;     // last such t
-  double s[K];
-  for (int t = 0; t < t_end; ++t) {
-    if (t >= steady_lo && t <= steady_hi) {
-      const std::int64_t o0 = Forward ? t : (nx - 1 - t);
-      TapsBlock26<K>(b, o0, lane_stride, s);
-      for (int l = 0; l < K; ++l) {
-        const std::int64_t i = row0 + o0 + l * lane_stride;
-        zp[i] = (rp[i] + s[l]) / kDiag;
-      }
-      continue;
-    }
-    // Pipeline fill/drain and row-end steps: per-lane scalar with guards.
-    for (int j = 0; j < K; ++j) {
-      const int ix = Forward ? (t - 2 * j) : (nx - 1 - t + 2 * j);
-      if (ix < 0 || ix >= nx) continue;
-      const int iy = Forward ? (iy0 + j) : (iy0 - j);
-      const std::int64_t i =
-          iz * sz + static_cast<std::int64_t>(iy) * sy + ix;
-      double sum;
-      if (ix == 0 || ix + 1 == nx) {
-        sum = NeighbourSum(geo, z, ix, iy, iz);
-      } else {
-        sum = Taps26(b, i - row0);
-      }
-      zp[i] = (rp[i] + sum) / kDiag;
-    }
-  }
-}
-
-// One sequential edge row (boundary plane or the first/last row of an
-// interior plane), forward (ascending ix) or backward. The x ends are
-// guarded; the x-interior span runs the scalar RowTaps chain — the in-row
-// Gauss–Seidel dependency (ix-1 must be written before ix reads it) keeps
-// this span serial, but it is a small fraction of the grid.
-template <bool Forward>
-void GsRowEdge(const Geometry& geo, const Vec& r, Vec& z, int iy, int iz) {
-  double* zp = z.data();
-  const double* rp = r.data();
-  const std::int64_t row = geo.Index(0, iy, iz);
-  if (geo.nx <= 2) {
-    if constexpr (Forward) {
-      for (int ix = 0; ix < geo.nx; ++ix) {
-        const std::int64_t i = row + ix;
-        zp[i] = (rp[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
-      }
-    } else {
-      for (int ix = geo.nx - 1; ix >= 0; --ix) {
-        const std::int64_t i = row + ix;
-        zp[i] = (rp[i] + NeighbourSum(geo, z, ix, iy, iz)) / kDiag;
-      }
-    }
-    return;
-  }
-  RowTaps b;
-  b.Init(zp, row, geo, iy, iz);
-  if constexpr (Forward) {
-    zp[row] = (rp[row] + NeighbourSum(geo, z, 0, iy, iz)) / kDiag;
-    for (int ix = 1; ix + 1 < geo.nx; ++ix) {
-      const std::int64_t i = row + ix;
-      zp[i] = (rp[i] + TapsVar(b, ix)) / kDiag;
-    }
-    const std::int64_t i = row + geo.nx - 1;
-    zp[i] = (rp[i] + NeighbourSum(geo, z, geo.nx - 1, iy, iz)) / kDiag;
-  } else {
-    const std::int64_t i = row + geo.nx - 1;
-    zp[i] = (rp[i] + NeighbourSum(geo, z, geo.nx - 1, iy, iz)) / kDiag;
-    for (int ix = geo.nx - 2; ix >= 1; --ix) {
-      const std::int64_t j = row + ix;
-      zp[j] = (rp[j] + TapsVar(b, ix)) / kDiag;
-    }
-    zp[row] = (rp[row] + NeighbourSum(geo, z, 0, iy, iz)) / kDiag;
-  }
-}
-
-}  // namespace
 
 int NeighbourCount(const Geometry& geo, int ix, int iy, int iz) {
   const auto extent = [](int i, int n) { return (i > 0 ? 1 : 0) + 1 + (i + 1 < n ? 1 : 0); };
@@ -573,14 +19,15 @@ int NeighbourCount(const Geometry& geo, int ix, int iy, int iz) {
 
 void SpMV(const Geometry& geo, const Vec& x, Vec& y, ThreadPool* pool) {
   KernelScope scope(Kernel::kSpMV, SpMVFlops(geo));
+  const detail::KernelOps& ops = detail::ActiveOps();
   if (pool == nullptr || geo.nz < kMinPooledPlanes) {
-    SpMVPlanes(geo, x, y, 0, geo.nz);
+    ops.spmv_planes(geo, x, y, 0, geo.nz);
     return;
   }
-  pool->ParallelFor(0, geo.nz, /*grain=*/1,
+  pool->ParallelFor(0, geo.nz, ZSlabGrain(geo),
                     [&](std::int64_t z_lo, std::int64_t z_hi) {
-                      SpMVPlanes(geo, x, y, static_cast<int>(z_lo),
-                                 static_cast<int>(z_hi));
+                      ops.spmv_planes(geo, x, y, static_cast<int>(z_lo),
+                                      static_cast<int>(z_hi));
                     });
 }
 
@@ -589,10 +36,11 @@ void SpMVDot(const Geometry& geo, const Vec& x, Vec& y, double* xdoty,
   KernelScope scope(Kernel::kSpMVDot,
                     SpMVFlops(geo) + DotFlops(static_cast<std::size_t>(
                                          geo.size())));
+  const detail::KernelOps& ops = detail::ActiveOps();
   const std::int64_t n = geo.size();
   const std::int64_t chunks = ThreadPool::ChunkCount(n, kReduceGrain);
   if (chunks <= 1) {
-    *xdoty = SpMVDotRange(geo, x, y, 0, n);
+    *xdoty = ops.spmv_dot_range(geo, x, y, 0, n);
     return;
   }
   // Identical chunking and combine order to Dot(): partials per kReduceGrain
@@ -602,14 +50,15 @@ void SpMVDot(const Geometry& geo, const Vec& x, Vec& y, double* xdoty,
     for (std::int64_t c = 0; c < chunks; ++c) {
       const std::int64_t lo = c * kReduceGrain;
       const std::int64_t hi = std::min(lo + kReduceGrain, n);
-      partials[static_cast<std::size_t>(c)] = SpMVDotRange(geo, x, y, lo, hi);
+      partials[static_cast<std::size_t>(c)] =
+          ops.spmv_dot_range(geo, x, y, lo, hi);
     }
   } else {
     pool->ParallelForChunks(
         0, n, kReduceGrain,
         [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
           partials[static_cast<std::size_t>(chunk)] =
-              SpMVDotRange(geo, x, y, lo, hi);
+              ops.spmv_dot_range(geo, x, y, lo, hi);
         });
   }
   double sum = 0.0;
@@ -622,68 +71,49 @@ void SpMVResidual(const Geometry& geo, const Vec& x, const Vec& r, Vec& out,
   KernelScope scope(Kernel::kSpMVResidual,
                     SpMVFlops(geo) + WaxpbyFlops(static_cast<std::size_t>(
                                          geo.size())));
+  const detail::KernelOps& ops = detail::ActiveOps();
   if (pool == nullptr || geo.nz < kMinPooledPlanes) {
-    SpMVResidualPlanes(geo, x, r, out, 0, geo.nz);
+    ops.spmv_residual_planes(geo, x, r, out, 0, geo.nz);
     return;
   }
-  pool->ParallelFor(0, geo.nz, /*grain=*/1,
+  pool->ParallelFor(0, geo.nz, ZSlabGrain(geo),
                     [&](std::int64_t z_lo, std::int64_t z_hi) {
-                      SpMVResidualPlanes(geo, x, r, out, static_cast<int>(z_lo),
-                                         static_cast<int>(z_hi));
+                      ops.spmv_residual_planes(geo, x, r, out,
+                                               static_cast<int>(z_lo),
+                                               static_cast<int>(z_hi));
                     });
 }
 
 void SymGS(const Geometry& geo, const Vec& r, Vec& z) {
   KernelScope scope(Kernel::kSymGS, SymGSFlops(geo));
-  // Forward sweep: lexicographic order, wavefront groups of kGsLanes interior
-  // rows (bitwise identical to the row-by-row sweep — see GsGroup).
-  for (int iz = 0; iz < geo.nz; ++iz) {
-    if (!InteriorPlane(geo, iz)) {
-      for (int iy = 0; iy < geo.ny; ++iy) {
-        GsRowEdge<true>(geo, r, z, iy, iz);
-      }
-      continue;
-    }
-    GsRowEdge<true>(geo, r, z, 0, iz);
-    int iy = 1;
-    const int last = geo.ny - 2;
-    for (; last - iy >= kGsLanes - 1; iy += kGsLanes) {
-      GsGroup<kGsLanes, true>(geo, r, z, iy, iz);
-    }
-    switch (last - iy + 1) {
-      case 5: GsGroup<5, true>(geo, r, z, iy, iz); break;
-      case 4: GsGroup<4, true>(geo, r, z, iy, iz); break;
-      case 3: GsGroup<3, true>(geo, r, z, iy, iz); break;
-      case 2: GsGroup<2, true>(geo, r, z, iy, iz); break;
-      case 1: GsGroup<1, true>(geo, r, z, iy, iz); break;
-      default: break;
-    }
-    GsRowEdge<true>(geo, r, z, geo.ny - 1, iz);
-  }
-  // Backward sweep: mirrored order.
-  for (int iz = geo.nz - 1; iz >= 0; --iz) {
-    if (!InteriorPlane(geo, iz)) {
-      for (int iy = geo.ny - 1; iy >= 0; --iy) {
-        GsRowEdge<false>(geo, r, z, iy, iz);
-      }
-      continue;
-    }
-    GsRowEdge<false>(geo, r, z, geo.ny - 1, iz);
-    int iy = geo.ny - 2;
-    for (; iy - (kGsLanes - 1) >= 1; iy -= kGsLanes) {
-      GsGroup<kGsLanes, false>(geo, r, z, iy, iz);
-    }
-    switch (iy) {
-      case 5: GsGroup<5, false>(geo, r, z, iy, iz); break;
-      case 4: GsGroup<4, false>(geo, r, z, iy, iz); break;
-      case 3: GsGroup<3, false>(geo, r, z, iy, iz); break;
-      case 2: GsGroup<2, false>(geo, r, z, iy, iz); break;
-      case 1: GsGroup<1, false>(geo, r, z, iy, iz); break;
-      default: break;
-    }
-    GsRowEdge<false>(geo, r, z, 0, iz);
-  }
+  detail::ActiveOps().symgs(geo, r, z);
 }
+
+namespace {
+
+void SweepColor(const Geometry& geo, const Vec& r, Vec& z, int color,
+                ThreadPool* pool) {
+  const detail::KernelOps& ops = detail::ActiveOps();
+  const int cx = color & 1;
+  const int cy = (color >> 1) & 1;
+  const int cz = (color >> 2) & 1;
+  if (pool == nullptr || geo.nz < kMinPooledPlanes) {
+    ops.relax_color_planes(geo, r, z, cx, cy, cz, 0, geo.nz);
+    return;
+  }
+  // Slab over z-planes; within a color all updates are independent, so any
+  // plane partitioning gives bit-identical results. Floor of 2 planes: a
+  // color only touches every other plane.
+  const std::int64_t grain = std::max<std::int64_t>(2, ZSlabGrain(geo));
+  pool->ParallelFor(0, geo.nz, grain,
+                    [&](std::int64_t z_lo, std::int64_t z_hi) {
+                      ops.relax_color_planes(geo, r, z, cx, cy, cz,
+                                             static_cast<int>(z_lo),
+                                             static_cast<int>(z_hi));
+                    });
+}
+
+}  // namespace
 
 void SymGSColored(const Geometry& geo, const Vec& r, Vec& z,
                   ThreadPool* pool) {

@@ -1,0 +1,18 @@
+// AVX2 tier: four-wide vectors (16-lane stride-1 blocks) plus the Hsum27
+// masked-load horizontal sum for strided lanes. Compiled with
+// -mavx2 -ffp-contract=off (src/hpcg/CMakeLists.txt); on a toolchain that
+// cannot target AVX2 the tier degrades to a nullptr table and dispatch
+// reports it unsupported.
+#if defined(__AVX2__)
+#define ECO_TIER_NS tier_avx2
+#define ECO_TIER_W 4
+#define ECO_TIER_HSUM 1
+#define ECO_TIER_GETTER GetKernelOps_avx2
+#include "hpcg/stencil_tiers.inc"
+#else
+#include "hpcg/dispatch.hpp"
+
+namespace eco::hpcg::detail {
+const KernelOps* GetKernelOps_avx2() { return nullptr; }
+}  // namespace eco::hpcg::detail
+#endif

@@ -1,0 +1,18 @@
+// AVX-512 tier: eight-wide vectors (32-lane stride-1 blocks) with the same
+// Hsum27 strided path as AVX2 (the 256-bit masked loads stay the right tool
+// — per-point horizontal sums don't widen). Compiled with
+// -mavx512f -mavx512dq -mavx512vl -mavx512bw -ffp-contract=off; degrades to
+// an unsupported tier when the toolchain cannot target it.
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__)
+#define ECO_TIER_NS tier_avx512
+#define ECO_TIER_W 8
+#define ECO_TIER_HSUM 1
+#define ECO_TIER_GETTER GetKernelOps_avx512
+#include "hpcg/stencil_tiers.inc"
+#else
+#include "hpcg/dispatch.hpp"
+
+namespace eco::hpcg::detail {
+const KernelOps* GetKernelOps_avx512() { return nullptr; }
+}  // namespace eco::hpcg::detail
+#endif

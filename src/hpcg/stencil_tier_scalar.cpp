@@ -1,0 +1,8 @@
+// Scalar tier: plain C++ lane loops, no explicit vectors. The canonical
+// per-lane tap order makes it bitwise identical to ref:: — it exists as the
+// portable floor and as the dispatch fallback CI exercises via
+// ECO_FORCE_ISA=scalar.
+#define ECO_TIER_NS tier_scalar
+#define ECO_TIER_W 1
+#define ECO_TIER_GETTER GetKernelOps_scalar
+#include "hpcg/stencil_tiers.inc"

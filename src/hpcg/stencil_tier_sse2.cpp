@@ -1,0 +1,9 @@
+// SSE2 tier: two-wide generic vectors, the x86-64 baseline build — no extra
+// -m flags, so this TU also compiles (to whatever the target lowers the
+// generic vectors to) on non-x86 hosts. This is the default dispatch tier;
+// it is bitwise identical to ref:: on every kernel and its behaviour is the
+// pre-dispatch kernel core, byte for byte.
+#define ECO_TIER_NS tier_sse2
+#define ECO_TIER_W 2
+#define ECO_TIER_GETTER GetKernelOps_sse2
+#include "hpcg/stencil_tiers.inc"

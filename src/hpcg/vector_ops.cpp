@@ -1,43 +1,23 @@
+// Public BLAS-1 kernels: telemetry scope + kReduceGrain chunking + runtime
+// ISA dispatch. The per-tier range loops live in stencil_tiers.inc; the
+// chunk decomposition here is a function of n alone, so every tier is
+// pool-size invariant by construction.
 #include "hpcg/vector_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "hpcg/dispatch.hpp"
 #include "hpcg/kernel_telemetry.hpp"
 
 namespace eco::hpcg {
-namespace {
-
-double DotRange(const Vec& x, const Vec& y, std::int64_t lo, std::int64_t hi) {
-  double sum = 0.0;
-  for (std::int64_t i = lo; i < hi; ++i) {
-    sum += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
-  }
-  return sum;
-}
-
-// One chunk of the fused waxpby+dot: writes w over [lo, hi) and returns the
-// chunk's w'w partial. The statement shapes match Waxpby's update and
-// DotRange's accumulate exactly, so the stored vector and the partial are
-// bitwise what the unfused pair produces.
-double WaxpbyDotRange(double alpha, const Vec& x, double beta, const Vec& y,
-                      Vec& w, std::int64_t lo, std::int64_t hi) {
-  double sum = 0.0;
-  for (std::int64_t i = lo; i < hi; ++i) {
-    const auto u = static_cast<std::size_t>(i);
-    const double wv = alpha * x[u] + beta * y[u];
-    w[u] = wv;
-    sum += wv * wv;
-  }
-  return sum;
-}
-
-}  // namespace
 
 double Dot(const Vec& x, const Vec& y, ThreadPool* pool) {
   KernelScope scope(Kernel::kDot, DotFlops(x.size()));
+  const detail::KernelOps& ops = detail::ActiveOps();
   const auto n = static_cast<std::int64_t>(x.size());
   const std::int64_t chunks = ThreadPool::ChunkCount(n, kReduceGrain);
-  if (chunks <= 1) return DotRange(x, y, 0, n);
+  if (chunks <= 1) return ops.dot_range(x, y, 0, n);
 
   // Per-chunk partials combined in chunk order: the association is fixed by
   // (n, kReduceGrain), so serial and pooled sums are bit-identical.
@@ -46,13 +26,14 @@ double Dot(const Vec& x, const Vec& y, ThreadPool* pool) {
     for (std::int64_t c = 0; c < chunks; ++c) {
       const std::int64_t lo = c * kReduceGrain;
       const std::int64_t hi = std::min(lo + kReduceGrain, n);
-      partials[static_cast<std::size_t>(c)] = DotRange(x, y, lo, hi);
+      partials[static_cast<std::size_t>(c)] = ops.dot_range(x, y, lo, hi);
     }
   } else {
     pool->ParallelForChunks(
         0, n, kReduceGrain,
         [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
-          partials[static_cast<std::size_t>(chunk)] = DotRange(x, y, lo, hi);
+          partials[static_cast<std::size_t>(chunk)] =
+              ops.dot_range(x, y, lo, hi);
         });
   }
   double sum = 0.0;
@@ -63,27 +44,26 @@ double Dot(const Vec& x, const Vec& y, ThreadPool* pool) {
 void Waxpby(double alpha, const Vec& x, double beta, const Vec& y, Vec& w,
             ThreadPool* pool) {
   KernelScope scope(Kernel::kWaxpby, WaxpbyFlops(x.size()));
+  const detail::KernelOps& ops = detail::ActiveOps();
   const auto n = static_cast<std::int64_t>(x.size());
-  const auto body = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const auto u = static_cast<std::size_t>(i);
-      w[u] = alpha * x[u] + beta * y[u];
-    }
-  };
   if (pool == nullptr || n <= kReduceGrain) {
-    body(0, n);
+    ops.waxpby_range(alpha, x, beta, y, w, 0, n);
     return;
   }
-  pool->ParallelFor(0, n, kReduceGrain, body);
+  pool->ParallelFor(0, n, kReduceGrain,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      ops.waxpby_range(alpha, x, beta, y, w, lo, hi);
+                    });
 }
 
 double FusedWaxpbyDot(double alpha, const Vec& x, double beta, const Vec& y,
                       Vec& w, ThreadPool* pool) {
   KernelScope scope(Kernel::kWaxpbyDot,
                     WaxpbyFlops(x.size()) + DotFlops(x.size()));
+  const detail::KernelOps& ops = detail::ActiveOps();
   const auto n = static_cast<std::int64_t>(x.size());
   const std::int64_t chunks = ThreadPool::ChunkCount(n, kReduceGrain);
-  if (chunks <= 1) return WaxpbyDotRange(alpha, x, beta, y, w, 0, n);
+  if (chunks <= 1) return ops.waxpby_dot_range(alpha, x, beta, y, w, 0, n);
 
   std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
   if (pool == nullptr) {
@@ -91,14 +71,14 @@ double FusedWaxpbyDot(double alpha, const Vec& x, double beta, const Vec& y,
       const std::int64_t lo = c * kReduceGrain;
       const std::int64_t hi = std::min(lo + kReduceGrain, n);
       partials[static_cast<std::size_t>(c)] =
-          WaxpbyDotRange(alpha, x, beta, y, w, lo, hi);
+          ops.waxpby_dot_range(alpha, x, beta, y, w, lo, hi);
     }
   } else {
     pool->ParallelForChunks(
         0, n, kReduceGrain,
         [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
           partials[static_cast<std::size_t>(chunk)] =
-              WaxpbyDotRange(alpha, x, beta, y, w, lo, hi);
+              ops.waxpby_dot_range(alpha, x, beta, y, w, lo, hi);
         });
   }
   double sum = 0.0;

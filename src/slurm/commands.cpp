@@ -7,6 +7,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/telemetry/metrics.hpp"
+#include "hpcg/dispatch.hpp"
 
 namespace eco::slurm {
 namespace {
@@ -172,6 +173,13 @@ std::string Sdiag(const ClusterSim& cluster) {
                 : "n/a")
         << "\n";
   }
+
+  // HPCG kernel dispatch: the tier the compute kernels run at in this
+  // process (workload simulation and benches share the dispatch table).
+  out << "HPCG kernel dispatch:\n";
+  out << "  ISA tier: " << hpcg::IsaTierName(hpcg::ActiveIsaTier())
+      << " (best supported: "
+      << hpcg::IsaTierName(hpcg::BestSupportedIsaTier()) << ")\n";
 
   // Ingress front door (published into the cluster's registry when a
   // SubmitIngress was constructed with ClusterSim::metrics(); absent when

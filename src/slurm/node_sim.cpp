@@ -15,6 +15,10 @@ NodeSim::NodeSim(std::string name, NodeParams params, EventQueue* queue)
       thermal_(params.thermal),
       dvfs_(params.machine.cpu, params.default_governor),
       perf_model_(params.perf) {
+  // ECO_PERF_CALIBRATION=<BENCH_p4 artifact> refits the analytic model from
+  // the measured kernel roofline (no-op when unset), so simulated durations
+  // and GFLOPS/W rankings track the kernels this build actually runs.
+  hpcg::ApplyEnvCalibration(&perf_model_);
   freq_ = dvfs_.frequency();
   last_update_ = queue_->now();
 }

@@ -8,12 +8,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/telemetry/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "hpcg/cg.hpp"
+#include "hpcg/dispatch.hpp"
 #include "hpcg/geometry.hpp"
 #include "hpcg/kernel_telemetry.hpp"
 #include "hpcg/stencil.hpp"
@@ -22,8 +25,13 @@
 namespace eco::hpcg {
 namespace {
 
-// Deterministic fill with sign changes and magnitude spread so any
-// reassociation or dropped tap shows up as a bit difference.
+// Deterministic fill with sign changes and magnitude spread so a dropped or
+// misplaced tap shows up as a bit difference. NOTE: these values are 32-bit
+// dyadic rationals times small integers, so every 27-tap sum is EXACT in
+// double — reassociation is invisible on this data (deliberately: the
+// ref-bitwise suites must hold on every canonical-order tier regardless of
+// summation order). The cross-tier determinism suites below use
+// FullMantissaRandom instead, where association does change bits.
 Vec PseudoRandom(std::size_t n, std::uint64_t seed) {
   Vec v(n);
   std::uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
@@ -36,6 +44,22 @@ Vec PseudoRandom(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
+// Full 53-bit mantissas with sign changes and a 2^-2..2^2 magnitude spread:
+// sums of these are inexact, so any change of association — across runs,
+// pool sizes, or fused/unfused decompositions — changes bits.
+Vec FullMantissaRandom(std::size_t n, std::uint64_t seed) {
+  Vec v(n);
+  std::uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(s >> 11) * 0x1.0p-53;  // [0, 1)
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    const int exp = static_cast<int>(s % 5) - 2;
+    v[i] = ((s & 64) != 0 ? -1.0 : 1.0) * std::ldexp(u + 0.5, exp);
+  }
+  return v;
+}
+
 bool BitwiseEqual(const Vec& a, const Vec& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -43,6 +67,31 @@ bool BitwiseEqual(const Vec& a, const Vec& b) {
   }
   return true;
 }
+
+// Restores the ambient dispatch tier on scope exit, so a test that forces
+// tiers cannot leak its choice into the rest of the binary.
+class TierGuard {
+ public:
+  TierGuard() : prior_(ActiveIsaTier()) {}
+  ~TierGuard() { ForceIsaTier(prior_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  IsaTier prior_;
+};
+
+// The ref-bitwise SymGS suites only hold on the canonical-order tiers
+// (scalar, sse2): the wide tiers relax with a reciprocal multiply and fold
+// taps with Hsum27, by contract. When the ambient tier (ECO_FORCE_ISA) is
+// wider, pin to the default tier here — the wide tiers' own contract is
+// covered by the KernelTiers suites below.
+class NarrowTierScope : public TierGuard {
+ public:
+  NarrowTierScope() {
+    if (ActiveIsaTier() > kDefaultIsaTier) ForceIsaTier(kDefaultIsaTier);
+  }
+};
 
 // Degenerate and tail-exercising axis sizes: 1/2 have no x-interior, 3 has a
 // single interior point, 8/9/12 exercise the 8-lane SpMV block, the 6-row
@@ -82,6 +131,7 @@ TEST(KernelEquivalence, SpMVMatchesReferenceBitwise) {
 }
 
 TEST(KernelEquivalence, SymGSMatchesReferenceBitwise) {
+  NarrowTierScope narrow;
   ForEachGeometry([](const Geometry& geo) {
     const auto n = static_cast<std::size_t>(geo.size());
     const Vec r = PseudoRandom(n, geo.size() + 11);
@@ -95,6 +145,7 @@ TEST(KernelEquivalence, SymGSMatchesReferenceBitwise) {
 }
 
 TEST(KernelEquivalence, SymGSColoredMatchesReferenceBitwise) {
+  NarrowTierScope narrow;
   ForEachGeometry([](const Geometry& geo) {
     const auto n = static_cast<std::size_t>(geo.size());
     const Vec r = PseudoRandom(n, geo.size() + 17);
@@ -180,6 +231,255 @@ TEST(KernelEquivalence, FusedWaxpbyDotMatchesUnfusedBitwise) {
       const double dot_wy = FusedWaxpbyDot(1.3, x, -0.7, wy, wy, pool.get());
       EXPECT_TRUE(BitwiseEqual(wy, w_ref)) << "n=" << n << " pool=" << threads;
       EXPECT_EQ(dot_wy, dot_ref);
+    }
+  }
+}
+
+// ------------------------------------------------------------- ISA tiers
+
+std::vector<IsaTier> SupportedTiers() {
+  std::vector<IsaTier> tiers;
+  for (int t = 0; t < kIsaTierCount; ++t) {
+    const auto tier = static_cast<IsaTier>(t);
+    if (IsaTierSupported(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+// Geometries for the tier suites: a full 8-lane/wavefront exerciser, a
+// single-interior-point cube, and a no-y-interior slab.
+const Geometry kTierGeometries[] = {{12, 9, 8}, {3, 3, 3}, {8, 1, 12}};
+
+TEST(IsaDispatch, ParseNamesAndSupport) {
+  IsaTier tier = IsaTier::kScalar;
+  EXPECT_TRUE(ParseIsaTier("scalar", &tier));
+  EXPECT_EQ(tier, IsaTier::kScalar);
+  EXPECT_TRUE(ParseIsaTier("sse2", &tier));
+  EXPECT_EQ(tier, IsaTier::kSse2);
+  EXPECT_TRUE(ParseIsaTier("avx2", &tier));
+  EXPECT_EQ(tier, IsaTier::kAvx2);
+  EXPECT_TRUE(ParseIsaTier("avx512", &tier));
+  EXPECT_EQ(tier, IsaTier::kAvx512);
+  EXPECT_TRUE(ParseIsaTier("native", &tier));
+  EXPECT_EQ(tier, BestSupportedIsaTier());
+  tier = IsaTier::kSse2;
+  EXPECT_FALSE(ParseIsaTier("avx1024", &tier));
+  EXPECT_EQ(tier, IsaTier::kSse2);  // out untouched on failure
+
+  // The portable tiers are supported everywhere; names round-trip.
+  EXPECT_TRUE(IsaTierSupported(IsaTier::kScalar));
+  EXPECT_TRUE(IsaTierSupported(IsaTier::kSse2));
+  for (IsaTier t : SupportedTiers()) {
+    IsaTier parsed = IsaTier::kScalar;
+    EXPECT_TRUE(ParseIsaTier(IsaTierName(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+TEST(IsaDispatch, ForceClampsToSupportedAndRestores) {
+  TierGuard guard;
+  // Every supported tier can be pinned exactly.
+  for (IsaTier t : SupportedTiers()) {
+    EXPECT_EQ(ForceIsaTier(t), t);
+    EXPECT_EQ(ActiveIsaTier(), t);
+  }
+  // A request above the best supported tier clamps down, never up.
+  const IsaTier got = ForceIsaTier(IsaTier::kAvx512);
+  EXPECT_LE(got, IsaTier::kAvx512);
+  EXPECT_TRUE(IsaTierSupported(got));
+  EXPECT_EQ(got, BestSupportedIsaTier());
+}
+
+// Run-to-run determinism and pool-size invariance, per tier, on data where
+// any wobble in association would change bits. This is the wide tiers' core
+// contract: they may reassociate (their goldens differ from ref::), but the
+// association is a fixed function of the input shape — never of the pool
+// size, the chunk a row landed in, or the run.
+TEST(KernelTiers, RunToRunDeterministicAndPoolInvariant) {
+  TierGuard guard;
+  for (IsaTier tier : SupportedTiers()) {
+    ASSERT_EQ(ForceIsaTier(tier), tier);
+    const std::string label = IsaTierName(tier);
+    for (const Geometry& geo : kTierGeometries) {
+      const auto n = static_cast<std::size_t>(geo.size());
+      const Vec x = FullMantissaRandom(n, geo.size() + 51);
+      const Vec r = FullMantissaRandom(n, geo.size() + 53);
+      const Vec z0 = FullMantissaRandom(n, geo.size() + 57);
+
+      Vec y_serial(n, 0.0);
+      SpMV(geo, x, y_serial);
+      Vec z_serial = z0;
+      SymGS(geo, r, z_serial);
+      Vec zc_serial = z0;
+      SymGSColored(geo, r, zc_serial);
+      double dot_serial = 0.0;
+      Vec yd_serial(n, 0.0);
+      SpMVDot(geo, x, yd_serial, &dot_serial);
+      const double d_serial = Dot(x, r);
+
+      // Run-to-run: bit-identical on the second serial run.
+      Vec y2(n, -1.0);
+      SpMV(geo, x, y2);
+      EXPECT_TRUE(BitwiseEqual(y2, y_serial)) << label << " SpMV rerun";
+      Vec z2 = z0;
+      SymGS(geo, r, z2);
+      EXPECT_TRUE(BitwiseEqual(z2, z_serial)) << label << " SymGS rerun";
+
+      for (int threads : {1, 4, 8}) {
+        ThreadPool pool(threads);
+        Vec y(n, -1.0);
+        SpMV(geo, x, y, &pool);
+        EXPECT_TRUE(BitwiseEqual(y, y_serial))
+            << label << " SpMV pool=" << threads;
+        Vec out_p(n, -1.0), out_s(n, -1.0);
+        SpMVResidual(geo, x, r, out_s);
+        SpMVResidual(geo, x, r, out_p, &pool);
+        EXPECT_TRUE(BitwiseEqual(out_p, out_s))
+            << label << " SpMVResidual pool=" << threads;
+        Vec zc = z0;
+        SymGSColored(geo, r, zc, &pool);
+        EXPECT_TRUE(BitwiseEqual(zc, zc_serial))
+            << label << " SymGSColored pool=" << threads;
+        double dot = 0.0;
+        Vec yd(n, -1.0);
+        SpMVDot(geo, x, yd, &dot, &pool);
+        EXPECT_EQ(dot, dot_serial) << label << " SpMVDot pool=" << threads;
+        EXPECT_TRUE(BitwiseEqual(yd, yd_serial))
+            << label << " SpMVDot vector pool=" << threads;
+        EXPECT_EQ(Dot(x, r, &pool), d_serial)
+            << label << " Dot pool=" << threads;
+      }
+    }
+  }
+}
+
+// Within one tier the fused kernels must decompose bitwise: the fused dot
+// rides the same association as Dot, and the SpMV inside SpMVDot /
+// SpMVResidual is the same SpMV (window path included) the unfused kernel
+// runs.
+TEST(KernelTiers, FusedKernelsDecomposeBitwiseWithinTier) {
+  TierGuard guard;
+  for (IsaTier tier : SupportedTiers()) {
+    ASSERT_EQ(ForceIsaTier(tier), tier);
+    const std::string label = IsaTierName(tier);
+    for (const Geometry& geo : kTierGeometries) {
+      const auto n = static_cast<std::size_t>(geo.size());
+      const Vec x = FullMantissaRandom(n, geo.size() + 61);
+      const Vec r = FullMantissaRandom(n, geo.size() + 67);
+
+      Vec y(n, 0.0);
+      SpMV(geo, x, y);
+      Vec yd(n, -1.0);
+      double dot = 0.0;
+      SpMVDot(geo, x, yd, &dot);
+      EXPECT_TRUE(BitwiseEqual(yd, y)) << label << " SpMVDot vector";
+      EXPECT_EQ(dot, Dot(x, y)) << label << " SpMVDot dot";
+
+      Vec out(n, -1.0), unfused(n, 0.0);
+      SpMVResidual(geo, x, r, out);
+      Waxpby(1.0, r, -1.0, y, unfused);
+      EXPECT_TRUE(BitwiseEqual(out, unfused)) << label << " SpMVResidual";
+
+      Vec w(n, -1.0), w_ref(n, 0.0);
+      Waxpby(1.3, x, -0.7, r, w_ref);
+      const double norm = FusedWaxpbyDot(1.3, x, -0.7, r, w);
+      EXPECT_TRUE(BitwiseEqual(w, w_ref)) << label << " FusedWaxpbyDot vector";
+      EXPECT_EQ(norm, Dot(w_ref, w_ref)) << label << " FusedWaxpbyDot norm";
+    }
+  }
+}
+
+// scalar and sse2 keep the canonical dz->dy->dx tap order per lane and must
+// match ref:: bit-for-bit even on full-mantissa data, where any
+// reassociation would show.
+TEST(KernelTiers, NarrowTiersBitwiseEqualReference) {
+  TierGuard guard;
+  for (IsaTier tier : {IsaTier::kScalar, IsaTier::kSse2}) {
+    ASSERT_EQ(ForceIsaTier(tier), tier);
+    const std::string label = IsaTierName(tier);
+    for (const Geometry& geo : kTierGeometries) {
+      const auto n = static_cast<std::size_t>(geo.size());
+      const Vec x = FullMantissaRandom(n, geo.size() + 71);
+      const Vec r = FullMantissaRandom(n, geo.size() + 73);
+      const Vec z0 = FullMantissaRandom(n, geo.size() + 79);
+
+      Vec y(n, -1.0), y_ref(n, 0.0);
+      SpMV(geo, x, y);
+      ref::SpMV(geo, x, y_ref);
+      EXPECT_TRUE(BitwiseEqual(y, y_ref)) << label << " SpMV";
+
+      Vec z = z0, z_ref = z0;
+      SymGS(geo, r, z);
+      ref::SymGS(geo, r, z_ref);
+      EXPECT_TRUE(BitwiseEqual(z, z_ref)) << label << " SymGS";
+
+      Vec zc = z0, zc_ref = z0;
+      SymGSColored(geo, r, zc);
+      ref::SymGSColored(geo, r, zc_ref);
+      EXPECT_TRUE(BitwiseEqual(zc, zc_ref)) << label << " SymGSColored";
+    }
+  }
+}
+
+// The wide tiers reassociate, so instead of bit equality they carry an
+// analytic error bound vs ref::. For SpMV, two different fixed summations
+// of the same 27 terms differ by at most ~2(k-1)·eps·sum(|terms|); 64·eps
+// covers it with slack. SymGS propagates rounding through the sweep, so it
+// gets a loose relative bound — still tight enough that a dropped tap
+// (relative error ~1e-2) or a misordered wavefront fails loudly.
+TEST(KernelTiers, WideTiersWithinErrorBoundOfReference) {
+  TierGuard guard;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  for (IsaTier tier : {IsaTier::kAvx2, IsaTier::kAvx512}) {
+    if (!IsaTierSupported(tier)) continue;
+    ASSERT_EQ(ForceIsaTier(tier), tier);
+    const std::string label = IsaTierName(tier);
+    for (const Geometry& geo : kTierGeometries) {
+      const auto n = static_cast<std::size_t>(geo.size());
+      const Vec x = FullMantissaRandom(n, geo.size() + 83);
+      const Vec r = FullMantissaRandom(n, geo.size() + 89);
+      const Vec z0 = FullMantissaRandom(n, geo.size() + 97);
+
+      Vec y(n, -1.0), y_ref(n, 0.0);
+      SpMV(geo, x, y);
+      ref::SpMV(geo, x, y_ref);
+      std::int64_t i = 0;
+      for (int iz = 0; iz < geo.nz; ++iz) {
+        for (int iy = 0; iy < geo.ny; ++iy) {
+          for (int ix = 0; ix < geo.nx; ++ix, ++i) {
+            double abs_sum = 26.0 * std::abs(x[static_cast<std::size_t>(i)]);
+            for (int dz = -1; dz <= 1; ++dz) {
+              for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                  if (dx == 0 && dy == 0 && dz == 0) continue;
+                  const int jx = ix + dx, jy = iy + dy, jz = iz + dz;
+                  if (jx < 0 || jx >= geo.nx || jy < 0 || jy >= geo.ny ||
+                      jz < 0 || jz >= geo.nz) {
+                    continue;
+                  }
+                  abs_sum += std::abs(
+                      x[static_cast<std::size_t>(geo.Index(jx, jy, jz))]);
+                }
+              }
+            }
+            EXPECT_LE(std::abs(y[static_cast<std::size_t>(i)] -
+                               y_ref[static_cast<std::size_t>(i)]),
+                      64.0 * kEps * abs_sum)
+                << label << " SpMV at (" << ix << "," << iy << "," << iz
+                << ") in " << geo.nx << "x" << geo.ny << "x" << geo.nz;
+          }
+        }
+      }
+
+      Vec z = z0, z_ref = z0;
+      SymGS(geo, r, z);
+      ref::SymGS(geo, r, z_ref);
+      double scale = 0.0;
+      for (const double v : z_ref) scale = std::max(scale, std::abs(v));
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_LE(std::abs(z[k] - z_ref[k]), 1e-10 * (1.0 + scale))
+            << label << " SymGS at " << k;
+      }
     }
   }
 }

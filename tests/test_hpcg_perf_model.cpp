@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <string>
 #include <tuple>
 
+#include "common/json.hpp"
 #include "hpcg/perf_model.hpp"
 #include "hw/power_model.hpp"
 
@@ -137,6 +141,123 @@ TEST_F(PerfModelTest, OfficialProblemMemoryFootprint) {
   const double total_gib =
       BytesToGiB(static_cast<double>(problem.LocalBytes()) * 32);
   EXPECT_NEAR(total_gib, 32.0, 3.0);
+}
+
+// ----------------------------------------------------------- Calibration
+
+// A synthetic BENCH_p4 artifact shaped like the real one: serial and
+// 4-worker composites, BLAS-1 streaming rates, per-tier SpMV peaks and the
+// streaming-model bytes/flop keys.
+Json FakeRooflineArtifact() {
+  JsonObject metrics;
+  metrics["grid"] = Json(16);
+  metrics["isa_tier"] = Json("sse2");
+  metrics["tiers_measured"] = Json("scalar,sse2,avx2");
+  metrics["spmv_gflops_p0"] = Json(5.0);
+  metrics["symgs_gflops_p0"] = Json(4.0);
+  metrics["dot_gflops_p0"] = Json(3.0);
+  metrics["waxpby_gflops_p0"] = Json(3.0);
+  metrics["spmv_gflops_p4"] = Json(10.0);
+  metrics["symgs_colored_gflops_p4"] = Json(8.0);
+  metrics["dot_gflops_p4"] = Json(6.0);
+  metrics["waxpby_gflops_p4"] = Json(6.0);
+  metrics["spmv_gflops_avx2_p0"] = Json(7.5);
+  metrics["spmv_bytes_per_flop"] = Json(0.31);
+  metrics["symgs_bytes_per_flop"] = Json(0.46);
+  return Json(JsonObject{{"bench", Json("p4_kernel_roofline")},
+                         {"metrics", Json(metrics)}});
+}
+
+TEST(KernelCalibration, DistilsArtifactIntoPointsAndBalance) {
+  const Result<KernelCalibration> cal =
+      KernelCalibration::FromArtifact(FakeRooflineArtifact());
+  ASSERT_TRUE(cal.ok()) << cal.message();
+  ASSERT_EQ(cal->points.size(), 2u);
+  EXPECT_EQ(cal->points[0].cores, 1);
+  EXPECT_EQ(cal->points[1].cores, 4);
+  // The composite is a flop-share-weighted harmonic mean: strictly between
+  // the slowest and fastest contributing kernel.
+  EXPECT_GT(cal->points[0].gflops, 3.0);
+  EXPECT_LT(cal->points[0].gflops, 5.0);
+  // The 4-worker rates are exactly 2x the serial ones, so the composite is
+  // too.
+  EXPECT_NEAR(cal->points[1].gflops, 2.0 * cal->points[0].gflops, 1e-12);
+  EXPECT_NEAR(cal->stream_bandwidth_gbs, 24.0, 1e-12);  // 3 GF/s x 8 B/flop
+  EXPECT_NEAR(cal->peak_gflops, 7.5, 1e-12);  // the avx2 tier's SpMV
+  EXPECT_GT(cal->iteration_bytes_per_flop, 0.0);
+  EXPECT_EQ(cal->isa_tier, "sse2");
+}
+
+TEST(KernelCalibration, RejectsArtifactWithoutKernelRates) {
+  const Json empty(JsonObject{{"bench", Json("x")},
+                              {"metrics", Json(JsonObject{})}});
+  EXPECT_FALSE(KernelCalibration::FromArtifact(empty).ok());
+  EXPECT_FALSE(KernelCalibration::FromArtifact(Json()).ok());
+}
+
+TEST(KernelCalibration, RoundTripReproducesMeasuredGflops) {
+  const Result<KernelCalibration> cal =
+      KernelCalibration::FromArtifact(FakeRooflineArtifact());
+  ASSERT_TRUE(cal.ok());
+  HpcgPerfModel model{PerfModelParams::Epyc7502P()};
+  ASSERT_TRUE(model.CalibrateFrom(*cal));
+
+  // Acceptance criterion: the calibrated model reproduces the measured
+  // composite GFLOPS at the reference configuration within 2 % (here it is
+  // exact by construction — the reference point IS the measurement).
+  const KiloHertz ref_f = GHzToKiloHertz(model.params().reference_ghz);
+  const double predicted =
+      model.Gflops(model.params().reference_cores, ref_f, false);
+  EXPECT_EQ(model.params().reference_cores, 4);
+  EXPECT_NEAR(predicted, cal->points[1].gflops,
+              0.02 * cal->points[1].gflops);
+
+  // Two points, perfect 2x scaling over 4x workers: the fitted exponent is
+  // log(2)/log(4) = 0.5, inside the clamp band.
+  EXPECT_NEAR(model.params().core_exponent, 0.5, 1e-9);
+  EXPECT_GE(model.params().eps_floor, 0.05);
+  EXPECT_LE(model.params().eps_floor, 0.95);
+
+  // The duration sizing must round-trip through the calibrated params.
+  const HpcgProblem problem = HpcgProblem::Official();
+  const int iters = model.IterationsForDuration(problem, 600.0);
+  const double seconds =
+      model.TotalFlopsFor(problem, model.params().reference_cores, iters) /
+      (predicted * 1e9);
+  EXPECT_NEAR(seconds, 600.0, 600.0 * 0.02);
+}
+
+TEST(KernelCalibration, AppliesThroughEnvFile) {
+  const std::string path = ::testing::TempDir() + "eco_calibration_p4.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    const std::string body = FakeRooflineArtifact().Dump(2);
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+  const Result<KernelCalibration> cal = KernelCalibration::FromFile(path);
+  ASSERT_TRUE(cal.ok()) << cal.message();
+  EXPECT_EQ(cal->source, path);
+  EXPECT_EQ(cal->points.size(), 2u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(KernelCalibration::FromFile("/no/such/artifact.json").ok());
+}
+
+TEST(PerfModelGuards, InvalidReferenceFallsBackToDefaults) {
+  // A non-positive reference point must not silently divide: the model logs
+  // and falls back to the paper-fitted defaults instead of producing NaN.
+  PerfModelParams bad = PerfModelParams::Epyc7502P();
+  bad.reference_gflops = 0.0;
+  const HpcgPerfModel model{bad};
+  EXPECT_NEAR(model.Gflops(32, kF25, false), 9.35, 0.01);
+
+  PerfModelParams bad_cores = PerfModelParams::Epyc7502P();
+  bad_cores.reference_cores = 0;
+  const HpcgPerfModel model2{bad_cores};
+  EXPECT_GT(model2.Gflops(32, kF25, false), 0.0);
+  EXPECT_TRUE(std::isfinite(model2.Gflops(32, kF25, false)));
 }
 
 // The paper's central crossover, parameterized over core counts: at low

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_*.json artifact against a committed perf baseline.
+"""Compare BENCH_*.json artifacts against committed perf baselines.
 
-Every baseline key matching ``--metric-regex`` (default: ``_gflops``, the
-kernel-roofline convention) must also be present in the artifact and must
-not fall too far below the committed floor:
+Every baseline key matching the pair's metric regex (default: ``_gflops``,
+the kernel-roofline convention) must also be present in the artifact and
+must not fall too far below the committed floor:
 
 * drop >= ``--warn`` below the baseline  -> warning (exit 0, GitHub
   ``::warning`` annotation so the PR surface shows it)
@@ -15,7 +15,23 @@ bytes/flop) are never gated. A ``grid`` key in the baseline, when present in
 both files, must match exactly — comparing throughput across problem sizes
 is meaningless.
 
-Usage:
+ISA-tier keying: a baseline key that names a dispatch tier (for example
+``spmv_gflops_avx2_p0``) only gates artifacts whose ``tiers_measured`` /
+``isa_tier`` stamps say that tier actually ran, so an SSE2-only CI runner
+never fails an AVX2 floor. Artifacts without tier stamps gate every key,
+as before.
+
+One invocation can check several artifact/baseline pairs (one summary, one
+exit code — CI calls this once per workflow, not once per bench):
+
+    tools/check_perf_baseline.py \
+        --pair bench-artifacts/BENCH_p4_kernel_roofline.json \
+               bench/baselines/BENCH_p4_baseline.json \
+        --pair bench-artifacts/BENCH_p5_ingress_storm.json \
+               bench/baselines/BENCH_p5_baseline.json ingest_jobs_per_s
+
+The single-pair spelling is still accepted:
+
     tools/check_perf_baseline.py \
         --artifact bench-artifacts/BENCH_p4_kernel_roofline.json \
         --baseline bench/baselines/BENCH_p4_baseline.json \
@@ -27,6 +43,10 @@ import json
 import re
 import sys
 
+# Dispatch tiers in capability order (mirrors hpcg::IsaTier); a metric key
+# embedding one of these names is gated only when the artifact measured it.
+TIERS = ("scalar", "sse2", "avx2", "avx512")
+
 
 def load_metrics(path):
     with open(path, "r", encoding="utf-8") as f:
@@ -36,11 +56,97 @@ def load_metrics(path):
     return doc["metrics"]
 
 
+def key_tier(key):
+    """The ISA tier a metric key is scoped to, or None for tier-neutral."""
+    for tier in TIERS:
+        if f"_{tier}_" in key or key.endswith(f"_{tier}"):
+            return tier
+    return None
+
+
+def artifact_tiers(metrics):
+    """Tiers the artifact claims to have measured (empty = no stamps)."""
+    tiers = set()
+    measured = metrics.get("tiers_measured")
+    if isinstance(measured, str):
+        tiers.update(t for t in measured.split(",") if t in TIERS)
+    default = metrics.get("isa_tier")
+    if isinstance(default, str) and default in TIERS:
+        tiers.add(default)
+    return tiers
+
+
+def check_pair(artifact_path, baseline_path, metric_regex, warn, fail):
+    """Gates one artifact against one baseline; returns (failures, warnings)."""
+    artifact = load_metrics(artifact_path)
+    baseline = load_metrics(baseline_path)
+    print(f"\n{artifact_path} vs {baseline_path} (regex /{metric_regex}/)")
+
+    if "grid" in baseline and "grid" in artifact:
+        if artifact["grid"] != baseline["grid"]:
+            print(f"::error::perf baseline grid mismatch: artifact ran "
+                  f"grid={artifact['grid']}, baseline expects "
+                  f"grid={baseline['grid']}")
+            return 1, 0
+
+    metric_re = re.compile(metric_regex)
+    gated = sorted(k for k in baseline
+                   if metric_re.search(k)
+                   and isinstance(baseline[k], (int, float)))
+    if not gated:
+        print(f"::error::no keys matching /{metric_regex}/ in baseline "
+              f"{baseline_path}")
+        return 1, 0
+
+    tiers = artifact_tiers(artifact)
+    failures = warnings = skipped = 0
+    for key in gated:
+        floor = float(baseline[key])
+        tier = key_tier(key)
+        if tier is not None and tiers and tier not in tiers:
+            skipped += 1
+            print(f"  {key:36s} {'—':>9s} vs floor {floor:9.3f}  "
+                  f"{'':>9s}  skip ({tier} not measured here)")
+            continue
+        if key not in artifact:
+            print(f"::error::perf metric '{key}' missing from artifact "
+                  f"{artifact_path}")
+            failures += 1
+            continue
+        value = float(artifact[key])
+        drop = 1.0 - value / floor if floor > 0 else 0.0
+        status = "ok"
+        if drop >= fail:
+            status = "FAIL"
+            failures += 1
+            print(f"::error::perf regression: {key} = {value:.3f}, "
+                  f"{drop:.0%} below baseline {floor:.3f}")
+        elif drop >= warn:
+            status = "warn"
+            warnings += 1
+            print(f"::warning::perf drop: {key} = {value:.3f}, "
+                  f"{drop:.0%} below baseline {floor:.3f}")
+        print(f"  {key:36s} {value:9.3f} vs floor {floor:9.3f}  "
+              f"({-drop:+7.1%})  {status}")
+
+    print(f"  -> {len(gated)} gated: {failures} fail, {warnings} warn, "
+          f"{skipped} tier-skipped")
+    return failures, warnings
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--artifact", required=True,
-                        help="BENCH_*.json produced by the bench run")
-    parser.add_argument("--baseline", required=True,
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--pair", action="append", nargs="+", default=[],
+                        metavar="ARTIFACT BASELINE [REGEX]",
+                        help="artifact/baseline pair, with an optional "
+                             "per-pair metric regex (default --metric-regex);"
+                             " repeatable")
+    parser.add_argument("--artifact",
+                        help="BENCH_*.json produced by the bench run "
+                             "(single-pair spelling)")
+    parser.add_argument("--baseline",
                         help="committed baseline (bench/baselines/...)")
     parser.add_argument("--metric-regex", default="_gflops",
                         help="gate baseline keys matching this regex "
@@ -55,51 +161,29 @@ def main():
                              "below baseline (default 0.30)")
     args = parser.parse_args()
 
-    artifact = load_metrics(args.artifact)
-    baseline = load_metrics(args.baseline)
-
-    if "grid" in baseline and "grid" in artifact:
-        if artifact["grid"] != baseline["grid"]:
-            print(f"::error::perf baseline grid mismatch: artifact ran "
-                  f"grid={artifact['grid']}, baseline expects "
-                  f"grid={baseline['grid']}")
-            return 1
-
-    metric_re = re.compile(args.metric_regex)
-    gated = sorted(k for k in baseline
-                   if metric_re.search(k)
-                   and isinstance(baseline[k], (int, float)))
-    if not gated:
-        print(f"::error::no keys matching /{args.metric_regex}/ in baseline "
-              f"{args.baseline}")
-        return 1
+    pairs = []
+    for spec in args.pair:
+        if len(spec) == 2:
+            pairs.append((spec[0], spec[1], args.metric_regex))
+        elif len(spec) == 3:
+            pairs.append((spec[0], spec[1], spec[2]))
+        else:
+            parser.error("--pair takes ARTIFACT BASELINE [REGEX]")
+    if args.artifact or args.baseline:
+        if not (args.artifact and args.baseline):
+            parser.error("--artifact and --baseline go together")
+        pairs.append((args.artifact, args.baseline, args.metric_regex))
+    if not pairs:
+        parser.error("nothing to check: give --pair or --artifact/--baseline")
 
     failures = warnings = 0
-    for key in gated:
-        floor = float(baseline[key])
-        if key not in artifact:
-            print(f"::error::perf metric '{key}' missing from artifact "
-                  f"{args.artifact}")
-            failures += 1
-            continue
-        value = float(artifact[key])
-        drop = 1.0 - value / floor if floor > 0 else 0.0
-        status = "ok"
-        if drop >= args.fail:
-            status = "FAIL"
-            failures += 1
-            print(f"::error::perf regression: {key} = {value:.3f}, "
-                  f"{drop:.0%} below baseline {floor:.3f}")
-        elif drop >= args.warn:
-            status = "warn"
-            warnings += 1
-            print(f"::warning::perf drop: {key} = {value:.3f}, "
-                  f"{drop:.0%} below baseline {floor:.3f}")
-        print(f"  {key:32s} {value:9.3f} vs floor {floor:9.3f}  "
-              f"({-drop:+7.1%})  {status}")
+    for artifact_path, baseline_path, regex in pairs:
+        f, w = check_pair(artifact_path, baseline_path, regex,
+                          args.warn, args.fail)
+        failures += f
+        warnings += w
 
-    print(f"\n{len(gated)} metric(s) gated: {failures} fail, "
-          f"{warnings} warn "
+    print(f"\n{len(pairs)} pair(s) checked: {failures} fail, {warnings} warn "
           f"(warn >= {args.warn:.0%} drop, fail >= {args.fail:.0%} drop)")
     return 1 if failures else 0
 
