@@ -54,20 +54,25 @@ Result<ModelEvaluation> EvaluateModel(const std::string& type,
     const Status trained = (*optimizer)->Train(train);
     if (!trained.ok()) return Result<ModelEvaluation>::Error(trained.message());
 
-    for (const auto& record : test) {
-      auto prediction = (*optimizer)->Predict(record.config);
-      // Brute force cannot score unseen configurations; score those misses
-      // as predicting the training mean (the honest fallback).
-      double predicted;
-      if (prediction.ok()) {
-        predicted = *prediction;
-      } else {
-        double mean = 0.0;
-        for (const auto& t : train) mean += t.GflopsPerWatt();
-        predicted = mean / static_cast<double>(train.size());
-      }
-      predictions.push_back(predicted);
-      truths.push_back(record.GflopsPerWatt());
+    // Score the whole test fold in one batched pass — the learned
+    // optimizers run their compiled engines (bitwise identical to the old
+    // per-record Predict loop), brute force the default lookup loop.
+    std::vector<Configuration> test_configs;
+    test_configs.reserve(test.size());
+    for (const auto& record : test) test_configs.push_back(record.config);
+    std::vector<double> scores;
+    std::vector<bool> scored;
+    const Status batch =
+        (*optimizer)->PredictBatch(test_configs, &scores, &scored);
+    if (!batch.ok()) return Result<ModelEvaluation>::Error(batch.message());
+    // Brute force cannot score unseen configurations; score those misses as
+    // predicting the training mean (the honest fallback).
+    double train_mean = 0.0;
+    for (const auto& t : train) train_mean += t.GflopsPerWatt();
+    train_mean /= static_cast<double>(train.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      predictions.push_back(scored[i] ? scores[i] : train_mean);
+      truths.push_back(test[i].GflopsPerWatt());
     }
 
     // Regret: let the fold-model choose over the whole measured space.

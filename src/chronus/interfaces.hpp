@@ -47,6 +47,25 @@ class OptimizerInterface {
   virtual Status Train(const std::vector<BenchmarkRecord>& benchmarks) = 0;
   // Predicted GFLOPS/W for a configuration.
   virtual Result<double> Predict(const Configuration& config) const = 0;
+  // Scores every candidate in one call: out[i] is candidate i's prediction,
+  // scored[i] whether it could be scored at all (brute force cannot score an
+  // unmeasured configuration). Per-candidate results match Predict exactly;
+  // this default just loops it, while the learned optimizers override with a
+  // batched engine (one feature matrix, one pass) whose output is bitwise
+  // identical to the serial loop (ml/forest_inference.hpp).
+  virtual Status PredictBatch(const std::vector<Configuration>& candidates,
+                              std::vector<double>* out,
+                              std::vector<bool>* scored) const {
+    out->assign(candidates.size(), 0.0);
+    scored->assign(candidates.size(), false);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Result<double> value = Predict(candidates[i]);
+      if (!value.ok()) continue;
+      (*out)[i] = *value;
+      (*scored)[i] = true;
+    }
+    return Status::Ok();
+  }
   // argmax of Predict over the candidates.
   virtual Result<Configuration> BestConfiguration(
       const std::vector<Configuration>& candidates) const = 0;

@@ -15,15 +15,33 @@ ml::Dataset BenchmarksToDataset(const std::vector<BenchmarkRecord>& benchmarks) 
   return data;
 }
 
-template <typename PredictFn>
+// Flattens the candidates into one row-major feature matrix (the batched
+// engines' input); returns the row width.
+std::size_t BuildFeatureMatrix(const std::vector<Configuration>& candidates,
+                               std::vector<double>* matrix) {
+  matrix->clear();
+  std::size_t width = 0;
+  for (const auto& candidate : candidates) {
+    const std::vector<double> row = ConfigurationFeatures(candidate);
+    width = row.size();
+    matrix->insert(matrix->end(), row.begin(), row.end());
+  }
+  return width;
+}
+
+}  // namespace
+
 Result<Configuration> ArgmaxPrediction(
-    const std::vector<Configuration>& candidates, PredictFn predict) {
+    const std::vector<Configuration>& candidates,
+    const std::function<Result<double>(const Configuration&)>& predict) {
   bool found = false;
   Configuration best;
   double best_value = 0.0;
   for (const auto& candidate : candidates) {
     const Result<double> value = predict(candidate);
     if (!value.ok()) continue;  // e.g. brute force on an unmeasured config
+    // Strict `>` keeps the FIRST candidate reaching the max (header
+    // contract) — ArgmaxFromScores must mirror this exactly.
     if (!found || *value > best_value) {
       found = true;
       best_value = *value;
@@ -37,7 +55,31 @@ Result<Configuration> ArgmaxPrediction(
   return best;
 }
 
-}  // namespace
+Result<Configuration> ArgmaxFromScores(
+    const std::vector<Configuration>& candidates,
+    const std::vector<double>& scores, const std::vector<bool>& scored) {
+  if (scores.size() != candidates.size() ||
+      scored.size() != candidates.size()) {
+    return Result<Configuration>::Error(
+        "optimizer: score vectors do not match candidates");
+  }
+  bool found = false;
+  std::size_t best = 0;
+  double best_value = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!scored[i]) continue;
+    if (!found || scores[i] > best_value) {  // same first-wins strict `>`
+      found = true;
+      best_value = scores[i];
+      best = i;
+    }
+  }
+  if (!found) {
+    return Result<Configuration>::Error(
+        "optimizer: no candidate could be scored");
+  }
+  return candidates[best];
+}
 
 std::vector<double> ConfigurationFeatures(const Configuration& config) {
   return {static_cast<double>(config.cores),
@@ -73,8 +115,13 @@ Result<double> BruteForceOptimizer::Predict(const Configuration& config) const {
 
 Result<Configuration> BruteForceOptimizer::BestConfiguration(
     const std::vector<Configuration>& candidates) const {
-  return ArgmaxPrediction(candidates,
-                          [this](const Configuration& c) { return Predict(c); });
+  // Inherits the default per-candidate PredictBatch (table lookups — nothing
+  // to vectorize); the argmax contract is shared with the batched path.
+  std::vector<double> scores;
+  std::vector<bool> scored;
+  const Status status = PredictBatch(candidates, &scores, &scored);
+  if (!status.ok()) return Result<Configuration>::Error(status.message());
+  return ArgmaxFromScores(candidates, scores, scored);
 }
 
 Json BruteForceOptimizer::Serialize() const {
@@ -130,10 +177,27 @@ Result<double> LinearRegressionOptimizer::Predict(
   return model_.Predict(ConfigurationFeatures(config));
 }
 
+Status LinearRegressionOptimizer::PredictBatch(
+    const std::vector<Configuration>& candidates, std::vector<double>* out,
+    std::vector<bool>* scored) const {
+  if (!model_.fitted()) return Status::Error("linear-regression: not trained");
+  out->assign(candidates.size(), 0.0);
+  scored->assign(candidates.size(), true);
+  if (candidates.empty()) return Status::Ok();
+  std::vector<double> matrix;
+  const std::size_t width = BuildFeatureMatrix(candidates, &matrix);
+  return model_.PredictBatch(matrix.data(),
+                             static_cast<std::int64_t>(candidates.size()),
+                             static_cast<std::int32_t>(width), out->data());
+}
+
 Result<Configuration> LinearRegressionOptimizer::BestConfiguration(
     const std::vector<Configuration>& candidates) const {
-  return ArgmaxPrediction(candidates,
-                          [this](const Configuration& c) { return Predict(c); });
+  std::vector<double> scores;
+  std::vector<bool> scored;
+  const Status status = PredictBatch(candidates, &scores, &scored);
+  if (!status.ok()) return Result<Configuration>::Error(status.message());
+  return ArgmaxFromScores(candidates, scores, scored);
 }
 
 Json LinearRegressionOptimizer::Serialize() const { return model_.ToJson(); }
@@ -150,21 +214,67 @@ Status LinearRegressionOptimizer::Deserialize(const Json& json) {
 RandomForestOptimizer::RandomForestOptimizer(ml::ForestParams params)
     : model_(params) {}
 
+void RandomForestOptimizer::RecompileModel() {
+  compiled_.reset();
+  if (!model_.fitted()) return;
+  auto compiled = ml::CompiledForest::Compile(model_);
+  if (compiled.ok()) {
+    compiled_ = std::make_shared<const ml::CompiledForest>(
+        std::move(compiled.value()));
+  }
+}
+
 Status RandomForestOptimizer::Train(
     const std::vector<BenchmarkRecord>& benchmarks) {
   if (benchmarks.empty()) return Status::Error("random-tree: no benchmarks");
-  return model_.Fit(BenchmarksToDataset(benchmarks));
+  const Status fitted = model_.Fit(BenchmarksToDataset(benchmarks));
+  if (!fitted.ok()) return fitted;
+  RecompileModel();
+  return Status::Ok();
 }
 
 Result<double> RandomForestOptimizer::Predict(const Configuration& config) const {
   if (!model_.fitted()) return Result<double>::Error("random-tree: not trained");
-  return model_.Predict(ConfigurationFeatures(config));
+  const std::vector<double> features = ConfigurationFeatures(config);
+  if (compiled_ != nullptr) {
+    // Single-row batch: bitwise identical to the pointer walk below, minus
+    // its per-node heap chasing.
+    const Result<double> value = compiled_->PredictRow(
+        features.data(), static_cast<std::int32_t>(features.size()));
+    if (value.ok()) return value;
+  }
+  return model_.Predict(features);
+}
+
+Status RandomForestOptimizer::PredictBatch(
+    const std::vector<Configuration>& candidates, std::vector<double>* out,
+    std::vector<bool>* scored) const {
+  if (!model_.fitted()) return Status::Error("random-tree: not trained");
+  out->assign(candidates.size(), 0.0);
+  scored->assign(candidates.size(), true);
+  if (candidates.empty()) return Status::Ok();
+  std::vector<double> matrix;
+  const std::size_t width = BuildFeatureMatrix(candidates, &matrix);
+  if (compiled_ != nullptr) {
+    const Status batched = compiled_->BatchPredict(
+        matrix.data(), static_cast<std::int64_t>(candidates.size()),
+        static_cast<std::int32_t>(width), out->data());
+    if (batched.ok()) return batched;
+  }
+  // Compile failed or widths mismatched: the pointer walk still answers.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    (*out)[i] = model_.Predict(ConfigurationFeatures(candidates[i]));
+  }
+  return Status::Ok();
 }
 
 Result<Configuration> RandomForestOptimizer::BestConfiguration(
     const std::vector<Configuration>& candidates) const {
-  return ArgmaxPrediction(candidates,
-                          [this](const Configuration& c) { return Predict(c); });
+  std::vector<double> scores;
+  std::vector<bool> scored;
+  const Status status = PredictBatch(candidates, &scores, &scored);
+  if (!status.ok()) return Result<Configuration>::Error(status.message());
+  return ArgmaxFromScores(candidates, scores, scored);
 }
 
 Json RandomForestOptimizer::Serialize() const { return model_.ToJson(); }
@@ -173,6 +283,7 @@ Status RandomForestOptimizer::Deserialize(const Json& json) {
   auto loaded = ml::RandomForest::FromJson(json);
   if (!loaded.ok()) return loaded.status();
   model_ = std::move(loaded.value());
+  RecompileModel();
   return Status::Ok();
 }
 

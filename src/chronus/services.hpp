@@ -105,6 +105,10 @@ class SlurmConfigService {
   void ClearCache() { cache_.clear(); }
 
  private:
+  // One entry per (system_hash, binary_hash). For a random-tree model the
+  // optimizer carries its CompiledForest (built during Unpack/Deserialize),
+  // so the flattening cost is paid once on the miss path and every
+  // subsequent BestConfiguration sweep runs the batched SoA engine.
   struct CachedModel {
     std::string key;
     OptimizerPtr optimizer;

@@ -14,6 +14,11 @@ namespace {
 // resolution can race benignly: every racer computes the same value.
 std::atomic<int> g_active_tier{-1};
 
+// -1: unresolved; 0: active tier is the compiled-in default; 1: the tier
+// was pinned (ECO_FORCE_ISA or ForceIsaTier). Resolved together with
+// g_active_tier; the same benign race applies.
+std::atomic<int> g_tier_pinned{-1};
+
 bool CpuSupports(IsaTier tier) {
 #if defined(__x86_64__) || defined(__i386__)
   __builtin_cpu_init();
@@ -61,7 +66,8 @@ IsaTier ClampToSupported(IsaTier requested) {
   return static_cast<IsaTier>(t);
 }
 
-IsaTier ResolveFromEnv() {
+IsaTier ResolveFromEnv(bool* pinned) {
+  *pinned = false;
   const char* env = std::getenv("ECO_FORCE_ISA");
   if (env == nullptr || *env == '\0') return kDefaultIsaTier;
   IsaTier requested;
@@ -71,6 +77,7 @@ IsaTier ResolveFromEnv() {
              << IsaTierName(kDefaultIsaTier);
     return kDefaultIsaTier;
   }
+  *pinned = true;
   const IsaTier effective = ClampToSupported(requested);
   if (effective != requested) {
     ECO_WARN << "ECO_FORCE_ISA=" << IsaTierName(requested)
@@ -124,13 +131,21 @@ IsaTier BestSupportedIsaTier() {
 IsaTier ActiveIsaTier() {
   const int cached = g_active_tier.load(std::memory_order_acquire);
   if (cached >= 0) return static_cast<IsaTier>(cached);
-  const IsaTier resolved = ResolveFromEnv();
+  bool pinned = false;
+  const IsaTier resolved = ResolveFromEnv(&pinned);
+  g_tier_pinned.store(pinned ? 1 : 0, std::memory_order_release);
   g_active_tier.store(static_cast<int>(resolved), std::memory_order_release);
   return resolved;
 }
 
+bool IsaTierPinned() {
+  ActiveIsaTier();  // resolve the env on first use
+  return g_tier_pinned.load(std::memory_order_acquire) == 1;
+}
+
 IsaTier ForceIsaTier(IsaTier tier) {
   const IsaTier effective = ClampToSupported(tier);
+  g_tier_pinned.store(1, std::memory_order_release);
   g_active_tier.store(static_cast<int>(effective), std::memory_order_release);
   return effective;
 }

@@ -64,6 +64,14 @@ IsaTier BestSupportedIsaTier();
 // default) and cached; thread-safe.
 IsaTier ActiveIsaTier();
 
+// Whether the active tier was pinned explicitly (ECO_FORCE_ISA in the
+// environment, or a ForceIsaTier call) rather than falling back to
+// kDefaultIsaTier. Dispatch tables whose tiers are bitwise identical at any
+// width (the ml forest engine) upgrade to BestSupportedIsaTier when the
+// tier is NOT pinned; the HPCG kernels never do (wider tiers reassociate
+// reductions, so their default stays kDefaultIsaTier).
+bool IsaTierPinned();
+
 // Pins the dispatch tier (clamped down to the best supported tier when the
 // request cannot run) and returns the tier actually in force. Thread-safe,
 // but not synchronized against kernels already in flight — switch tiers

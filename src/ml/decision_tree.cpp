@@ -203,6 +203,13 @@ Result<RegressionTree> RegressionTree::FromJson(const Json& json) {
     node.value = n.at("v").as_number();
     node.left = static_cast<std::int32_t>(n.at("l").as_int(-1));
     node.right = static_cast<std::int32_t>(n.at("r").as_int(-1));
+    // -1 marks a leaf; anything else negative is corruption, and the upper
+    // bound keeps every accepted model flattenable into the compiled
+    // engine's int16 feature slot (ml/forest_inference).
+    if (node.feature < -1 ||
+        node.feature > std::numeric_limits<std::int16_t>::max()) {
+      return Result<RegressionTree>::Error("tree: feature index out of range");
+    }
     const auto limit = static_cast<std::int32_t>(nodes.size());
     if (node.feature >= 0 &&
         (node.left < 0 || node.left >= limit || node.right < 0 ||
@@ -213,6 +220,28 @@ Result<RegressionTree> RegressionTree::FromJson(const Json& json) {
   }
   if (tree.nodes_.empty()) {
     return Result<RegressionTree>::Error("tree: no nodes");
+  }
+  // Topology check, BFS from the root: a child reached twice means a cycle
+  // or converging links (Predict could loop forever), and a node never
+  // reached is dead weight no serializer of ours emits — both reject rather
+  // than risk a malformed model artifact steering submit-time decisions.
+  std::vector<char> seen(tree.nodes_.size(), 0);
+  seen[0] = 1;
+  std::vector<std::int32_t> queue{0};
+  for (std::size_t q = 0; q < queue.size(); ++q) {
+    const Node& node = tree.nodes_[static_cast<std::size_t>(queue[q])];
+    if (node.feature < 0) continue;
+    for (const std::int32_t child : {node.left, node.right}) {
+      if (seen[static_cast<std::size_t>(child)] != 0) {
+        return Result<RegressionTree>::Error(
+            "tree: cyclic or converging node links");
+      }
+      seen[static_cast<std::size_t>(child)] = 1;
+      queue.push_back(child);
+    }
+  }
+  if (queue.size() != tree.nodes_.size()) {
+    return Result<RegressionTree>::Error("tree: unreachable nodes");
   }
   return tree;
 }

@@ -42,6 +42,9 @@ class RegressionTree {
   static Result<RegressionTree> FromJson(const Json& json);
 
  private:
+  // CompiledForest flattens nodes_ into its SoA arrays (ml/forest_inference).
+  friend class CompiledForest;
+
   struct Node {
     // Leaf iff feature < 0.
     int feature = -1;

@@ -1,0 +1,223 @@
+#include "ml/forest_inference.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.hpp"
+#include "hpcg/dispatch.hpp"
+#include "ml/random_forest.hpp"
+
+namespace eco::ml {
+namespace {
+
+// Handle-caching stats block (the job_submit_eco.cpp pattern): one registry
+// lookup per process, lock-free updates after that.
+struct InferenceStats {
+  telemetry::Counter* compiles;
+  telemetry::Counter* batches;
+  telemetry::Counter* rows;
+  telemetry::Histogram* rows_hist;
+
+  static InferenceStats& Get() {
+    static InferenceStats stats = [] {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      return InferenceStats{
+          registry.GetCounter("eco_ml_inference_compiles_total"),
+          registry.GetCounter("eco_ml_inference_batches_total"),
+          registry.GetCounter("eco_ml_inference_rows_total"),
+          registry.GetHistogram("eco_ml_inference_rows",
+                                {1.0, 8.0, 64.0, 512.0, 4096.0}),
+      };
+    }();
+    return stats;
+  }
+};
+
+// Rows per blocked pass: the whole accumulator slice plus the streaming rows
+// stay L1/L2-resident across the tree loop, so each tree's SoA arrays are
+// read once per tile instead of once per row.
+constexpr std::int64_t kRowTile = 2048;
+
+}  // namespace
+
+Result<CompiledForest> CompiledForest::Compile(const RandomForest& forest) {
+  if (!forest.fitted()) {
+    return Result<CompiledForest>::Error("compiled forest: forest not fitted");
+  }
+  CompiledForest out;
+  out.roots_.reserve(forest.trees_.size());
+  out.depths_.reserve(forest.trees_.size());
+
+  for (std::size_t t = 0; t < forest.trees_.size(); ++t) {
+    const auto& nodes = forest.trees_[t].nodes_;
+    const std::string where = "compiled forest: tree " + std::to_string(t);
+    if (nodes.empty()) {
+      return Result<CompiledForest>::Error(where + " is unfitted");
+    }
+    const auto n = static_cast<std::int32_t>(nodes.size());
+
+    // Breadth-first renumbering: `order[q]` is the source index of the node
+    // that lands at tree-local slot q, `renum` its inverse. BFS puts the top
+    // of every tree (the levels all rows traverse) contiguous in the SoA
+    // arrays. Compile re-validates topology even though FromJson already
+    // does — a corrupt model must never turn into out-of-bounds traversal.
+    std::vector<std::int32_t> order;
+    std::vector<std::int32_t> level;
+    std::vector<std::int32_t> renum(nodes.size(), -1);
+    order.reserve(nodes.size());
+    level.reserve(nodes.size());
+    order.push_back(0);
+    level.push_back(0);
+    renum[0] = 0;
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      const auto& node = nodes[static_cast<std::size_t>(order[q])];
+      if (node.feature < 0) continue;  // leaf
+      if (node.feature > std::numeric_limits<std::int16_t>::max()) {
+        return Result<CompiledForest>::Error(where +
+                                             ": feature index out of range");
+      }
+      for (const std::int32_t child : {node.left, node.right}) {
+        if (child < 0 || child >= n) {
+          return Result<CompiledForest>::Error(where +
+                                               ": child index out of range");
+        }
+        if (renum[static_cast<std::size_t>(child)] >= 0) {
+          return Result<CompiledForest>::Error(where +
+                                               ": cyclic node links");
+        }
+        renum[static_cast<std::size_t>(child)] =
+            static_cast<std::int32_t>(order.size());
+        order.push_back(child);
+        level.push_back(level[q] + 1);
+      }
+    }
+    // Unreachable source nodes are simply not emitted: they cannot affect a
+    // prediction (FromJson rejects them outright; a Fit tree has none).
+
+    if (out.feature_.size() + order.size() >
+        static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+      return Result<CompiledForest>::Error(
+          "compiled forest: node count overflows int32 indexing");
+    }
+    const auto base = static_cast<std::int32_t>(out.feature_.size());
+    out.roots_.push_back(base);
+    out.depths_.push_back(level.back());  // BFS: last node is deepest
+
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      const auto& node = nodes[static_cast<std::size_t>(order[q])];
+      const auto self = base + static_cast<std::int32_t>(q);
+      if (node.feature < 0) {
+        // Leaf: value packed into the threshold slot, feature 0 so the
+        // traversal's row load stays in bounds, self-loop so a fixed-depth
+        // walk parks here.
+        out.feature_.push_back(0);
+        out.threshold_.push_back(node.value);
+        out.left_.push_back(self);
+        out.right_.push_back(self);
+      } else {
+        out.feature_.push_back(static_cast<std::int16_t>(node.feature));
+        out.threshold_.push_back(node.threshold);
+        out.left_.push_back(base + renum[static_cast<std::size_t>(node.left)]);
+        out.right_.push_back(base +
+                             renum[static_cast<std::size_t>(node.right)]);
+        out.max_feature_ = std::max(out.max_feature_, node.feature);
+      }
+    }
+  }
+
+  InferenceStats::Get().compiles->Add(1);
+  return out;
+}
+
+std::int32_t CompiledForest::max_depth() const {
+  std::int32_t deepest = 0;
+  for (const std::int32_t d : depths_) deepest = std::max(deepest, d);
+  return deepest;
+}
+
+Status CompiledForest::BatchPredict(const double* rows, std::int64_t n_rows,
+                                    std::int32_t n_features,
+                                    double* out) const {
+  if (roots_.empty()) {
+    return Status::Error("compiled forest: not compiled");
+  }
+  if (n_rows < 0) {
+    return Status::Error("compiled forest: negative row count");
+  }
+  if (n_features < feature_count()) {
+    return Status::Error("compiled forest: rows carry " +
+                         std::to_string(n_features) +
+                         " features, model needs " +
+                         std::to_string(feature_count()));
+  }
+  if (n_rows > 0 && out == nullptr) {
+    return Status::Error("compiled forest: null output buffer");
+  }
+  // A forest of bare leaves (feature_count() == 0) never reads the matrix,
+  // so a null `rows` is only an error when a traversal would touch it.
+  if (n_rows > 0 && rows == nullptr && feature_count() > 0) {
+    return Status::Error("compiled forest: null feature matrix");
+  }
+
+  auto& stats = InferenceStats::Get();
+  stats.batches->Add(1);
+  stats.rows->Add(static_cast<std::uint64_t>(n_rows));
+  stats.rows_hist->Observe(static_cast<double>(n_rows));
+  if (n_rows == 0) return Status::Ok();
+
+  const detail::ForestOps& ops = detail::ActiveForestOps();
+  const auto tree_count = static_cast<double>(roots_.size());
+  for (std::int64_t lo = 0; lo < n_rows; lo += kRowTile) {
+    const std::int64_t hi = std::min(n_rows, lo + kRowTile);
+    const std::int64_t count = hi - lo;
+    const double* tile = rows + lo * n_features;
+    double* acc = out + lo;
+    std::fill(acc, acc + count, 0.0);
+    // Trees outermost: leaves accumulate in tree order, the exact sum
+    // RandomForest::Predict forms, and each tree's nodes stay hot while the
+    // tile's rows stream past.
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+      ops.tree_accumulate(feature_.data(), threshold_.data(), left_.data(),
+                          right_.data(), roots_[t], depths_[t], tile, count,
+                          n_features, acc);
+    }
+    for (std::int64_t i = 0; i < count; ++i) acc[i] /= tree_count;
+  }
+  return Status::Ok();
+}
+
+Result<double> CompiledForest::PredictRow(const double* row,
+                                          std::int32_t n_features) const {
+  double out = 0.0;
+  const Status status = BatchPredict(row, 1, n_features, &out);
+  if (!status.ok()) return status;
+  return out;
+}
+
+namespace detail {
+
+const ForestOps& ActiveForestOps() {
+  static const ForestOps* const kTables[hpcg::kIsaTierCount] = {
+      GetForestOps_scalar(),
+      GetForestOps_sse2(),
+      GetForestOps_avx2(),
+      GetForestOps_avx512(),
+  };
+  // A pinned tier (ECO_FORCE_ISA / ForceIsaTier) is honored verbatim.
+  // Unpinned, the engine runs the widest supported tier rather than the
+  // HPCG default: every forest tier is bitwise identical (the traversal has
+  // no reductions to reassociate), so width costs nothing but latency.
+  const hpcg::IsaTier tier = hpcg::IsaTierPinned()
+                                 ? hpcg::ActiveIsaTier()
+                                 : hpcg::BestSupportedIsaTier();
+  // The tier TUs are built under the same CMake condition as the HPCG ones
+  // and IsaTierSupported clamps the same way — the nullptr fallback is belt
+  // and braces.
+  const ForestOps* ops = kTables[static_cast<int>(tier)];
+  return ops != nullptr ? *ops : *GetForestOps_scalar();
+}
+
+}  // namespace detail
+}  // namespace eco::ml

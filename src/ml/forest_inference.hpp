@@ -1,0 +1,121 @@
+// Compiled forest inference: a flattened, cache-linear, SIMD-dispatched
+// engine for RandomForest prediction (DESIGN.md, "ML inference engine").
+//
+// RandomForest::Predict pointer-chases one heap-allocated Node vector per
+// tree per candidate. The eco plugin's submit-time decision and the
+// colocation roadmap item's O(n²) pairwise degradation sweep both score
+// hundreds-to-thousands of candidates per decision, so inference is rebuilt
+// here the same way the HPCG kernels were (branch-free core + runtime ISA
+// dispatch):
+//
+//  - CompiledForest flattens every fitted tree into contiguous SoA arrays
+//    laid out breadth-first: `int16 feature`, `double threshold`, and
+//    int32 left/right child offsets (global indices into the SoA arrays).
+//    Leaf values are packed into the leaf's threshold slot and leaves
+//    self-loop (left == right == self), so traversal is a fixed-depth,
+//    branch-free chain of compare/select steps with no leaf test.
+//  - BatchPredict scores a whole row-major candidate matrix in one call:
+//    trees in the outer loop (a tree's nodes stay L1-resident while the
+//    rows stream), rows in register-blocked groups sized per ISA tier.
+//  - Tier selection reuses the HPCG runtime dispatch (hpcg::ActiveIsaTier,
+//    the CPUID probe, ECO_FORCE_ISA, ForceIsaTier) — one binary carries
+//    scalar/SSE2/AVX2/AVX-512 traversal kernels compiled in per-TU
+//    -m-flag TUs (src/ml/forest_tier_*.cpp). Unlike the HPCG kernels the
+//    engine defaults to the WIDEST supported tier when none is pinned
+//    (hpcg::IsaTierPinned): every forest tier is bitwise identical, so
+//    there is no reassociation risk to justify the conservative default.
+//
+// Determinism contract: a traversal step is an exact double comparison and
+// an integer select — no rounding anywhere — and the per-row accumulation
+// sums leaf values in tree order then divides by the tree count, exactly
+// the arithmetic RandomForest::Predict performs. Every tier is therefore
+// **bitwise identical** to the pointer-walk Predict at every batch size
+// (verified in tests/test_ml_inference.cpp and gated in
+// bench_p6_forest_inference).
+//
+// Telemetry (process-global registry, surfaced by slurm::Sdiag):
+//   eco_ml_inference_compiles_total  forests compiled
+//   eco_ml_inference_batches_total   BatchPredict calls
+//   eco_ml_inference_rows_total      rows scored
+//   eco_ml_inference_rows            batch-size histogram
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace eco::ml {
+
+class RandomForest;
+
+class CompiledForest {
+ public:
+  CompiledForest() = default;
+
+  // Flattens a fitted forest. Fails on an unfitted forest, a feature index
+  // that does not fit the int16 SoA slot, or a corrupt topology (out-of-range
+  // child, cycle) — Compile re-walks every tree, so a forest that slipped
+  // past FromJson validation still cannot produce out-of-bounds traversal.
+  static Result<CompiledForest> Compile(const RandomForest& forest);
+
+  [[nodiscard]] std::size_t tree_count() const { return roots_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return feature_.size(); }
+  // Minimum row width BatchPredict accepts: max feature index used + 1.
+  [[nodiscard]] std::int32_t feature_count() const { return max_feature_ + 1; }
+  // Deepest fixed-iteration traversal over all trees (edges, not nodes).
+  [[nodiscard]] std::int32_t max_depth() const;
+
+  // Scores `n_rows` candidates held row-major in `rows` (n_rows × n_features)
+  // into out[0..n_rows): out[i] is bitwise identical to
+  // RandomForest::Predict(row i) on the source forest, at every ISA tier and
+  // batch size. Rejects n_features < feature_count(). Thread-safe: the
+  // compiled arrays are immutable after Compile.
+  Status BatchPredict(const double* rows, std::int64_t n_rows,
+                      std::int32_t n_features, double* out) const;
+
+  // Single-row convenience (BatchPredict with n_rows == 1).
+  [[nodiscard]] Result<double> PredictRow(const double* row,
+                                          std::int32_t n_features) const;
+
+ private:
+  std::vector<std::int32_t> roots_;    // per tree: root node (global index)
+  std::vector<std::int32_t> depths_;   // per tree: fixed iteration count
+  std::vector<std::int16_t> feature_;  // per node: split feature (leaves: 0)
+  std::vector<double> threshold_;      // per node: split threshold or, for a
+                                       // leaf, the packed leaf value
+  std::vector<std::int32_t> left_;     // per node: global child indices;
+  std::vector<std::int32_t> right_;    // leaves self-loop (left==right==self)
+  std::int32_t max_feature_ = -1;
+};
+
+namespace detail {
+
+// The per-tier traversal kernel BatchPredict dispatches through, mirroring
+// hpcg::detail::KernelOps: the engine partitions work, the tier traverses.
+struct ForestOps {
+  // Walks one tree (root, fixed `depth` steps, leaves self-loop) for every
+  // row of the row-major matrix and adds each row's leaf value into
+  // acc[row]. The add is the only floating-point operation and it is
+  // identical across tiers, so tiers differ only in instruction schedule.
+  void (*tree_accumulate)(const std::int16_t* feature, const double* threshold,
+                          const std::int32_t* left, const std::int32_t* right,
+                          std::int32_t root, std::int32_t depth,
+                          const double* rows, std::int64_t n_rows,
+                          std::int32_t n_features, double* acc);
+};
+
+// Table for the tier hpcg dispatch currently selects (ECO_FORCE_ISA /
+// ForceIsaTier honored); falls back to scalar if the forest TU for that
+// tier compiled to a stub on this toolchain.
+const ForestOps& ActiveForestOps();
+
+// Per-tier tables, defined in the forest_tier_*.cpp TUs (nullptr when the
+// TU could not be built for its ISA).
+const ForestOps* GetForestOps_scalar();
+const ForestOps* GetForestOps_sse2();
+const ForestOps* GetForestOps_avx2();
+const ForestOps* GetForestOps_avx512();
+
+}  // namespace detail
+}  // namespace eco::ml

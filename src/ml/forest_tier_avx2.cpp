@@ -1,0 +1,115 @@
+// AVX2 forest-traversal tier: two independent four-row chains per loop
+// iteration (eight rows in flight). Thresholds, child
+// pairs and final leaf values come in by gather; the per-lane feature ids
+// (int16, ungatherable) and row values (per-lane base pointers) stay scalar.
+// The compare is _CMP_LT_OQ — the exact `<` of the scalar walk, false on
+// NaN — and the only arithmetic is the per-lane double add into acc, so the
+// tier is bitwise identical to scalar at every batch size.
+#include "ml/forest_inference.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "ml/forest_tiers.inc"
+
+namespace eco::ml::detail {
+namespace {
+
+// GCC models the unmasked gather builtins with an uninitialized pass-through
+// operand that the instruction ignores under an all-ones mask; the
+// -Wmaybe-uninitialized it raises is a false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// One 4-row traversal chain. The depth loop's critical path is the
+// idx -> gather -> compare -> blend -> idx dependency, tens of cycles per
+// step, so TreeAccumulate runs TWO independent chains side by side: the
+// out-of-order core overlaps their gathers and nearly doubles throughput.
+struct Chain4 {
+  const double* row[4];
+  __m128i idx;
+
+  inline void Start(const double* rows, std::int32_t n_features,
+                    std::int32_t root) {
+    row[0] = rows;
+    for (int k = 1; k < 4; ++k) row[k] = row[k - 1] + n_features;
+    idx = _mm_set1_epi32(root);
+  }
+
+  inline void Step(const std::int16_t* feature, const double* threshold,
+                   const std::int32_t* left, const std::int32_t* right,
+                   __m256i pack64to32) {
+    alignas(16) std::int32_t ix[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ix), idx);
+    const __m256d vals =
+        _mm256_set_pd(row[3][feature[ix[3]]], row[2][feature[ix[2]]],
+                      row[1][feature[ix[1]]], row[0][feature[ix[0]]]);
+    const __m256d thr = _mm256_i32gather_pd(threshold, idx, 8);
+    const __m256d go_left = _mm256_cmp_pd(vals, thr, _CMP_LT_OQ);
+    const __m128i l =
+        _mm_i32gather_epi32(reinterpret_cast<const int*>(left), idx, 4);
+    const __m128i rt =
+        _mm_i32gather_epi32(reinterpret_cast<const int*>(right), idx, 4);
+    // Picks the low 32-bit half of each 64-bit compare-mask lane, compacting
+    // a 4x64-bit predicate into the 4x32-bit mask the index blend needs.
+    const __m128i mask = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        _mm256_castpd_si256(go_left), pack64to32));
+    idx = _mm_blendv_epi8(rt, l, mask);
+  }
+
+  inline void Finish(const double* threshold, double* acc) const {
+    const __m256d leaf = _mm256_i32gather_pd(threshold, idx, 8);
+    _mm256_storeu_pd(acc, _mm256_add_pd(_mm256_loadu_pd(acc), leaf));
+  }
+};
+
+void TreeAccumulate(const std::int16_t* feature, const double* threshold,
+                    const std::int32_t* left, const std::int32_t* right,
+                    std::int32_t root, std::int32_t depth, const double* rows,
+                    std::int64_t n_rows, std::int32_t n_features, double* acc) {
+  const __m256i kPack64To32 = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  std::int64_t r = 0;
+  for (; r + 8 <= n_rows; r += 8) {
+    Chain4 a, b;
+    a.Start(rows + r * n_features, n_features, root);
+    b.Start(rows + (r + 4) * n_features, n_features, root);
+    for (std::int32_t d = 0; d < depth; ++d) {
+      a.Step(feature, threshold, left, right, kPack64To32);
+      b.Step(feature, threshold, left, right, kPack64To32);
+    }
+    a.Finish(threshold, acc + r);
+    b.Finish(threshold, acc + r + 4);
+  }
+  for (; r + 4 <= n_rows; r += 4) {
+    Chain4 a;
+    a.Start(rows + r * n_features, n_features, root);
+    for (std::int32_t d = 0; d < depth; ++d) {
+      a.Step(feature, threshold, left, right, kPack64To32);
+    }
+    a.Finish(threshold, acc + r);
+  }
+  if (r < n_rows) {
+    TreeAccumulateChains<4>(feature, threshold, left, right, root, depth,
+                            rows + r * n_features, n_rows - r, n_features,
+                            acc + r);
+  }
+}
+
+#pragma GCC diagnostic pop
+
+const ForestOps kOps = {&TreeAccumulate};
+
+}  // namespace
+
+const ForestOps* GetForestOps_avx2() { return &kOps; }
+
+}  // namespace eco::ml::detail
+
+#else  // !defined(__AVX2__)
+
+namespace eco::ml::detail {
+const ForestOps* GetForestOps_avx2() { return nullptr; }
+}  // namespace eco::ml::detail
+
+#endif

@@ -1,0 +1,108 @@
+// AVX-512 forest-traversal tier: two independent eight-row chains per loop
+// iteration (sixteen rows in flight), with predicate masks —
+// _mm512_cmp_pd_mask yields the __mmask8 that steers the child blend
+// directly, no 64→32-bit mask compaction needed. Same exact `<`
+// (_CMP_LT_OQ) and same per-lane double add as scalar, so bitwise identical
+// at every batch size.
+#include "ml/forest_inference.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include "ml/forest_tiers.inc"
+
+namespace eco::ml::detail {
+namespace {
+
+// Same unmasked-gather -Wmaybe-uninitialized false positive as the AVX2 TU.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// One 8-row traversal chain. As in the AVX2 tier, the depth loop is a
+// latency chain (idx -> gather -> compare -> blend -> idx), so
+// TreeAccumulate interleaves TWO independent chains to keep the gather
+// ports busy while each chain waits on its own dependency.
+struct Chain8 {
+  const double* row[8];
+  __m256i idx;
+
+  inline void Start(const double* rows, std::int32_t n_features,
+                    std::int32_t root) {
+    row[0] = rows;
+    for (int k = 1; k < 8; ++k) row[k] = row[k - 1] + n_features;
+    idx = _mm256_set1_epi32(root);
+  }
+
+  inline void Step(const std::int16_t* feature, const double* threshold,
+                   const std::int32_t* left, const std::int32_t* right) {
+    alignas(32) std::int32_t ix[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ix), idx);
+    const __m512d vals = _mm512_set_pd(
+        row[7][feature[ix[7]]], row[6][feature[ix[6]]],
+        row[5][feature[ix[5]]], row[4][feature[ix[4]]],
+        row[3][feature[ix[3]]], row[2][feature[ix[2]]],
+        row[1][feature[ix[1]]], row[0][feature[ix[0]]]);
+    const __m512d thr = _mm512_i32gather_pd(idx, threshold, 8);
+    const __mmask8 go_left = _mm512_cmp_pd_mask(vals, thr, _CMP_LT_OQ);
+    const __m256i l =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(left), idx, 4);
+    const __m256i rt =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(right), idx, 4);
+    idx = _mm256_mask_blend_epi32(go_left, rt, l);
+  }
+
+  inline void Finish(const double* threshold, double* acc) const {
+    const __m512d leaf = _mm512_i32gather_pd(idx, threshold, 8);
+    _mm512_storeu_pd(acc, _mm512_add_pd(_mm512_loadu_pd(acc), leaf));
+  }
+};
+
+void TreeAccumulate(const std::int16_t* feature, const double* threshold,
+                    const std::int32_t* left, const std::int32_t* right,
+                    std::int32_t root, std::int32_t depth, const double* rows,
+                    std::int64_t n_rows, std::int32_t n_features, double* acc) {
+  std::int64_t r = 0;
+  for (; r + 16 <= n_rows; r += 16) {
+    Chain8 a, b;
+    a.Start(rows + r * n_features, n_features, root);
+    b.Start(rows + (r + 8) * n_features, n_features, root);
+    for (std::int32_t d = 0; d < depth; ++d) {
+      a.Step(feature, threshold, left, right);
+      b.Step(feature, threshold, left, right);
+    }
+    a.Finish(threshold, acc + r);
+    b.Finish(threshold, acc + r + 8);
+  }
+  for (; r + 8 <= n_rows; r += 8) {
+    Chain8 a;
+    a.Start(rows + r * n_features, n_features, root);
+    for (std::int32_t d = 0; d < depth; ++d) {
+      a.Step(feature, threshold, left, right);
+    }
+    a.Finish(threshold, acc + r);
+  }
+  if (r < n_rows) {
+    TreeAccumulateChains<4>(feature, threshold, left, right, root, depth,
+                            rows + r * n_features, n_rows - r, n_features,
+                            acc + r);
+  }
+}
+
+#pragma GCC diagnostic pop
+
+const ForestOps kOps = {&TreeAccumulate};
+
+}  // namespace
+
+const ForestOps* GetForestOps_avx512() { return &kOps; }
+
+}  // namespace eco::ml::detail
+
+#else  // !AVX512F || !AVX512VL
+
+namespace eco::ml::detail {
+const ForestOps* GetForestOps_avx512() { return nullptr; }
+}  // namespace eco::ml::detail
+
+#endif

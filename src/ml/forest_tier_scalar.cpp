@@ -1,0 +1,23 @@
+// Scalar forest-traversal tier: the portable reference every other tier is
+// bitwise identical to. Four index chains in lockstep for ILP.
+#include "ml/forest_inference.hpp"
+#include "ml/forest_tiers.inc"
+
+namespace eco::ml::detail {
+namespace {
+
+void TreeAccumulate(const std::int16_t* feature, const double* threshold,
+                    const std::int32_t* left, const std::int32_t* right,
+                    std::int32_t root, std::int32_t depth, const double* rows,
+                    std::int64_t n_rows, std::int32_t n_features, double* acc) {
+  TreeAccumulateChains<4>(feature, threshold, left, right, root, depth, rows,
+                          n_rows, n_features, acc);
+}
+
+const ForestOps kOps = {&TreeAccumulate};
+
+}  // namespace
+
+const ForestOps* GetForestOps_scalar() { return &kOps; }
+
+}  // namespace eco::ml::detail

@@ -1,0 +1,26 @@
+// SSE2-era forest-traversal tier. Tree traversal is gather/compare/select
+// bound and SSE2 has no gathers, so — like the baseline two-wide hpcg tier —
+// this is plain C++ (runs on any host): the same chain walk as scalar but
+// eight chains deep, saturating the load ports the way two-wide SIMD would.
+// Bitwise identical to scalar by construction (same step, same add).
+#include "ml/forest_inference.hpp"
+#include "ml/forest_tiers.inc"
+
+namespace eco::ml::detail {
+namespace {
+
+void TreeAccumulate(const std::int16_t* feature, const double* threshold,
+                    const std::int32_t* left, const std::int32_t* right,
+                    std::int32_t root, std::int32_t depth, const double* rows,
+                    std::int64_t n_rows, std::int32_t n_features, double* acc) {
+  TreeAccumulateChains<8>(feature, threshold, left, right, root, depth, rows,
+                          n_rows, n_features, acc);
+}
+
+const ForestOps kOps = {&TreeAccumulate};
+
+}  // namespace
+
+const ForestOps* GetForestOps_sse2() { return &kOps; }
+
+}  // namespace eco::ml::detail

@@ -1,22 +1,24 @@
 #include "ml/importance.hpp"
 
+#include <utility>
+
 #include "common/rng.hpp"
 
 namespace eco::ml {
 namespace {
 
-double ModelRmse(const PredictFn& predict,
-                 const std::vector<std::vector<double>>& features,
-                 const std::vector<double>& targets) {
-  std::vector<double> predictions;
-  predictions.reserve(features.size());
-  for (const auto& row : features) predictions.push_back(predict(row));
-  return Rmse(predictions, targets);
+double BatchRmse(const BatchPredictFn& predict,
+                 const std::vector<double>& matrix, std::size_t n,
+                 std::size_t k, const std::vector<double>& targets,
+                 std::vector<double>* predictions) {
+  predictions->assign(n, 0.0);
+  predict(matrix.data(), n, k, predictions->data());
+  return Rmse(*predictions, targets);
 }
 
 }  // namespace
 
-FeatureImportance PermutationImportance(const PredictFn& predict,
+FeatureImportance PermutationImportance(const BatchPredictFn& predict,
                                         const Dataset& data, int repeats,
                                         std::uint64_t seed) {
   FeatureImportance result;
@@ -25,24 +27,58 @@ FeatureImportance PermutationImportance(const PredictFn& predict,
   result.rmse_increase.assign(k, 0.0);
   if (n < 2 || k == 0) return result;
 
-  result.baseline_rmse = ModelRmse(predict, data.features, data.targets);
+  // One flattened row-major matrix, column-permuted in place: a single
+  // batched prediction per shuffle replaces n per-row calls.
+  std::vector<double> matrix(n * k);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) matrix[r * k + c] = data.features[r][c];
+  }
+
+  std::vector<double> predictions;
+  result.baseline_rmse =
+      BatchRmse(predict, matrix, n, k, data.targets, &predictions);
 
   Rng rng(seed);
+  std::vector<double> column(n);
   for (std::size_t feature = 0; feature < k; ++feature) {
     double total = 0.0;
     for (int repeat = 0; repeat < repeats; ++repeat) {
-      auto shuffled = data.features;
-      // Fisher–Yates over just this column.
+      // Fisher–Yates over a fresh copy of the original column — the same
+      // swaps in the same RNG draw order as the row-of-vectors loop this
+      // replaced, so importances are bit-identical to it.
+      for (std::size_t i = 0; i < n; ++i) column[i] = data.features[i][feature];
       for (std::size_t i = n; i > 1; --i) {
         const std::size_t j = rng.NextBounded(i);
-        std::swap(shuffled[i - 1][feature], shuffled[j][feature]);
+        std::swap(column[i - 1], column[j]);
       }
-      total += ModelRmse(predict, shuffled, data.targets);
+      for (std::size_t i = 0; i < n; ++i) matrix[i * k + feature] = column[i];
+      total += BatchRmse(predict, matrix, n, k, data.targets, &predictions);
     }
-    result.rmse_increase[feature] =
-        total / repeats - result.baseline_rmse;
+    for (std::size_t i = 0; i < n; ++i) {
+      matrix[i * k + feature] = data.features[i][feature];  // restore
+    }
+    result.rmse_increase[feature] = total / repeats - result.baseline_rmse;
   }
   return result;
+}
+
+FeatureImportance PermutationImportance(const PredictFn& predict,
+                                        const Dataset& data, int repeats,
+                                        std::uint64_t seed) {
+  // Row-at-a-time adapter: hands each matrix row to `predict` unchanged, so
+  // both overloads see identical feature values.
+  const BatchPredictFn batched = [&predict](const double* rows,
+                                            std::size_t n_rows,
+                                            std::size_t n_features,
+                                            double* out) {
+    std::vector<double> row(n_features);
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      const double* r = rows + i * n_features;
+      row.assign(r, r + n_features);
+      out[i] = predict(row);
+    }
+  };
+  return PermutationImportance(batched, data, repeats, seed);
 }
 
 }  // namespace eco::ml

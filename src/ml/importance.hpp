@@ -14,6 +14,13 @@
 namespace eco::ml {
 
 using PredictFn = std::function<double(const std::vector<double>&)>;
+// Batched form: scores `n_rows` row-major rows (each `n_features` wide) into
+// out[0..n_rows) — the signature of ml::CompiledForest::BatchPredict and
+// ml::LinearRegression::PredictBatch, so the compiled engines plug in
+// directly.
+using BatchPredictFn = std::function<void(
+    const double* rows, std::size_t n_rows, std::size_t n_features,
+    double* out)>;
 
 struct FeatureImportance {
   // Per feature: increase in RMSE when that feature is permuted, averaged
@@ -23,6 +30,16 @@ struct FeatureImportance {
   double baseline_rmse = 0.0;
 };
 
+// Batched core: flattens the dataset into one feature matrix and permutes
+// columns in place, issuing one batched prediction per shuffle instead of
+// one call per row. RNG draw order matches the per-row overload exactly, so
+// for a batched predictor that agrees with its per-row form the importances
+// are bit-identical.
+FeatureImportance PermutationImportance(const BatchPredictFn& predict,
+                                        const Dataset& data, int repeats = 5,
+                                        std::uint64_t seed = 17);
+
+// Per-row convenience: adapts `predict` and runs the batched core.
 FeatureImportance PermutationImportance(const PredictFn& predict,
                                         const Dataset& data, int repeats = 5,
                                         std::uint64_t seed = 17);

@@ -8,22 +8,28 @@ namespace eco::ml {
 
 std::vector<double> LinearRegression::Expand(const std::vector<double>& x) const {
   std::vector<double> out;
-  out.push_back(1.0);  // intercept
-  for (double v : x) out.push_back(v);
+  ExpandInto(x.data(), x.size(), &out);
+  return out;
+}
+
+void LinearRegression::ExpandInto(const double* x, std::size_t n,
+                                  std::vector<double>* out) const {
+  out->clear();
+  out->push_back(1.0);  // intercept
+  for (std::size_t i = 0; i < n; ++i) out->push_back(x[i]);
   if (params_.polynomial_degree >= 2) {
-    for (double v : x) out.push_back(v * v);
+    for (std::size_t i = 0; i < n; ++i) out->push_back(x[i] * x[i]);
     if (params_.interactions) {
-      for (std::size_t i = 0; i < x.size(); ++i) {
-        for (std::size_t j = i + 1; j < x.size(); ++j) {
-          out.push_back(x[i] * x[j]);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          out->push_back(x[i] * x[j]);
         }
       }
     }
   }
   if (params_.polynomial_degree >= 3) {
-    for (double v : x) out.push_back(v * v * v);
+    for (std::size_t i = 0; i < n; ++i) out->push_back(x[i] * x[i] * x[i]);
   }
-  return out;
 }
 
 Status LinearRegression::Fit(const Dataset& data) {
@@ -71,6 +77,27 @@ double LinearRegression::Predict(const std::vector<double>& features) const {
     sum += weights_[c] * (expanded[c] - feature_mean_[c]) / feature_scale_[c];
   }
   return sum;
+}
+
+Status LinearRegression::PredictBatch(const double* rows, std::int64_t n_rows,
+                                      std::int32_t n_features,
+                                      double* out) const {
+  if (!fitted_) return Status::Error("linreg: not fitted");
+  if (n_rows < 0) return Status::Error("linreg: negative row count");
+  if (n_rows > 0 && (rows == nullptr || out == nullptr)) {
+    return Status::Error("linreg: null buffer");
+  }
+  std::vector<double> expanded;
+  for (std::int64_t r = 0; r < n_rows; ++r) {
+    ExpandInto(rows + r * n_features, static_cast<std::size_t>(n_features),
+               &expanded);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < weights_.size() && c < expanded.size(); ++c) {
+      sum += weights_[c] * (expanded[c] - feature_mean_[c]) / feature_scale_[c];
+    }
+    out[r] = sum;
+  }
+  return Status::Ok();
 }
 
 Json LinearRegression::ToJson() const {

@@ -8,6 +8,7 @@
 // before fitting so the ridge penalty acts uniformly.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
@@ -29,6 +30,12 @@ class LinearRegression {
 
   Status Fit(const Dataset& data);
   [[nodiscard]] double Predict(const std::vector<double>& features) const;
+  // Scores `n_rows` row-major rows (each `n_features` wide) into
+  // out[0..n_rows): the same expansion and weighted-sum order as Predict
+  // with one reused expansion buffer instead of a fresh vector per row, so
+  // out[i] is bitwise identical to Predict(row i).
+  Status PredictBatch(const double* rows, std::int64_t n_rows,
+                      std::int32_t n_features, double* out) const;
   [[nodiscard]] bool fitted() const { return fitted_; }
 
   [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
@@ -38,6 +45,9 @@ class LinearRegression {
 
  private:
   [[nodiscard]] std::vector<double> Expand(const std::vector<double>& x) const;
+  // Expand into a caller-owned buffer (cleared first) — the allocation-free
+  // core both Predict paths share, keeping their arithmetic identical.
+  void ExpandInto(const double* x, std::size_t n, std::vector<double>* out) const;
 
   LinearRegressionParams params_;
   bool fitted_ = false;

@@ -1,6 +1,7 @@
 #include "ml/random_forest.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "ml/dataset.hpp"
 
@@ -83,7 +84,11 @@ Status RandomForest::Fit(const Dataset& data, ThreadPool* pool) {
       oob_target.push_back(data.targets[i]);
     }
   }
-  oob_r2_ = oob_pred.empty() ? 0.0 : RSquared(oob_pred, oob_target);
+  // Header contract: NaN when no row was ever out of bag (e.g. a bootstrap
+  // fraction that puts every row in every bag) — 0.0 would read as "fits no
+  // better than the mean" when in truth there was nothing to score.
+  oob_r2_ = oob_pred.empty() ? std::numeric_limits<double>::quiet_NaN()
+                             : RSquared(oob_pred, oob_target);
   return Status::Ok();
 }
 
@@ -99,7 +104,9 @@ Json RandomForest::ToJson() const {
   obj["trees_requested"] = params_.trees;
   obj["seed"] = static_cast<long long>(params_.seed);
   obj["bootstrap_fraction"] = params_.bootstrap_fraction;
-  obj["oob_r2"] = oob_r2_;
+  // JSON has no NaN literal (the parser rejects non-finite numbers), so an
+  // unavailable OOB score serializes as null and parses back to NaN below.
+  obj["oob_r2"] = std::isfinite(oob_r2_) ? Json(oob_r2_) : Json();
   JsonArray trees;
   for (const auto& tree : trees_) trees.push_back(tree.ToJson());
   obj["trees"] = std::move(trees);
@@ -118,7 +125,8 @@ Result<RandomForest> RandomForest::FromJson(const Json& json) {
       static_cast<std::uint64_t>(json.at("seed").as_int(2023));
   forest.params_.bootstrap_fraction =
       json.at("bootstrap_fraction").as_number(1.0);
-  forest.oob_r2_ = json.at("oob_r2").as_number();
+  forest.oob_r2_ =
+      json.at("oob_r2").as_number(std::numeric_limits<double>::quiet_NaN());
   for (const auto& t : json.at("trees").as_array()) {
     auto tree = RegressionTree::FromJson(t);
     if (!tree.ok()) return Result<RandomForest>::Error(tree.message());

@@ -9,6 +9,7 @@
 // the fitted forest and its OOB R² are bit-identical at any pool size.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -46,9 +47,13 @@ class RandomForest {
   static Result<RandomForest> FromJson(const Json& json);
 
  private:
+  // CompiledForest flattens trees_ into its SoA arrays (ml/forest_inference).
+  friend class CompiledForest;
+
   ForestParams params_;
   std::vector<RegressionTree> trees_;
-  double oob_r2_ = 0.0;
+  // NaN until Fit observes at least one out-of-bag row (header contract).
+  double oob_r2_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace eco::ml

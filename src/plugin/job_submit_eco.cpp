@@ -330,6 +330,10 @@ int EcoJobSubmit(job_desc_msg_t* job_desc, uint32_t submit_uid,
   ++stats.cache_misses;
   reg.cache_misses->Add(1);
 
+  // Miss path: the gateway's SlurmConfigService resolves the model for this
+  // (system_hash, binary_hash) — unpacking a random-tree model compiles its
+  // SoA inference engine once there (eco_ml_inference_compiles_total), and
+  // the candidate sweep behind this call runs as one batched predict.
   const auto config_json = gateway->slurm_config(system_hash, binary_hash);
   if (!config_json.ok()) {
     ECO_WARN << "job_submit_eco: chronus lookup failed ("

@@ -181,6 +181,29 @@ std::string Sdiag(const ClusterSim& cluster) {
       << " (best supported: "
       << hpcg::IsaTierName(hpcg::BestSupportedIsaTier()) << ")\n";
 
+  // ML inference engine (published into the process-wide registry by the
+  // compiled forest engine, ml/forest_inference; same ISA tier as above).
+  const telemetry::Counter* ml_compiles =
+      global.FindCounter("eco_ml_inference_compiles_total");
+  const telemetry::Counter* ml_batches =
+      global.FindCounter("eco_ml_inference_batches_total");
+  out << "ML inference engine:\n";
+  if (ml_compiles == nullptr && ml_batches == nullptr) {
+    out << "  (never used)\n";
+  } else {
+    const telemetry::Counter* ml_rows =
+        global.FindCounter("eco_ml_inference_rows_total");
+    out << "  Compiled forests: "
+        << (ml_compiles != nullptr ? ml_compiles->Value() : 0)
+        << "  Batches: " << (ml_batches != nullptr ? ml_batches->Value() : 0)
+        << "  Rows: " << (ml_rows != nullptr ? ml_rows->Value() : 0) << "\n";
+    const telemetry::Histogram* ml_hist =
+        global.FindHistogram("eco_ml_inference_rows");
+    if (ml_hist != nullptr && ml_hist->Count() > 0) {
+      out << "  Batch sizes: " << ml_hist->FormatBuckets() << "\n";
+    }
+  }
+
   // Ingress front door (published into the cluster's registry when a
   // SubmitIngress was constructed with ClusterSim::metrics(); absent when
   // submissions go straight to Submit/SubmitBatch).

@@ -1,0 +1,533 @@
+// Compiled forest inference engine (ml/forest_inference): bitwise
+// equivalence against the pointer-walk oracle across every supported ISA
+// tier and batch size, topology validation, the batched optimizer routing,
+// and the argmax tie-breaking contract. Runs under ThreadSanitizer via the
+// tsan label (concurrent BatchPredict on one shared engine).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "chronus/optimizers.hpp"
+#include "common/rng.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "hpcg/dispatch.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/forest_inference.hpp"
+#include "ml/importance.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/random_forest.hpp"
+
+namespace eco::ml {
+namespace {
+
+// Bit-pattern comparison: "bitwise identical" is the contract, not "close".
+std::uint64_t Bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::vector<hpcg::IsaTier> SupportedTiers() {
+  std::vector<hpcg::IsaTier> tiers;
+  for (int t = 0; t < hpcg::kIsaTierCount; ++t) {
+    const auto tier = static_cast<hpcg::IsaTier>(t);
+    if (hpcg::IsaTierSupported(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+// Restores the ambient dispatch tier on scope exit (the test_hpcg_kernels
+// idiom), so tier-forcing tests can't leak their choice into the binary.
+class TierGuard {
+ public:
+  TierGuard() : prior_(hpcg::ActiveIsaTier()) {}
+  ~TierGuard() { hpcg::ForceIsaTier(prior_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  hpcg::IsaTier prior_;
+};
+
+// Non-linear 3-feature surface: step + sine + slope, so fitted trees split
+// on every feature and grow to real depth.
+Dataset SweepDataset(int n = 400) {
+  Dataset data;
+  Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(0.0, 10.0);
+    const double b = rng.Uniform(0.0, 10.0);
+    const double c = rng.Uniform(0.0, 10.0);
+    data.Add({a, b, c}, 3.0 * std::sin(a) + (b < 5.0 ? 10.0 : 20.0) + 0.3 * c);
+  }
+  return data;
+}
+
+// ---------------------------------------------------------- CompiledForest
+
+TEST(CompiledForest, BitwiseEqualsPointerWalkAcrossTiersAndBatchSizes) {
+  ForestParams params;
+  params.trees = 50;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(SweepDataset()).ok());
+  auto compiled = CompiledForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok()) << compiled.message();
+  EXPECT_EQ(compiled->tree_count(), 50u);
+  EXPECT_GT(compiled->max_depth(), 0);
+  EXPECT_LE(compiled->feature_count(), 3);
+
+  Rng rng(11);
+  TierGuard guard;
+  for (const hpcg::IsaTier tier : SupportedTiers()) {
+    ASSERT_EQ(hpcg::ForceIsaTier(tier), tier);
+    for (const std::int64_t n : {1, 7, 64, 1000}) {
+      std::vector<double> matrix(static_cast<std::size_t>(n) * 3);
+      for (auto& v : matrix) v = rng.Uniform(0.0, 10.0);
+      std::vector<double> out(static_cast<std::size_t>(n), -1.0);
+      ASSERT_TRUE(compiled->BatchPredict(matrix.data(), n, 3, out.data()).ok());
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto at = static_cast<std::size_t>(i) * 3;
+        const std::vector<double> row(matrix.begin() + at,
+                                      matrix.begin() + at + 3);
+        ASSERT_EQ(Bits(out[static_cast<std::size_t>(i)]),
+                  Bits(forest.Predict(row)))
+            << hpcg::IsaTierName(tier) << " batch " << n << " row " << i;
+      }
+      // Single-row convenience agrees with the batch it wraps.
+      auto one = compiled->PredictRow(matrix.data(), 3);
+      ASSERT_TRUE(one.ok());
+      EXPECT_EQ(Bits(*one), Bits(out[0]));
+    }
+  }
+}
+
+TEST(CompiledForest, JsonRoundTrippedForestCompilesIdentically) {
+  ForestParams params;
+  params.trees = 10;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(SweepDataset(150)).ok());
+  auto reloaded = RandomForest::FromJson(forest.ToJson());
+  ASSERT_TRUE(reloaded.ok());
+  auto original = CompiledForest::Compile(forest);
+  auto roundtrip = CompiledForest::Compile(*reloaded);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(roundtrip.ok());
+
+  Rng rng(3);
+  std::vector<double> matrix(64 * 3);
+  for (auto& v : matrix) v = rng.Uniform(0.0, 10.0);
+  std::vector<double> a(64, 0.0);
+  std::vector<double> b(64, 0.0);
+  ASSERT_TRUE(original->BatchPredict(matrix.data(), 64, 3, a.data()).ok());
+  ASSERT_TRUE(roundtrip->BatchPredict(matrix.data(), 64, 3, b.data()).ok());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Bits(a[i]), Bits(b[i])) << i;
+  }
+}
+
+TEST(CompiledForest, SingleLeafForestNeverReadsTheMatrix) {
+  ForestParams params;
+  params.trees = 4;
+  params.tree.max_depth = 0;  // every tree is one leaf
+  RandomForest forest(params);
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.Add({static_cast<double>(i)}, 5.0 + i);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  auto compiled = CompiledForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->feature_count(), 0);
+  EXPECT_EQ(compiled->max_depth(), 0);
+  // Zero-width rows (even a null matrix) are legal: no traversal step ever
+  // dereferences them.
+  double out = -1.0;
+  ASSERT_TRUE(compiled->BatchPredict(nullptr, 1, 0, &out).ok());
+  EXPECT_EQ(Bits(out), Bits(forest.Predict({0.0})));
+}
+
+TEST(CompiledForest, UnfittedAndInvalidInputsRejected) {
+  EXPECT_FALSE(CompiledForest::Compile(RandomForest{}).ok());
+
+  CompiledForest never_compiled;
+  double out = 0.0;
+  EXPECT_FALSE(never_compiled.BatchPredict(&out, 1, 1, &out).ok());
+
+  ForestParams params;
+  params.trees = 5;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(SweepDataset(100)).ok());
+  auto compiled = CompiledForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_GT(compiled->feature_count(), 0);
+  std::vector<double> rows(3, 1.0);
+  // Too-narrow rows, negative counts, and null buffers all fail cleanly.
+  EXPECT_FALSE(compiled
+                   ->BatchPredict(rows.data(), 1, compiled->feature_count() - 1,
+                                  &out)
+                   .ok());
+  EXPECT_FALSE(compiled->BatchPredict(rows.data(), -1, 3, &out).ok());
+  EXPECT_FALSE(compiled->BatchPredict(rows.data(), 1, 3, nullptr).ok());
+  EXPECT_FALSE(compiled->BatchPredict(nullptr, 1, 3, &out).ok());
+  // Zero rows is a no-op success.
+  EXPECT_TRUE(compiled->BatchPredict(nullptr, 0, 3, nullptr).ok());
+}
+
+TEST(CompiledForest, ConcurrentBatchPredictOnSharedEngine) {
+  // Pin the widest kernel this machine has so tsan watches the real SIMD
+  // path, not whatever tier an earlier test left active.
+  TierGuard guard;
+  hpcg::ForceIsaTier(hpcg::BestSupportedIsaTier());
+  ForestParams params;
+  params.trees = 10;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(SweepDataset(200)).ok());
+  auto compiled = CompiledForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok());
+
+  Rng rng(23);
+  constexpr std::int64_t kRows = 256;
+  std::vector<double> matrix(kRows * 3);
+  for (auto& v : matrix) v = rng.Uniform(0.0, 10.0);
+  std::vector<double> serial(kRows, 0.0);
+  ASSERT_TRUE(
+      compiled->BatchPredict(matrix.data(), kRows, 3, serial.data()).ok());
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<double>> outs(
+      kThreads, std::vector<double>(kRows, -1.0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      compiled->BatchPredict(matrix.data(), kRows, 3, outs[t].data());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::int64_t i = 0; i < kRows; ++i) {
+      ASSERT_EQ(Bits(outs[t][static_cast<std::size_t>(i)]),
+                Bits(serial[static_cast<std::size_t>(i)]))
+          << "thread " << t << " row " << i;
+    }
+  }
+}
+
+TEST(CompiledForest, TelemetryCountersAdvance) {
+  auto& global = telemetry::MetricsRegistry::Global();
+  const auto value = [&](const char* name) -> std::uint64_t {
+    const telemetry::Counter* c = global.FindCounter(name);
+    return c != nullptr ? c->Value() : 0;
+  };
+  const std::uint64_t compiles = value("eco_ml_inference_compiles_total");
+  const std::uint64_t batches = value("eco_ml_inference_batches_total");
+  const std::uint64_t rows = value("eco_ml_inference_rows_total");
+
+  ForestParams params;
+  params.trees = 3;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(SweepDataset(60)).ok());
+  auto compiled = CompiledForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<double> matrix(5 * 3, 1.0);
+  std::vector<double> out(5, 0.0);
+  ASSERT_TRUE(compiled->BatchPredict(matrix.data(), 5, 3, out.data()).ok());
+
+  EXPECT_EQ(value("eco_ml_inference_compiles_total"), compiles + 1);
+  EXPECT_EQ(value("eco_ml_inference_batches_total"), batches + 1);
+  EXPECT_EQ(value("eco_ml_inference_rows_total"), rows + 5);
+  const telemetry::Histogram* hist =
+      global.FindHistogram("eco_ml_inference_rows");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->Count(), 0u);
+}
+
+// ------------------------------------------------- FromJson hardening
+
+Json NodeJson(int f, double t, double v, int l, int r) {
+  JsonObject node;
+  node["f"] = f;
+  node["t"] = t;
+  node["v"] = v;
+  node["l"] = l;
+  node["r"] = r;
+  return Json(std::move(node));
+}
+
+Json TreeJson(JsonArray nodes) {
+  JsonObject root;
+  root["nodes"] = Json(std::move(nodes));
+  root["max_depth"] = 8;
+  return Json(std::move(root));
+}
+
+TEST(RegressionTree, FromJsonRejectsFeatureOutOfRange) {
+  // 40000 overflows the compiled engine's int16 feature slot.
+  EXPECT_FALSE(RegressionTree::FromJson(
+                   TreeJson({NodeJson(40000, 0.5, 0.0, 1, 2),
+                             NodeJson(-1, 0.0, 1.0, -1, -1),
+                             NodeJson(-1, 0.0, 2.0, -1, -1)}))
+                   .ok());
+  // Anything below the -1 leaf marker is corruption, not a leaf.
+  EXPECT_FALSE(
+      RegressionTree::FromJson(TreeJson({NodeJson(-2, 0.0, 1.0, -1, -1)}))
+          .ok());
+  // The int16 ceiling itself is accepted.
+  EXPECT_TRUE(RegressionTree::FromJson(
+                  TreeJson({NodeJson(32767, 0.5, 0.0, 1, 2),
+                            NodeJson(-1, 0.0, 1.0, -1, -1),
+                            NodeJson(-1, 0.0, 2.0, -1, -1)}))
+                  .ok());
+}
+
+TEST(RegressionTree, FromJsonRejectsCyclicOrConvergingLinks) {
+  // Both children point at the same node (converging DAG).
+  EXPECT_FALSE(RegressionTree::FromJson(
+                   TreeJson({NodeJson(0, 0.5, 0.0, 1, 1),
+                             NodeJson(-1, 0.0, 1.0, -1, -1)}))
+                   .ok());
+  // Child points back at the root (cycle — Predict would never terminate).
+  EXPECT_FALSE(RegressionTree::FromJson(
+                   TreeJson({NodeJson(0, 0.5, 0.0, 0, 1),
+                             NodeJson(-1, 0.0, 1.0, -1, -1)}))
+                   .ok());
+}
+
+TEST(RegressionTree, FromJsonRejectsUnreachableNodes) {
+  EXPECT_FALSE(RegressionTree::FromJson(
+                   TreeJson({NodeJson(-1, 0.0, 1.0, -1, -1),
+                             NodeJson(-1, 0.0, 2.0, -1, -1)}))
+                   .ok());
+}
+
+TEST(RandomForest, FromJsonPropagatesCorruptTree) {
+  JsonObject forest;
+  forest["trees_requested"] = 1;
+  forest["oob_r2"] = Json();
+  forest["trees"] =
+      Json(JsonArray{TreeJson({NodeJson(0, 0.5, 0.0, 1, 1),
+                               NodeJson(-1, 0.0, 1.0, -1, -1)})});
+  EXPECT_FALSE(RandomForest::FromJson(Json(std::move(forest))).ok());
+}
+
+// ------------------------------------------------- oob_r_squared contract
+
+TEST(RandomForest, OobR2NaNWithoutCoverageAndSurvivesJson) {
+  // Unfitted: NaN, per the header contract.
+  EXPECT_TRUE(std::isnan(RandomForest{}.oob_r_squared()));
+
+  // One-row dataset: the bootstrap always draws that row, so nothing is
+  // ever out of bag and the estimate must be NaN (not a misleading 0.0).
+  ForestParams params;
+  params.trees = 3;
+  RandomForest forest(params);
+  Dataset data;
+  data.Add({1.0}, 2.0);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  EXPECT_TRUE(std::isnan(forest.oob_r_squared()));
+
+  // NaN serializes as JSON null and parses back to NaN.
+  const Json json = forest.ToJson();
+  EXPECT_TRUE(json.at("oob_r2").is_null());
+  auto loaded = RandomForest::FromJson(json);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(std::isnan(loaded->oob_r_squared()));
+}
+
+TEST(RandomForest, OobR2FiniteWithCoverageAndRoundTripsExactly) {
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(SweepDataset(120)).ok());
+  ASSERT_TRUE(std::isfinite(forest.oob_r_squared()));
+  auto loaded = RandomForest::FromJson(forest.ToJson());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(Bits(loaded->oob_r_squared()), Bits(forest.oob_r_squared()));
+}
+
+// ------------------------------------------- LinearRegression batched dot
+
+TEST(LinearRegression, PredictBatchBitwiseEqualsPredict) {
+  Dataset data;
+  for (int a = 0; a <= 8; ++a) {
+    for (int b = 0; b <= 3; ++b) {
+      data.Add({static_cast<double>(a), static_cast<double>(b)},
+               1.0 + 2.0 * a + 0.5 * a * a - b);
+    }
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  Rng rng(5);
+  constexpr std::int64_t kRows = 33;
+  std::vector<double> matrix(kRows * 2);
+  for (auto& v : matrix) v = rng.Uniform(0.0, 8.0);
+  std::vector<double> out(kRows, 0.0);
+  ASSERT_TRUE(model.PredictBatch(matrix.data(), kRows, 2, out.data()).ok());
+  for (std::int64_t i = 0; i < kRows; ++i) {
+    const auto at = static_cast<std::size_t>(i) * 2;
+    EXPECT_EQ(Bits(out[static_cast<std::size_t>(i)]),
+              Bits(model.Predict({matrix[at], matrix[at + 1]})))
+        << i;
+  }
+  EXPECT_FALSE(LinearRegression{}.PredictBatch(matrix.data(), 1, 2, out.data())
+                   .ok());
+}
+
+// -------------------------------------------- PermutationImportance batch
+
+TEST(PermutationImportance, BatchedForestMatchesPerRowBitwise) {
+  const Dataset data = SweepDataset(120);
+  ForestParams params;
+  params.trees = 12;
+  RandomForest forest(params);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  auto compiled = CompiledForest::Compile(forest);
+  ASSERT_TRUE(compiled.ok());
+
+  const FeatureImportance per_row = PermutationImportance(
+      [&](const std::vector<double>& row) { return forest.Predict(row); },
+      data);
+  const FeatureImportance batched = PermutationImportance(
+      BatchPredictFn{[&](const double* rows, std::size_t n_rows,
+                         std::size_t n_features, double* out) {
+        ASSERT_TRUE(compiled
+                        ->BatchPredict(rows,
+                                       static_cast<std::int64_t>(n_rows),
+                                       static_cast<std::int32_t>(n_features),
+                                       out)
+                        .ok());
+      }},
+      data);
+
+  EXPECT_EQ(Bits(batched.baseline_rmse), Bits(per_row.baseline_rmse));
+  ASSERT_EQ(batched.rmse_increase.size(), per_row.rmse_increase.size());
+  for (std::size_t f = 0; f < per_row.rmse_increase.size(); ++f) {
+    EXPECT_EQ(Bits(batched.rmse_increase[f]), Bits(per_row.rmse_increase[f]))
+        << f;
+  }
+}
+
+}  // namespace
+}  // namespace eco::ml
+
+// ------------------------------------------------ Optimizer batched sweep
+
+namespace eco::chronus {
+namespace {
+
+std::uint64_t Bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::vector<BenchmarkRecord> SyntheticBenchmarks() {
+  std::vector<BenchmarkRecord> out;
+  for (const int cores : {2, 4, 8, 16, 32}) {
+    for (const int tpc : {1, 2}) {
+      for (const KiloHertz f :
+           {kHz(1'500'000), kHz(2'200'000), kHz(2'500'000)}) {
+        BenchmarkRecord b;
+        b.config = {cores, tpc, f};
+        const double ghz = KiloHertzToGHz(f);
+        b.gflops = cores * 0.9 * (tpc == 2 ? 1.2 : 1.0) * ghz;
+        b.avg_system_watts = 100.0 + cores * 3.0 * ghz;
+        b.duration_s = 100.0;
+        out.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Argmax, FirstCandidateWinsTies) {
+  const std::vector<Configuration> candidates = {
+      {1, 1, kHz(1'000'000)}, {2, 1, kHz(1'000'000)}, {3, 1, kHz(1'000'000)}};
+  // All-equal scores: the first candidate must win in both sweeps.
+  auto batched = ArgmaxFromScores(candidates, {1.0, 1.0, 1.0},
+                                  {true, true, true});
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ(batched->cores, 1);
+  auto serial = ArgmaxPrediction(
+      candidates, [](const Configuration&) { return Result<double>(1.0); });
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->cores, 1);
+  // A strictly greater later score does displace; a later tie does not.
+  auto later = ArgmaxFromScores(candidates, {1.0, 2.0, 2.0},
+                                {true, true, true});
+  ASSERT_TRUE(later.ok());
+  EXPECT_EQ(later->cores, 2);
+  // Unscored candidates are skipped even when their slot holds the max.
+  auto skipped = ArgmaxFromScores(candidates, {9.0, 1.0, 2.0},
+                                  {false, true, true});
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped->cores, 3);
+}
+
+TEST(Argmax, AllCandidatesFailingIsError) {
+  const std::vector<Configuration> candidates = {{1, 1, kHz(1'000'000)}};
+  EXPECT_FALSE(ArgmaxPrediction(candidates, [](const Configuration&) {
+                 return Result<double>::Error("unscorable");
+               }).ok());
+  EXPECT_FALSE(ArgmaxFromScores(candidates, {0.0}, {false}).ok());
+  EXPECT_FALSE(ArgmaxFromScores({}, {}, {}).ok());
+  EXPECT_FALSE(ArgmaxFromScores(candidates, {}, {}).ok());  // size mismatch
+}
+
+TEST(Optimizers, BatchedSweepMatchesSerialBitwise) {
+  const auto data = SyntheticBenchmarks();
+  std::vector<Configuration> candidates;
+  for (const auto& b : data) candidates.push_back(b.config);
+
+  for (const std::string& type :
+       {std::string("linear-regression"), std::string("random-tree")}) {
+    auto optimizer = ModelFactory::Make(type);
+    ASSERT_TRUE(optimizer.ok());
+    // Untrained batch is an error, like untrained Predict.
+    std::vector<double> scores;
+    std::vector<bool> scored;
+    EXPECT_FALSE(
+        (*optimizer)->PredictBatch(candidates, &scores, &scored).ok());
+
+    ASSERT_TRUE((*optimizer)->Train(data).ok());
+    ASSERT_TRUE((*optimizer)->PredictBatch(candidates, &scores, &scored).ok());
+    ASSERT_EQ(scores.size(), candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_TRUE(scored[i]);
+      auto serial = (*optimizer)->Predict(candidates[i]);
+      ASSERT_TRUE(serial.ok());
+      EXPECT_EQ(Bits(scores[i]), Bits(*serial)) << type << " candidate " << i;
+    }
+    // The batched argmax lands on the exact configuration the serial sweep
+    // picks (first-wins ties included).
+    auto batched_best = (*optimizer)->BestConfiguration(candidates);
+    auto serial_best =
+        ArgmaxPrediction(candidates, [&](const Configuration& c) {
+          return (*optimizer)->Predict(c);
+        });
+    ASSERT_TRUE(batched_best.ok());
+    ASSERT_TRUE(serial_best.ok());
+    EXPECT_TRUE(*batched_best == *serial_best) << type;
+  }
+}
+
+TEST(Optimizers, BruteForceBatchFlagsUnmeasuredCandidates) {
+  BruteForceOptimizer optimizer;
+  ASSERT_TRUE(optimizer.Train(SyntheticBenchmarks()).ok());
+  const std::vector<Configuration> candidates = {
+      {4, 1, kHz(2'200'000)},    // measured
+      {31, 1, kHz(2'200'000)},   // never measured
+  };
+  std::vector<double> scores;
+  std::vector<bool> scored;
+  ASSERT_TRUE(optimizer.PredictBatch(candidates, &scores, &scored).ok());
+  EXPECT_TRUE(scored[0]);
+  EXPECT_FALSE(scored[1]);
+  auto best = optimizer.BestConfiguration(candidates);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->cores, 4);
+}
+
+}  // namespace
+}  // namespace eco::chronus
