@@ -21,6 +21,11 @@ BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
 #ifdef ECO_GIT_SHA
   metrics_["git_sha"] = Json(ECO_GIT_SHA);
 #endif
+  // CI exports ECO_BENCH_TIMESTAMP (ISO-8601) so artifact trajectories can
+  // be ordered without trusting file mtimes; absent locally = no stamp.
+  if (const char* stamp = std::getenv("ECO_BENCH_TIMESTAMP")) {
+    if (stamp[0] != '\0') metrics_["wall_time_iso"] = Json(stamp);
+  }
 }
 
 void BenchReport::Set(const std::string& key, double value) {

@@ -21,7 +21,10 @@
 // --skip-legacy / --skip-indexed run one side only, --trace PATH writes a
 // Chrome trace_event JSON of an indexed drain (open in chrome://tracing or
 // Perfetto), --overhead-check asserts that an attached-but-disabled tracer
-// stays within noise of the no-tracer baseline.
+// stays within noise of the no-tracer baseline, --timeseries PATH writes the
+// multi-resolution time-series JSON of an indexed drain (and asserts
+// monotone timestamps at every resolution), --ts-overhead-check asserts that
+// 1 s sim-resolution sampling costs <= 2% drain throughput.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -35,6 +38,7 @@
 #include "bench_common.hpp"
 #include "common/log.hpp"
 #include "common/perf.hpp"
+#include "common/telemetry/timeseries.hpp"
 #include "common/telemetry/trace.hpp"
 #include "slurm/cluster.hpp"
 #include "slurm/workload_gen.hpp"
@@ -84,7 +88,9 @@ struct DrainResult {
 };
 
 DrainResult RunDrain(bool legacy, const std::vector<JobRequest>& backlog,
-                     telemetry::Tracer* tracer = nullptr) {
+                     telemetry::Tracer* tracer = nullptr,
+                     telemetry::TimeSeriesStore* timeseries = nullptr,
+                     double ts_resolution_s = 0.0) {
   ClusterConfig config;
   config.nodes = kNodes;
   config.node.tick_seconds = kTickSeconds;
@@ -94,6 +100,8 @@ DrainResult RunDrain(bool legacy, const std::vector<JobRequest>& backlog,
   // the legacy planner always walks the whole queue (that is the baseline).
   config.backfill_max_job_test = 100;
   config.tracer = tracer;
+  config.timeseries = timeseries;
+  config.timeseries_resolution_s = ts_resolution_s;
 
   ClusterSim cluster(config);
   using Clock = std::chrono::steady_clock;
@@ -168,6 +176,59 @@ void OverheadCheck(int scale) {
         "disabled-tracing drain exceeded noise bound vs baseline");
 }
 
+// One indexed drain with a time-series store sampling at the node tick,
+// exported as multi-resolution JSON (the power-over-time artifact CI
+// uploads next to the Chrome trace). Asserts the rollup invariant: strictly
+// monotone timestamps at every resolution.
+void WriteTimeseries(const std::string& path, int scale) {
+  telemetry::TimeSeriesStore store;
+  RunDrain(/*legacy=*/false, MakeBacklog(scale), nullptr, &store,
+           kTickSeconds);
+  for (const std::string& name : store.Names()) {
+    for (int r = 0; r < telemetry::TimeSeries::kResolutions; ++r) {
+      const auto samples = store.Samples(name, r);
+      for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+        Check(samples[i].t1 < samples[i + 1].t0,
+              "non-monotone timestamps in " + name + " @r" +
+                  std::to_string(r));
+      }
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    Check(false, "cannot write timeseries file " + path);
+    return;
+  }
+  out << store.DumpJson().Dump(2) << "\n";
+  std::printf("timeseries: %llu samples over %zu series @ %d jobs -> %s\n",
+              static_cast<unsigned long long>(store.samples_total()),
+              store.series_count(), scale, path.c_str());
+}
+
+// Sampling-cost gate (the ISSUE-9 analogue of the disabled-tracer gate):
+// drain time with 1 s sim-resolution sampling attached must stay within 2%
+// of the plain drain. Medians of 5 interleaved reps; the small absolute
+// term absorbs timer noise on sub-second drains.
+void TsOverheadCheck(int scale) {
+  const auto backlog = MakeBacklog(scale);
+  std::vector<double> base_s, sampled_s;
+  for (int rep = 0; rep < 5; ++rep) {
+    base_s.push_back(RunDrain(/*legacy=*/false, backlog).wall_s);
+    telemetry::TimeSeriesStore store;  // fresh rings per rep
+    sampled_s.push_back(
+        RunDrain(/*legacy=*/false, backlog, nullptr, &store, 1.0).wall_s);
+  }
+  std::sort(base_s.begin(), base_s.end());
+  std::sort(sampled_s.begin(), sampled_s.end());
+  const double base = base_s[2], sampled = sampled_s[2];
+  std::printf(
+      "ts-overhead-check @%d jobs: baseline %.3f s, sampled@1s %.3f s "
+      "(%.3fx)\n",
+      scale, base, sampled, sampled / std::max(base, 1e-9));
+  Check(sampled <= base * 1.02 + 0.1,
+        "1 s time-series sampling exceeded the 2% drain-throughput bound");
+}
+
 void Report(const char* engine, int scale, const DrainResult& r) {
   const SchedulerStats& s = r.stats;
   std::printf(
@@ -187,7 +248,9 @@ int main(int argc, char** argv) {
   bool run_legacy = true;
   bool run_indexed = true;
   bool overhead_check = false;
+  bool ts_overhead_check = false;
   std::string trace_path;
+  std::string timeseries_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-jobs") == 0 && i + 1 < argc) {
       max_jobs = std::atoi(argv[++i]);
@@ -199,10 +262,15 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--overhead-check") == 0) {
       overhead_check = true;
+    } else if (std::strcmp(argv[i], "--timeseries") == 0 && i + 1 < argc) {
+      timeseries_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ts-overhead-check") == 0) {
+      ts_overhead_check = true;
     } else {
       std::printf(
           "usage: %s [--max-jobs N] [--skip-legacy] [--skip-indexed] "
-          "[--trace PATH] [--overhead-check]\n",
+          "[--trace PATH] [--overhead-check] [--timeseries PATH] "
+          "[--ts-overhead-check]\n",
           argv[0]);
       return 2;
     }
@@ -249,7 +317,12 @@ int main(int argc, char** argv) {
     WriteTrace(trace_path, std::min(max_jobs, kGateScale));
     report.Set("trace_path", trace_path);
   }
+  if (!timeseries_path.empty()) {
+    WriteTimeseries(timeseries_path, std::min(max_jobs, kGateScale));
+    report.Set("timeseries_path", timeseries_path);
+  }
   if (overhead_check) OverheadCheck(std::min(max_jobs, 20'000));
+  if (ts_overhead_check) TsOverheadCheck(std::min(max_jobs, 20'000));
   report.Write();
 
   if (g_failures > 0) {

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace eco::telemetry {
 namespace {
@@ -103,7 +104,8 @@ double Histogram::Quantile(double q) const {
   const auto counts = BucketCounts();
   std::uint64_t total = 0;
   for (const std::uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
+  // Contract (metrics.hpp): empty histogram -> NaN, out-of-range q clamps.
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::min(1.0, std::max(0.0, q));
   const double target = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;

@@ -108,11 +108,15 @@ class Histogram {
   // "[0,1) 3  [1,10) 1  [10,+Inf) 0" — the sdiag one-line rendering.
   [[nodiscard]] std::string FormatBuckets() const;
 
-  // Prometheus-style estimated q-quantile (q in [0, 1]): walk the cumulative
-  // bucket counts and interpolate linearly inside the target bucket. The
-  // first bucket interpolates from 0; a quantile landing in the +Inf bucket
-  // returns the last finite bound (the estimate saturates there). 0.0 when
-  // the histogram is empty.
+  // Prometheus-style estimated q-quantile: walk the cumulative bucket
+  // counts and interpolate linearly inside the target bucket. The first
+  // bucket interpolates from 0; a quantile landing in the +Inf bucket
+  // returns the last finite bound (the estimate saturates there).
+  //
+  // Edge-case contract: an EMPTY histogram returns NaN — "no observations"
+  // must be distinguishable from "the quantile is 0.0" (a p99 of 0 s is a
+  // plausible latency; NaN never is). q outside [0, 1] is clamped into the
+  // range, so Quantile(-1) == Quantile(0) and Quantile(2) == Quantile(1).
   [[nodiscard]] double Quantile(double q) const;
 
  private:

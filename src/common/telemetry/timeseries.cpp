@@ -1,0 +1,224 @@
+#include "common/telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace eco::telemetry {
+
+TimeSeries::TimeSeries(TimeSeriesOptions options) : options_(options) {
+  options_.capacity = std::max<std::size_t>(options_.capacity, 2);
+  options_.fanout = std::max(options_.fanout, 2);
+  for (auto& ring : rings_) ring.buf.resize(options_.capacity);
+}
+
+void TimeSeries::Append(int level, const TsSample& sample, PushStats* stats) {
+  Ring& ring = rings_[level];
+  if (ring.count == options_.capacity) {
+    ++stats->dropped;  // overwrite the oldest retained sample
+  } else {
+    ++ring.count;
+  }
+  ring.buf[ring.next] = sample;
+  ring.next = (ring.next + 1) % options_.capacity;
+
+  if (level + 1 >= kResolutions) return;
+  TsSample& pending = pending_[level];
+  int& n = pending_n_[level];
+  if (n == 0) {
+    pending = sample;
+  } else {
+    pending.t1 = sample.t1;
+    pending.min = std::min(pending.min, sample.min);
+    pending.max = std::max(pending.max, sample.max);
+    pending.sum += sample.sum;
+    pending.count += sample.count;
+  }
+  if (++n >= options_.fanout) {
+    ++stats->compactions;
+    const TsSample rolled = pending;
+    n = 0;
+    Append(level + 1, rolled, stats);
+  }
+}
+
+TimeSeries::PushStats TimeSeries::Push(double t, double value) {
+  PushStats stats;
+  TsSample raw;
+  raw.t0 = raw.t1 = t;
+  raw.min = raw.max = raw.sum = value;
+  raw.count = 1;
+  Append(0, raw, &stats);
+  ++pushed_;
+  return stats;
+}
+
+std::vector<TsSample> TimeSeries::Samples(int resolution) const {
+  std::vector<TsSample> out;
+  if (resolution < 0 || resolution >= kResolutions) return out;
+  const Ring& ring = rings_[resolution];
+  out.reserve(ring.count + 1);
+  const std::size_t start =
+      (ring.next + options_.capacity - ring.count) % options_.capacity;
+  for (std::size_t i = 0; i < ring.count; ++i) {
+    out.push_back(ring.buf[(start + i) % options_.capacity]);
+  }
+  if (resolution > 0 && pending_n_[resolution - 1] > 0) {
+    out.push_back(pending_[resolution - 1]);
+  }
+  return out;
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(options) {}
+
+void TimeSeriesStore::BindSelfMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  metric_series_ = registry->GetGauge("eco_ts_series");
+  metric_samples_ = registry->GetCounter("eco_ts_samples_total");
+  metric_compactions_ = registry->GetCounter("eco_ts_compactions_total");
+  metric_dropped_ = registry->GetCounter("eco_ts_dropped_total");
+  metric_series_->Set(static_cast<double>(series_.size()));
+}
+
+void TimeSeriesStore::Track(const std::string& name, Series series) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.emplace(name, std::move(series));  // first registration wins
+  if (metric_series_ != nullptr) {
+    metric_series_->Set(static_cast<double>(series_.size()));
+  }
+}
+
+void TimeSeriesStore::TrackCounter(MetricsRegistry& registry,
+                                   const std::string& name) {
+  Series series(options_);
+  series.counter = registry.GetCounter(name);
+  Track(name, std::move(series));
+}
+
+void TimeSeriesStore::TrackGauge(MetricsRegistry& registry,
+                                 const std::string& name) {
+  Series series(options_);
+  series.gauge = registry.GetGauge(name);
+  Track(name, std::move(series));
+}
+
+void TimeSeriesStore::TrackProbe(const std::string& name,
+                                 std::function<double()> probe) {
+  if (!probe) return;
+  Series series(options_);
+  series.probe = std::move(probe);
+  Track(name, std::move(series));
+}
+
+void TimeSeriesStore::SampleAll(double t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, series] : series_) {
+    double value = 0.0;
+    if (series.counter != nullptr) {
+      value = static_cast<double>(series.counter->Value());
+    } else if (series.gauge != nullptr) {
+      value = series.gauge->Value();
+    } else if (series.probe) {
+      value = series.probe();
+    }
+    const TimeSeries::PushStats stats = series.data.Push(t, value);
+    ++samples_total_;
+    compactions_total_ += stats.compactions;
+    dropped_total_ += stats.dropped;
+    if (metric_samples_ != nullptr) metric_samples_->Add(1);
+    if (metric_compactions_ != nullptr && stats.compactions > 0) {
+      metric_compactions_->Add(stats.compactions);
+    }
+    if (metric_dropped_ != nullptr && stats.dropped > 0) {
+      metric_dropped_->Add(stats.dropped);
+    }
+  }
+}
+
+std::vector<std::string> TimeSeriesStore::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, series] : series_) names.push_back(name);
+  return names;
+}
+
+bool TimeSeriesStore::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.count(name) > 0;
+}
+
+std::vector<TsSample> TimeSeriesStore::Samples(const std::string& name,
+                                               int resolution) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return it->second.data.Samples(resolution);
+}
+
+namespace {
+
+Json SampleJson(const TsSample& sample) {
+  return Json(JsonObject{{"t0", Json(sample.t0)},
+                         {"t1", Json(sample.t1)},
+                         {"min", Json(sample.min)},
+                         {"max", Json(sample.max)},
+                         {"sum", Json(sample.sum)},
+                         {"count", Json(sample.count)}});
+}
+
+Json SamplesJson(const std::vector<TsSample>& samples) {
+  JsonArray array;
+  array.reserve(samples.size());
+  for (const TsSample& sample : samples) array.push_back(SampleJson(sample));
+  return Json(std::move(array));
+}
+
+}  // namespace
+
+Json TimeSeriesStore::QueryJson(const std::string& name,
+                                int resolution) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return Json();
+  return Json(JsonObject{
+      {"name", Json(name)},
+      {"resolution", Json(resolution)},
+      {"samples", SamplesJson(it->second.data.Samples(resolution))}});
+}
+
+Json TimeSeriesStore::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject out;
+  for (const auto& [name, series] : series_) {
+    JsonObject levels;
+    for (int r = 0; r < TimeSeries::kResolutions; ++r) {
+      levels["r" + std::to_string(r)] = SamplesJson(series.data.Samples(r));
+    }
+    out[name] = Json(std::move(levels));
+  }
+  return Json(std::move(out));
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::uint64_t TimeSeriesStore::samples_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_total_;
+}
+
+std::uint64_t TimeSeriesStore::compactions_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compactions_total_;
+}
+
+std::uint64_t TimeSeriesStore::dropped_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_total_;
+}
+
+}  // namespace eco::telemetry

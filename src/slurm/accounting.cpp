@@ -42,6 +42,7 @@ AccountingTotals AccountingDb::Totals() const {
     totals.cpu_seconds += r.RunSeconds() * r.request.num_tasks;
     totals.system_joules += r.system_joules;
     totals.cpu_joules += r.cpu_joules;
+    totals.attributed_joules += r.attributed_joules;
     if (r.state == JobState::kCompleted || r.state == JobState::kCancelled) {
       totals.wait_seconds += r.WaitSeconds();
     }
@@ -57,7 +58,8 @@ Status AccountingDb::ExportCsv(const std::string& path) const {
   std::vector<CsvRow> rows;
   rows.push_back({"job_id", "name", "user", "state", "nodes", "tasks",
                   "threads_per_core", "cpu_freq_khz", "submit", "start", "end",
-                  "system_kj", "cpu_kj", "gflops", "avg_cpu_temp"});
+                  "system_kj", "cpu_kj", "ledger_kj", "gflops",
+                  "avg_cpu_temp"});
   for (const auto& r : records_) {
     rows.push_back({
         std::to_string(r.id),
@@ -73,6 +75,7 @@ Status AccountingDb::ExportCsv(const std::string& path) const {
         FormatDouble(r.end_time, 1),
         FormatDouble(r.system_joules / 1000.0, 3),
         FormatDouble(r.cpu_joules / 1000.0, 3),
+        FormatDouble(r.attributed_joules / 1000.0, 3),
         FormatDouble(r.gflops, 4),
         FormatDouble(r.avg_cpu_temp, 2),
     });

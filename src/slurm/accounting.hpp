@@ -18,6 +18,8 @@ struct AccountingTotals {
   double cpu_seconds = 0.0;     // sum tasks × runtime
   double system_joules = 0.0;
   double cpu_joules = 0.0;
+  // Ledger-attributed joules (0 without an EnergyLedger); excludes idle.
+  double attributed_joules = 0.0;
   double wait_seconds = 0.0;    // summed queue wait
   double makespan_seconds = 0.0;  // last end − first submit
 };

@@ -4,7 +4,9 @@
 
 #include "common/log.hpp"
 #include "common/perf.hpp"
+#include "common/telemetry/timeseries.hpp"
 #include "common/thread_pool.hpp"
+#include "slurm/energy_ledger.hpp"
 #include "slurm/job_desc.hpp"
 
 namespace eco::slurm {
@@ -136,6 +138,60 @@ ClusterSim::ClusterSim(ClusterConfig config)
       }
     }
   }
+
+  // Energy attribution: every node's accruals (run ticks and idle gaps)
+  // flow into the ledger's per-node occupancy split. Taps fire on the
+  // serial sim thread in event order, so attribution is pool-size invariant.
+  if (config_.energy_ledger != nullptr) {
+    config_.energy_ledger->Bind(metrics_);
+    config_.energy_ledger->SetNodeCount(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i]->AddEnergyTap(
+          [this, i](double system_watts, double /*cpu_watts*/, double dt) {
+            config_.energy_ledger->OnEnergySample(i, system_watts * dt);
+          });
+    }
+  }
+
+  // Time-series store: default cluster-level probes; callers add more via
+  // TrackCounter/TrackGauge/TrackProbe before submitting work.
+  if (config_.timeseries != nullptr && config_.timeseries_resolution_s > 0.0) {
+    config_.timeseries->BindSelfMetrics(metrics_);
+    // Reported (event-sampled) watts, not ClusterWatts(): an O(nodes) sum
+    // of cached values, cheap enough for 1 Hz sim sampling on 256 nodes.
+    config_.timeseries->TrackProbe("eco_cluster_watts", [this] {
+      double watts = 0.0;
+      for (const auto& node : nodes_) watts += node->ReportedWatts();
+      return watts;
+    });
+    config_.timeseries->TrackProbe("eco_cluster_running_jobs", [this] {
+      return static_cast<double>(running_.size());
+    });
+    config_.timeseries->TrackProbe("eco_cluster_pending_jobs", [this] {
+      return static_cast<double>(config_.use_legacy_scheduler
+                                     ? pending_.size()
+                                     : IndexedPendingDepth());
+    });
+  }
+}
+
+void ClusterSim::ArmTimeseriesSampler() {
+  if (config_.timeseries == nullptr || config_.timeseries_resolution_s <= 0.0 ||
+      ts_sampler_armed_) {
+    return;
+  }
+  ts_sampler_armed_ = true;
+  queue_.ScheduleAfter(config_.timeseries_resolution_s, [this](SimTime t) {
+    config_.timeseries->SampleAll(t);
+    ts_sampler_armed_ = false;
+    // Re-arm only while other events are queued: the drain still terminates
+    // and the final sample covers the instant after the last completion.
+    if (!queue_.empty()) ArmTimeseriesSampler();
+  });
+}
+
+void ClusterSim::FlushIdleEnergy() {
+  for (const auto& node : nodes_) node->FlushIdleEnergy();
 }
 
 double ClusterSim::ClusterWatts() const {
@@ -407,6 +463,7 @@ Result<JobId> ClusterSim::Enqueue(JobRequest request) {
 
   submit_order_[id] = submit_counter_++;
   JobRecord& job = jobs_[id] = record;
+  ArmTimeseriesSampler();
   shard->metrics.submit_calls->Add(1);
   if (TraceEnabled()) TraceLifecycle("submit", job);
 
@@ -831,6 +888,15 @@ Status ClusterSim::StartJob(JobRecord& job,
     }
   }
 
+  // Charge spans open only after every node started (the idle gaps the
+  // starts just flushed stay idle energy; the run's accruals bill the job).
+  // Whole-node allocation today: share 1.0 per node.
+  if (config_.energy_ledger != nullptr) {
+    for (const std::size_t i : node_idx) {
+      config_.energy_ledger->BeginSpan(i, job, 1.0);
+    }
+  }
+
   const JobId id = job.id;
   run.timeout_event = queue_.ScheduleAfter(
       job.request.time_limit_s, [this, id](SimTime) { OnTimeout(id); });
@@ -941,6 +1007,14 @@ void ClusterSim::FinalizeJob(JobRecord& job, JobState state,
   ShardOf(job).fairshare.AddUsage(
       job.request.user_id, job.RunSeconds() * job.request.num_tasks,
       queue_.now());
+  // All of the job's energy is accrued by now (completion ticks and cancel
+  // paths both run Accrue before reaching here), so close the charge spans
+  // and settle the ledger entry before the record lands in accounting.
+  if (config_.energy_ledger != nullptr) {
+    config_.energy_ledger->EndSpans(job.id);
+    config_.energy_ledger->FinalizeJob(job);
+    job.attributed_joules = config_.energy_ledger->JobJoules(job.id);
+  }
   accounting_.Record(job);
   if (!config_.use_legacy_scheduler) {
     NotifyDependents(job.id, state == JobState::kCompleted);

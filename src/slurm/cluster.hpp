@@ -47,7 +47,13 @@ namespace eco {
 class ThreadPool;
 }  // namespace eco
 
+namespace eco::telemetry {
+class TimeSeriesStore;
+}  // namespace eco::telemetry
+
 namespace eco::slurm {
+
+class EnergyLedger;
 
 // A Slurm partition: a named queue with its own time-limit policy and node
 // set (slurm.conf's `PartitionName=... Nodes=...`).
@@ -111,6 +117,19 @@ struct ClusterConfig {
   // Job-lifecycle tracer. nullptr (default) = no tracing whatsoever; an
   // attached-but-disabled tracer costs one relaxed load per site.
   telemetry::Tracer* tracer = nullptr;
+  // Observability plane: a time-series store sampled every
+  // timeseries_resolution_s of SIM time from the event loop (cluster watts,
+  // pending/running depth, plus whatever the caller tracks). Both must be
+  // set; trajectories are functions of sim time only, so they are identical
+  // at any pool size. The sampler self-arms while events are queued — do not
+  // also attach your own self-rearming event that checks queue emptiness, or
+  // the two will keep each other alive forever.
+  telemetry::TimeSeriesStore* timeseries = nullptr;
+  double timeseries_resolution_s = 0.0;
+  // Per-job energy attribution ledger: when set, the cluster installs an
+  // energy tap on every node and maintains charge spans over the job
+  // lifecycle, filling JobRecord::attributed_joules at finalize.
+  EnergyLedger* energy_ledger = nullptr;
 };
 
 // Snapshot of the scheduler's hot-path counters, assembled on demand from
@@ -244,6 +263,17 @@ class ClusterSim {
     return *metrics_;
   }
   [[nodiscard]] telemetry::Tracer* tracer() const { return tracer_; }
+  // Observability plane accessors (nullptr when not configured).
+  [[nodiscard]] telemetry::TimeSeriesStore* timeseries() const {
+    return config_.timeseries;
+  }
+  [[nodiscard]] EnergyLedger* energy_ledger() const {
+    return config_.energy_ledger;
+  }
+  // Bills every idle node's pending idle-gap energy to the taps (and thus
+  // the ledger). Call after a drain so trailing idle energy is accounted;
+  // mid-run callers (e.g. a polling loop) only flush nodes currently idle.
+  void FlushIdleEnergy();
   // Track names for Tracer::ChromeTraceJson(): track 0 is the scheduler
   // lane, tracks 1..N are the node lanes the job-run spans land on.
   [[nodiscard]] std::vector<std::string> TelemetryTrackNames() const;
@@ -334,6 +364,10 @@ class ClusterSim {
   // pool-size invariant).
   void TraceLifecycle(const char* name, const JobRecord& job,
                       const char* reason = nullptr);
+  // Schedules the next SampleAll event if a store is configured and none is
+  // pending; the event re-arms itself while the queue has other work, so a
+  // drain terminates and the trailing sample lands after the last event.
+  void ArmTimeseriesSampler();
   [[nodiscard]] PartitionShard& ShardOf(const JobRecord& job);
   [[nodiscard]] int FreeNodesInShard(const PartitionShard& shard) const;
   [[nodiscard]] std::vector<std::size_t> PickFreeNodes(
@@ -363,6 +397,7 @@ class ClusterSim {
   std::unordered_map<JobId, int> waiting_deps_;
   std::unordered_map<JobId, std::vector<JobId>> dependents_;
   bool dispatch_scheduled_ = false;  // a deferred pass is already queued
+  bool ts_sampler_armed_ = false;    // a SampleAll event is already queued
   // Telemetry: the private fallback registry, the registry actually in use,
   // the optional tracer, the cluster-wide metric family and its snapshot
   // view, and the node-name -> trace-track map (track 0 = scheduler).

@@ -7,7 +7,9 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/telemetry/metrics.hpp"
+#include "common/telemetry/timeseries.hpp"
 #include "hpcg/dispatch.hpp"
+#include "slurm/energy_ledger.hpp"
 
 namespace eco::slurm {
 namespace {
@@ -236,6 +238,34 @@ std::string Sdiag(const ClusterSim& cluster) {
                 ? std::to_string(static_cast<std::uint64_t>(peak->Value()))
                 : "0")
         << "\n";
+  }
+
+  // Energy attribution ledger (attached via ClusterConfig::energy_ledger;
+  // absent when the cluster runs without one).
+  if (const EnergyLedger* ledger = cluster.energy_ledger()) {
+    out << "Energy ledger:\n";
+    out << "  Attributed: " << FormatDouble(ledger->AttributedJoules() / 1000.0, 1)
+        << " kJ  Idle: " << FormatDouble(ledger->IdleJoules() / 1000.0, 1)
+        << " kJ  Total: " << FormatDouble(ledger->TotalJoules() / 1000.0, 1)
+        << " kJ\n";
+    out << "  Jobs finalized: " << ledger->finalized_jobs()
+        << "  Samples: " << ledger->samples() << "\n";
+    for (const auto& [name, aggregate] : ledger->by_partition()) {
+      out << "  Partition " << name << ": "
+          << FormatDouble(aggregate.joules / 1000.0, 1) << " kJ over "
+          << aggregate.jobs << " jobs, EDP "
+          << FormatDouble(aggregate.edp_joule_seconds, 0) << " J*s\n";
+    }
+  }
+
+  // Time-series store resource usage (the observability layer is itself
+  // observable; absent when no store is attached).
+  if (const telemetry::TimeSeriesStore* store = cluster.timeseries()) {
+    out << "Time-series store:\n";
+    out << "  Series: " << store->series_count()
+        << "  Samples: " << store->samples_total()
+        << "  Compactions: " << store->compactions_total()
+        << "  Dropped: " << store->dropped_total() << "\n";
   }
 
   out << "Per-partition statistics:\n";

@@ -102,6 +102,9 @@ struct JobRecord {
   // Filled at completion from the node's true energy integrals.
   double system_joules = 0.0;
   double cpu_joules = 0.0;
+  // Joules the energy ledger charged this job (share-prorated on shared
+  // nodes). 0 when the cluster ran without an EnergyLedger attached.
+  double attributed_joules = 0.0;
   double gflops = 0.0;        // sustained rating while running
   double avg_cpu_temp = 0.0;
 

@@ -21,6 +21,13 @@ NodeSim::NodeSim(std::string name, NodeParams params, EventQueue* queue)
   hpcg::ApplyEnvCalibration(&perf_model_);
   freq_ = dvfs_.frequency();
   last_update_ = queue_->now();
+  idle_mark_ = queue_->now();
+  const auto idle = power_model_.SystemPower(
+      0, params_.machine.cpu.MinFrequency(), false, 0.0,
+      power_model_.params().fan_knee_celsius);
+  idle_system_watts_ = idle.system_watts;
+  idle_cpu_watts_ = idle.cpu_watts;
+  reported_watts_ = idle_system_watts_;
 }
 
 double NodeSim::UtilizationAt(SimTime t) const {
@@ -51,6 +58,11 @@ Status NodeSim::StartJob(const JobRecord& job, int tasks,
     return Status::Error("node " + name_ + ": unsupported threads_per_core " +
                          std::to_string(tpc));
   }
+
+  // Bill the idle stretch that ends now to the taps before run accruals
+  // start, so an attached energy ledger sees idle and busy joules meet
+  // exactly at the job boundary.
+  EmitIdleGap(queue_->now());
 
   running_ = true;
   job_id_ = job.id;
@@ -96,7 +108,10 @@ void NodeSim::Accrue(double dt) {
                                                   ht_, u, thermal_.temperature());
   energy_system_j_ += breakdown.system_watts * dt;
   energy_cpu_j_ += breakdown.cpu_watts * dt;
-  if (energy_tap_) energy_tap_(breakdown.system_watts, breakdown.cpu_watts, dt);
+  reported_watts_ = breakdown.system_watts;
+  for (const EnergyTap& tap : energy_taps_) {
+    tap(breakdown.system_watts, breakdown.cpu_watts, dt);
+  }
   temp_integral_ += thermal_.temperature() * dt;
   thermal_.Advance(dt, breakdown.cpu_watts);
   elapsed_ += dt;
@@ -127,6 +142,8 @@ void NodeSim::Tick(SimTime now) {
   }
   if (done) {
     running_ = false;
+    idle_mark_ = now;  // before the callback: it may start the next job
+    reported_watts_ = idle_system_watts_;
     flops_done_at_end_ = progress_flops_;
     const RunStats stats = FinalStats();
     const JobId id = job_id_;
@@ -168,10 +185,25 @@ RunStats NodeSim::CancelJob() {
   last_update_ = now;
   flops_done_at_end_ = progress_flops_;
   running_ = false;
+  idle_mark_ = now;
+  reported_watts_ = idle_system_watts_;
   on_done_ = nullptr;
   if (tick_event_ != 0) queue_->Cancel(tick_event_);
   tick_event_ = 0;
   return FinalStats();
+}
+
+void NodeSim::EmitIdleGap(SimTime now) {
+  const double dt = now - idle_mark_;
+  idle_mark_ = now;
+  if (dt <= 0.0) return;
+  for (const EnergyTap& tap : energy_taps_) {
+    tap(idle_system_watts_, idle_cpu_watts_, dt);
+  }
+}
+
+void NodeSim::FlushIdleEnergy() {
+  if (!running_) EmitIdleGap(queue_->now());
 }
 
 void NodeSim::IdleAdvance() const {

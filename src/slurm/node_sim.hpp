@@ -76,7 +76,23 @@ class NodeSim : public ipmi::PowerSource {
   // acct_gather_energy/rapl) without coupling the node to them.
   using EnergyTap = std::function<void(double, double, double)>;
 
-  void SetEnergyTap(EnergyTap tap) { energy_tap_ = std::move(tap); }
+  // Replaces all installed taps with `tap` (historical single-tap API).
+  void SetEnergyTap(EnergyTap tap) {
+    energy_taps_.clear();
+    AddEnergyTap(std::move(tap));
+  }
+  // Installs an additional tap; all taps see every accrual, in installation
+  // order. The energy ledger and the RAPL/IPMI plugin sources can therefore
+  // observe the same node independently.
+  void AddEnergyTap(EnergyTap tap) {
+    if (tap) energy_taps_.push_back(std::move(tap));
+  }
+
+  // Emits the idle-draw energy accumulated since the node last went idle to
+  // the taps (per-run stats are untouched — idle energy belongs to the
+  // cluster, not to any job). StartJob flushes the preceding idle gap
+  // automatically; call this at end of sim to bill the trailing gap.
+  void FlushIdleEnergy();
 
   // Starts `tasks` ranks of the job's workload on this node. The request's
   // cpu_freq_max (if set) pins the frequency; otherwise the node's default
@@ -86,6 +102,13 @@ class NodeSim : public ipmi::PowerSource {
   // Cancels the running job; the completion callback is NOT invoked.
   // Returns stats for the partial run.
   RunStats CancelJob();
+
+  // System watts over the node's most recent accrual interval (idle draw
+  // when idle). Updated only at sim events, so it is a pure O(1) read —
+  // what the 1 Hz time-series sampler sums instead of re-evaluating the
+  // power model per node per sample (SystemWatts() stays the exact
+  // instantaneous value for IPMI/BMC reads).
+  [[nodiscard]] double ReportedWatts() const { return reported_watts_; }
 
   // ipmi::PowerSource — instantaneous true values.
   [[nodiscard]] double SystemWatts() const override;
@@ -101,6 +124,9 @@ class NodeSim : public ipmi::PowerSource {
   [[nodiscard]] RunStats FinalStats() const;
   // Decays temperature toward idle steady state for reads while idle.
   void IdleAdvance() const;
+  // Fires the taps with the idle draw over [idle_mark_, now), then moves the
+  // mark to `now`.
+  void EmitIdleGap(SimTime now);
 
   std::string name_;
   NodeParams params_;
@@ -125,7 +151,17 @@ class NodeSim : public ipmi::PowerSource {
   double flops_done_at_end_ = 0.0;
   std::uint64_t tick_event_ = 0;
   CompletionCallback on_done_;
-  EnergyTap energy_tap_;
+  std::vector<EnergyTap> energy_taps_;
+
+  // Constant idle draw (min frequency, thermally settled at the fan knee —
+  // the same steady state EstimateJobWatts subtracts) billed to the taps for
+  // the gaps between runs. Cached at construction.
+  double idle_system_watts_ = 0.0;
+  double idle_cpu_watts_ = 0.0;
+  // When the node last became idle (construction, job end, or cancel).
+  SimTime idle_mark_ = 0.0;
+  // Last accrual interval's system watts; idle draw while idle.
+  double reported_watts_ = 0.0;
 
   // Accumulators for the current run.
   double energy_system_j_ = 0.0;

@@ -1,0 +1,267 @@
+#include "slurm/obsd.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "slurm/commands.hpp"
+
+namespace eco::slurm {
+namespace {
+
+constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+// Splits "name=x&r=1" into a key -> value map. No %-decoding: metric names
+// are [a-zA-Z0-9_:{}="] at most, and the routes only read name/r.
+std::map<std::string, std::string> ParseQuery(const std::string& query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (!pair.empty()) {
+      out[pair] = "";
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+ObsServer::ObsServer(ObsServerConfig config) : config_(std::move(config)) {}
+
+ObsServer::~ObsServer() { Stop(); }
+
+ObsServer::Response ObsServer::Handle(const std::string& target) const {
+  std::string path = target;
+  std::string query;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+
+  Response response;
+  if (path == "/healthz") {
+    response.body = "ok\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    if (config_.metrics == nullptr) {
+      response.status = 404;
+      response.body = "no metrics registry attached\n";
+      return response;
+    }
+    // Byte-identical to MetricsRegistry::PrometheusText() — the scrape
+    // contract the tests pin down.
+    response.content_type = kPrometheusContentType;
+    response.body = config_.metrics->PrometheusText();
+    return response;
+  }
+  if (path == "/sdiag") {
+    if (config_.cluster == nullptr) {
+      response.status = 404;
+      response.body = "no cluster attached\n";
+      return response;
+    }
+    response.body = Sdiag(*config_.cluster);
+    return response;
+  }
+  if (path == "/timeseries") {
+    if (config_.timeseries == nullptr) {
+      response.status = 404;
+      response.body = "no time-series store attached\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    const auto params = ParseQuery(query);
+    const auto name_it = params.find("name");
+    if (name_it == params.end()) {
+      JsonArray names;
+      for (const std::string& name : config_.timeseries->Names()) {
+        names.push_back(Json(name));
+      }
+      response.body = Json(JsonObject{{"series", Json(std::move(names))}})
+                          .Dump() +
+                      "\n";
+      return response;
+    }
+    int resolution = 0;
+    const auto r_it = params.find("r");
+    if (r_it != params.end() && !r_it->second.empty()) {
+      resolution = std::atoi(r_it->second.c_str());
+    }
+    if (resolution < 0 || resolution >= telemetry::TimeSeries::kResolutions) {
+      response.status = 404;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = "resolution out of range (0..2)\n";
+      return response;
+    }
+    const Json result =
+        config_.timeseries->QueryJson(name_it->second, resolution);
+    if (result.is_null()) {
+      response.status = 404;
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = "unknown series '" + name_it->second + "'\n";
+      return response;
+    }
+    response.body = result.Dump() + "\n";
+    return response;
+  }
+  response.status = 404;
+  response.body = "unknown route " + path + "\n";
+  return response;
+}
+
+Status ObsServer::Start() {
+  if (running_.load()) return Status::Ok();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Error("obsd: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Error("obsd: bad bind address " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Error("obsd: bind failed on " + config_.bind_address + ":" +
+                         std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Error("obsd: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  ECO_INFO << "obsd: listening on " << config_.bind_address << ":" << port_;
+  return Status::Ok();
+}
+
+void ObsServer::AcceptLoop() {
+  while (running_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    if (!running_.load()) {  // the Stop() self-connect wake-up
+      ::close(client);
+      break;
+    }
+    ServeOne(client);
+    ::close(client);
+  }
+}
+
+void ObsServer::ServeOne(int client_fd) {
+  // One request per connection; 8 KiB is plenty for "GET /path HTTP/1.1".
+  char buffer[8192];
+  const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer) - 1, 0);
+  if (n <= 0) return;
+  buffer[n] = '\0';
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const char* line_end = std::strstr(buffer, "\r\n");
+  const std::string line(buffer, line_end != nullptr
+                                     ? static_cast<std::size_t>(line_end -
+                                                                buffer)
+                                     : static_cast<std::size_t>(n));
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+
+  Response response;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 405;
+    response.body = "malformed request\n";
+  } else if (line.substr(0, sp1) != "GET") {
+    response.status = 405;
+    response.body = "GET only\n";
+  } else {
+    response = Handle(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t w = ::send(client_fd, out.data() + sent, out.size() - sent,
+                             MSG_NOSIGNAL);
+    if (w <= 0) break;
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void ObsServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Wake the blocking accept with a throwaway connection to ourselves.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace eco::slurm

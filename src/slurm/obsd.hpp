@@ -1,0 +1,84 @@
+// obsd — the observability endpoint daemon.
+//
+// A deliberately small HTTP/1.1 server (blocking accept on one thread, no
+// dependencies, loopback by default) exposing the observability plane:
+//
+//   GET /healthz                     -> "ok"
+//   GET /metrics                     -> MetricsRegistry::PrometheusText(),
+//                                       byte-identical to a direct call
+//   GET /sdiag                       -> commands::Sdiag() text
+//   GET /timeseries                  -> JSON list of tracked series names
+//   GET /timeseries?name=X&r=N       -> one series at resolution N (0..2)
+//
+// This is the scrape surface a Prometheus/Grafana stack points at. It is
+// NOT a general web server: one request per connection, GET only, no
+// keep-alive, no TLS, no %-escapes in queries — metric names are plain
+// [a-zA-Z0-9_:] so none are needed.
+//
+// Thread-safety: /metrics and /timeseries read structures designed for
+// concurrent access (sharded counters, a mutexed store). /sdiag walks
+// ClusterSim state and is only safe while the sim thread is parked (the
+// chronus obsd command serves after its run completes; tests do the same).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/timeseries.hpp"
+
+namespace eco::slurm {
+
+class ClusterSim;
+
+struct ObsServerConfig {
+  std::string bind_address = "127.0.0.1";
+  // 0 = ephemeral: the kernel picks; read the result from port().
+  std::uint16_t port = 0;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TimeSeriesStore* timeseries = nullptr;
+  // Enables /sdiag. See the thread-safety note above.
+  const ClusterSim* cluster = nullptr;
+};
+
+class ObsServer {
+ public:
+  explicit ObsServer(ObsServerConfig config);
+  ~ObsServer();
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  // Binds, listens, and starts the accept thread.
+  Status Start();
+  // Idempotent; joins the accept thread.
+  void Stop();
+
+  // The bound port (resolves an ephemeral request); 0 before Start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  // Routes a request target ("/metrics", "/timeseries?name=x&r=1") to a
+  // response. Exposed so unit tests can exercise routing without sockets.
+  [[nodiscard]] Response Handle(const std::string& target) const;
+
+ private:
+  void AcceptLoop();
+  void ServeOne(int client_fd);
+
+  ObsServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace eco::slurm

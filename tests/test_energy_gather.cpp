@@ -2,9 +2,12 @@
 // the node energy tap, and the workload generator.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 
 #include "common/telemetry/metrics.hpp"
+#include "common/thread_pool.hpp"
 #include "hw/rapl.hpp"
 #include "plugin/acct_gather_energy.hpp"
 #include "slurm/energy_gather.hpp"
@@ -138,6 +141,65 @@ TEST(EnergyGatherHost, PublishesPerNodeTelemetry) {
   clock.RunAll();
   ASSERT_TRUE(host.PollDelta().ok());
   EXPECT_EQ(polls->Value(), 4u);
+
+  host.Unload();
+  plugin::SetIpmiEnergySource(nullptr, nullptr);
+}
+
+// A Prometheus scrape (obsd /metrics) reads the host's telemetry handles
+// while slurmd's poll loop is updating them. The plugin and sim clock stay
+// strictly on the polling thread — only the Counter/Gauge handles are
+// shared — and the totals must come out exact. Runs under ThreadSanitizer
+// via the suite's tsan label.
+TEST(EnergyGatherHost, TelemetryReadsRaceWithSerialPolls) {
+  FixedSource source(250.0);
+  ipmi::BmcParams quiet;
+  quiet.noise_stddev_watts = 0.0;
+  ipmi::BmcSimulator bmc(&source, quiet, Rng(1));
+  EventQueue clock;
+  plugin::SetIpmiEnergySource(&bmc, &clock);
+
+  telemetry::MetricsRegistry registry;
+  slurm::EnergyGatherHost host;
+  host.SetTelemetry(&registry, "n0");
+  ASSERT_TRUE(host.Load(plugin::IpmiEnergyOps()).ok());
+  ASSERT_TRUE(host.PollDelta().ok());  // baseline
+
+  const auto* polls =
+      registry.FindCounter("eco_energy_polls_total{node=\"n0\"}");
+  const auto* joules =
+      registry.FindCounter("eco_energy_joules_total{node=\"n0\"}");
+  const auto* watts = registry.FindGauge("eco_energy_watts{node=\"n0\"}");
+  ASSERT_NE(polls, nullptr);
+  ASSERT_NE(joules, nullptr);
+  ASSERT_NE(watts, nullptr);
+
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sink{0};
+  pool.ParallelFor(0, 8, 1, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t chunk = begin; chunk < end; ++chunk) {
+      if (chunk == 0) {
+        // The poll loop: advance sim time 1 s, poll, 200 times over.
+        for (int i = 0; i < 200; ++i) {
+          clock.ScheduleAfter(1.0, [](SimTime) {});
+          clock.RunAll();
+          ASSERT_TRUE(host.PollDelta().ok());
+        }
+      } else {
+        double local = 0.0;
+        for (int i = 0; i < 20'000; ++i) {
+          local += static_cast<double>(polls->Value());
+          local += static_cast<double>(joules->Value());
+          local += watts->Value();
+        }
+        sink.fetch_add(static_cast<std::uint64_t>(local));
+      }
+    }
+  });
+  EXPECT_EQ(polls->Value(), 201u);  // baseline + 200 polls
+  EXPECT_NEAR(static_cast<double>(joules->Value()), 250.0 * 200.0, 10.0);
+  EXPECT_DOUBLE_EQ(watts->Value(), 250.0);
+  EXPECT_GE(sink.load(), 0u);
 
   host.Unload();
   plugin::SetIpmiEnergySource(nullptr, nullptr);

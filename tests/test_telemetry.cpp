@@ -14,9 +14,15 @@
 //   - job-lifecycle event completeness: submit/eligible/start/end plus doom
 //     with reasons for dependency-failed and cancelled jobs;
 //   - sdiag rendering live registry metrics on a multi-partition workload;
-//   - BenchReport artifacts (BENCH_<name>.json via ECO_BENCH_ARTIFACT_DIR).
+//   - Histogram::Quantile's empty -> NaN and argument-clamp contract;
+//   - TimeSeries ring/rollup semantics (envelope preservation, eviction
+//     accounting) and the TimeSeriesStore's registry bindings, plus
+//     byte-identical store dumps across ThreadPool sizes 1/4/8;
+//   - BenchReport artifacts (BENCH_<name>.json via ECO_BENCH_ARTIFACT_DIR)
+//     and the ECO_BENCH_TIMESTAMP wall-clock stamp.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +36,7 @@
 #include "common/log.hpp"
 #include "common/perf.hpp"
 #include "common/telemetry/metrics.hpp"
+#include "common/telemetry/timeseries.hpp"
 #include "common/telemetry/trace.hpp"
 #include "common/thread_pool.hpp"
 #include "slurm/cluster.hpp"
@@ -466,6 +473,169 @@ TEST_F(Telemetry, SdiagReportsLiveRegistryMetrics) {
   EXPECT_NE(prom.find("eco_sched_wait_seconds_count"), std::string::npos);
 }
 
+// ------------------------------------------------------------ quantiles
+
+TEST(Metrics, QuantileOnEmptyHistogramIsNaN) {
+  telemetry::Histogram hist({10.0, 100.0});
+  // NaN, not 0.0: "no observations yet" must be distinguishable from a
+  // histogram whose mass genuinely sits at zero.
+  EXPECT_TRUE(std::isnan(hist.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(hist.Quantile(0.0)));
+  EXPECT_TRUE(std::isnan(hist.Quantile(1.0)));
+  hist.Observe(5.0);
+  EXPECT_FALSE(std::isnan(hist.Quantile(0.5)));
+}
+
+TEST(Metrics, QuantileArgumentsClampToTheUnitInterval) {
+  telemetry::Histogram hist({10.0, 100.0});
+  hist.Observe(5.0);
+  hist.Observe(50.0);
+  hist.Observe(80.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(-1.0), hist.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(hist.Quantile(2.0), hist.Quantile(1.0));
+  // Clamped top quantile interpolates to the last finite bucket edge.
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 100.0);
+}
+
+// ----------------------------------------------------------- time series
+
+TEST(TimeSeries, RollupsPreserveEnvelopeSumAndCount) {
+  telemetry::TimeSeries series(
+      telemetry::TimeSeriesOptions{/*capacity=*/64, /*fanout=*/10});
+  // 20 pushes = exactly two complete level-1 buckets of 10.
+  for (int i = 0; i < 20; ++i) {
+    series.Push(static_cast<double>(i), static_cast<double>(i % 10));
+  }
+  const auto raw = series.Samples(0);
+  ASSERT_EQ(raw.size(), 20u);
+  const auto r1 = series.Samples(1);
+  ASSERT_EQ(r1.size(), 2u);
+  for (int b = 0; b < 2; ++b) {
+    EXPECT_DOUBLE_EQ(r1[b].t0, b * 10.0);
+    EXPECT_DOUBLE_EQ(r1[b].t1, b * 10.0 + 9.0);
+    EXPECT_DOUBLE_EQ(r1[b].min, 0.0);
+    EXPECT_DOUBLE_EQ(r1[b].max, 9.0);
+    EXPECT_DOUBLE_EQ(r1[b].sum, 45.0);
+    EXPECT_EQ(r1[b].count, 10u);
+  }
+  // Level 2's ring is still empty, but its view includes the partial
+  // pending bucket holding both rolled level-1 samples.
+  const auto r2 = series.Samples(2);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_DOUBLE_EQ(r2[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(r2[0].t1, 19.0);
+  EXPECT_DOUBLE_EQ(r2[0].sum, 90.0);
+  EXPECT_EQ(r2[0].count, 20u);
+}
+
+TEST(TimeSeries, RingEvictionIsCountedAsDropped) {
+  telemetry::TimeSeries series(
+      telemetry::TimeSeriesOptions{/*capacity=*/2, /*fanout=*/2});
+  std::uint64_t dropped = 0, compactions = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto stats = series.Push(static_cast<double>(i), 1.0);
+    dropped += stats.dropped;
+    compactions += stats.compactions;
+  }
+  // Raw ring keeps the newest 2 of 8 -> 6 evictions; level 1 keeps 2 of
+  // 4 rollups -> 2 more; level 2 holds its 2 rollups without eviction.
+  EXPECT_EQ(series.Samples(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(series.Samples(0).front().t0, 6.0);
+  EXPECT_EQ(dropped, 8u);
+  // 4 rollups into level 1 + 2 into level 2.
+  EXPECT_EQ(compactions, 6u);
+  EXPECT_EQ(series.pushed(), 8u);
+}
+
+TEST(TimeSeriesStore, BindsRegistryHandlesProbesAndSelfMetrics) {
+  telemetry::MetricsRegistry registry;
+  telemetry::TimeSeriesStore store(
+      telemetry::TimeSeriesOptions{/*capacity=*/8, /*fanout=*/10});
+  store.BindSelfMetrics(&registry);
+  telemetry::Counter* counter = registry.GetCounter("jobs_total");
+  telemetry::Gauge* gauge = registry.GetGauge("depth");
+  store.TrackCounter(registry, "jobs_total");
+  store.TrackGauge(registry, "depth");
+  double probe_value = 1.5;
+  store.TrackProbe("probe", [&probe_value] { return probe_value; });
+  EXPECT_EQ(store.series_count(), 3u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("eco_ts_series")->Value(), 3.0);
+
+  store.SampleAll(10.0);
+  counter->Add(3);
+  gauge->Set(2.5);
+  probe_value = 4.0;
+  store.SampleAll(20.0);
+
+  EXPECT_EQ(store.samples_total(), 6u);
+  EXPECT_EQ(registry.GetCounter("eco_ts_samples_total")->Value(), 6u);
+  const auto counter_samples = store.Samples("jobs_total", 0);
+  ASSERT_EQ(counter_samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(counter_samples[0].sum, 0.0);
+  EXPECT_DOUBLE_EQ(counter_samples[1].sum, 3.0);
+  const auto probe_samples = store.Samples("probe", 0);
+  ASSERT_EQ(probe_samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(probe_samples[0].min, 1.5);
+  EXPECT_DOUBLE_EQ(probe_samples[1].max, 4.0);
+  EXPECT_TRUE(store.Has("depth"));
+  EXPECT_FALSE(store.Has("nope"));
+  EXPECT_TRUE(store.QueryJson("nope", 0).is_null());
+  const auto query = store.QueryJson("probe", 0);
+  EXPECT_EQ(query.at("name").as_string(), "probe");
+  EXPECT_EQ(query.at("samples").as_array().size(), 2u);
+  EXPECT_EQ(store.DumpJson().as_object().size(), 3u);
+
+  // First registration wins: re-tracking a name must not replace the
+  // existing series or its source.
+  store.TrackProbe("probe", [] { return 99.0; });
+  store.SampleAll(30.0);
+  EXPECT_DOUBLE_EQ(store.Samples("probe", 0).back().max, 4.0);
+}
+
+// The store analogue of the trace determinism test: identical sim-time
+// trajectories regardless of worker-pool size, witnessed byte-for-byte.
+TEST_F(Telemetry, TimeseriesBytesInvariantAcrossPoolSizes) {
+  std::vector<std::string> dumps;
+  for (const int threads : {1, 4, 8}) {
+    ThreadPool pool(threads);
+    telemetry::TimeSeriesStore store;
+    ClusterConfig config;
+    config.nodes = 16;
+    config.defer_dispatch = true;
+    config.pool = &pool;
+    config.timeseries = &store;
+    config.timeseries_resolution_s = 30.0;
+    config.partitions.clear();
+    for (int p = 0; p < 4; ++p) {
+      PartitionConfig partition;
+      partition.name = "p" + std::to_string(p);
+      partition.is_default = p == 0;
+      partition.node_ranges = {{p * 4, p * 4 + 3}};
+      config.partitions.push_back(partition);
+    }
+    ClusterSim cluster(config);
+
+    slurm::WorkloadMix mix;
+    mix.hpcg_share = 0.0;
+    mix.users = 8;
+    mix.seed = 97;
+    for (const auto& partition : config.partitions) {
+      mix.partitions.push_back(partition.name);
+    }
+    auto generated = slurm::GenerateWorkload(mix, 300, 32, 1);
+    std::vector<JobRequest> requests;
+    for (auto& job : generated) requests.push_back(std::move(job.request));
+    cluster.SubmitBatch(std::move(requests));
+    cluster.RunUntilIdle();
+
+    EXPECT_GT(store.samples_total(), 0u);
+    EXPECT_EQ(store.series_count(), 3u);
+    dumps.push_back(store.DumpJson().Dump());
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
 // ------------------------------------------------------------- bench JSON
 
 TEST(BenchReport, WritesArtifactToArtifactDir) {
@@ -493,6 +663,39 @@ TEST(BenchReport, WritesArtifactToArtifactDir) {
   EXPECT_DOUBLE_EQ(parsed->at("metrics").at("speedup").as_number(), 12.5);
   EXPECT_EQ(parsed->at("metrics").at("jobs").as_int(), 100'000);
   EXPECT_EQ(parsed->at("metrics").at("trace").as_string(), "trace.json");
+}
+
+// CI exports ECO_BENCH_TIMESTAMP so artifacts carry the wall-clock time of
+// the run; without it the report stays timestamp-free (hermetic local runs
+// produce byte-stable artifacts).
+TEST(BenchReport, StampsWallTimeFromEnvironment) {
+  const std::string dir =
+      ::testing::TempDir() + "/eco_bench_stamp_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  std::system(("mkdir -p '" + dir + "'").c_str());
+  ASSERT_EQ(setenv("ECO_BENCH_ARTIFACT_DIR", dir.c_str(), 1), 0);
+  ASSERT_EQ(setenv("ECO_BENCH_TIMESTAMP", "2026-08-08T12:00:00Z", 1), 0);
+
+  bench::BenchReport stamped("stamped");
+  const std::string stamped_path = stamped.Write();
+  unsetenv("ECO_BENCH_TIMESTAMP");
+  bench::BenchReport bare("bare");
+  const std::string bare_path = bare.Write();
+  unsetenv("ECO_BENCH_ARTIFACT_DIR");
+
+  const auto load = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return Json::Parse(buffer.str());
+  };
+  const auto with_stamp = load(stamped_path);
+  ASSERT_TRUE(with_stamp.ok());
+  EXPECT_EQ(with_stamp->at("metrics").at("wall_time_iso").as_string(),
+            "2026-08-08T12:00:00Z");
+  const auto without = load(bare_path);
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(without->at("metrics").contains("wall_time_iso"));
 }
 
 }  // namespace

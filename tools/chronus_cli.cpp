@@ -12,15 +12,21 @@
 // SQLite stand-in), serialized optimizers under optimizers/, settings under
 // etc/chronus/settings.json.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chronus/env.hpp"
+#include "common/telemetry/timeseries.hpp"
 #include "plugin/job_submit_eco.hpp"
 #include "slurm/commands.hpp"
+#include "slurm/energy_ledger.hpp"
+#include "slurm/obsd.hpp"
+#include "slurm/workload_gen.hpp"
 #include "chronus/evaluation.hpp"
 #include "chronus/report.hpp"
 #include "chronus/optimizers.hpp"
@@ -59,7 +65,12 @@ void PrintUsage() {
       "      Writes a markdown energy report for a system.\n"
       "  demo\n"
       "      End-to-end tour: benchmark, train, pre-load, enable the plugin,\n"
-      "      submit a job array, and show squeue/scontrol/sreport output.\n\n"
+      "      submit a job array, and show squeue/scontrol/sreport output.\n"
+      "  obsd [--port N] [--jobs N] [--duration-s S]\n"
+      "      Runs a workload on a small simulated cluster with the\n"
+      "      observability plane attached, then serves /metrics, /sdiag,\n"
+      "      /timeseries and /healthz over HTTP on 127.0.0.1 for S seconds\n"
+      "      (default 30; port 0 = ephemeral, printed on stdout).\n\n"
       "options:\n"
       "  --workdir DIR   state directory (default ./chronus-data)\n"
       "  --fast          5-minute simulated benchmark runs instead of ~18.5 min\n");
@@ -411,6 +422,61 @@ int CmdDemo(const Args& args) {
   return 0;
 }
 
+int CmdObsd(const Args& args) {
+  long long port = 0;
+  long long jobs = 200;
+  long long duration_s = 30;
+  ParseInt64(args.Flag("--port", "0"), port);
+  ParseInt64(args.Flag("--jobs", "200"), jobs);
+  ParseInt64(args.Flag("--duration-s", "30"), duration_s);
+
+  // A small cluster with the full observability plane attached: time-series
+  // sampling, per-job energy attribution, and the HTTP endpoint on top.
+  telemetry::TimeSeriesStore store;
+  slurm::EnergyLedger ledger;
+  slurm::ClusterConfig config;
+  config.nodes = 8;
+  config.timeseries = &store;
+  config.timeseries_resolution_s = 10.0;
+  config.energy_ledger = &ledger;
+  slurm::ClusterSim cluster(config);
+
+  slurm::WorkloadMix mix;
+  mix.hpcg_share = 0.0;
+  mix.users = 8;
+  mix.seed = 20'260'808;
+  auto generated = slurm::GenerateWorkload(
+      mix, static_cast<int>(std::max<long long>(1, jobs)),
+      config.node.machine.cpu.cores, 1);
+  std::vector<slurm::JobRequest> requests;
+  requests.reserve(generated.size());
+  for (auto& job : generated) requests.push_back(std::move(job.request));
+  cluster.SubmitBatch(std::move(requests));
+  cluster.RunUntilIdle();
+  cluster.FlushIdleEnergy();
+
+  slurm::ObsServerConfig server_config;
+  server_config.port = static_cast<std::uint16_t>(port);
+  server_config.metrics = &cluster.metrics();
+  server_config.timeseries = &store;
+  server_config.cluster = &cluster;
+  slurm::ObsServer server(std::move(server_config));
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("obsd listening on http://127.0.0.1:%u (%lld s)\n",
+              server.port(), duration_s);
+  std::fflush(stdout);
+  for (long long elapsed_ms = 0; elapsed_ms < duration_s * 1000;
+       elapsed_ms += 100) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -449,6 +515,7 @@ int main(int argc, char** argv) {
     return PrintModels(env);
   }
   if (args.command == "demo") return CmdDemo(args);
+  if (args.command == "obsd") return CmdObsd(args);
   if (args.command == "report") return CmdReport(args);
   PrintUsage();
   return args.command.empty() ? 0 : 1;
