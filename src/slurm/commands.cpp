@@ -231,13 +231,61 @@ std::string Sdiag(const ClusterSim& cluster) {
         << "\n";
     out << "  Shed: " << counter("eco_ingress_shed_total")
         << "  Queue-full: " << counter("eco_ingress_queue_full_total")
+        << "  Closed: " << counter("eco_ingress_closed_total")
         << "  Backpressure engagements: "
         << counter("eco_ingress_backpressure_engaged_total") << "\n";
+    // The unified reason-labeled family, one compact line (zero reasons
+    // are elided so a clean run prints "none").
+    out << "  Rejected by reason:";
+    bool any_reject = false;
+    for (const char* reason :
+         {"rate", "account", "qos", "shed", "queue_full", "closed"}) {
+      const std::uint64_t n = counter(telemetry::LabeledName(
+          "eco_ingress_rejected_total", "reason", reason).c_str());
+      if (n == 0) continue;
+      out << " " << reason << "=" << n;
+      any_reject = true;
+    }
+    out << (any_reject ? "\n" : " none\n");
     out << "  Backlog peak: "
         << (peak != nullptr
                 ? std::to_string(static_cast<std::uint64_t>(peak->Value()))
                 : "0")
         << "\n";
+  }
+
+  // RPC front door (the subd server publishes eco_rpc_* into the cluster's
+  // registry when constructed with ClusterSim::metrics(); absent when no
+  // network surface is attached).
+  const telemetry::Counter* rpc_conns =
+      cluster.metrics().FindCounter("eco_rpc_connections_total");
+  if (rpc_conns != nullptr) {
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const telemetry::Counter* c = cluster.metrics().FindCounter(name);
+      return c != nullptr ? c->Value() : 0;
+    };
+    const telemetry::Gauge* active =
+        cluster.metrics().FindGauge("eco_rpc_connections_active");
+    out << "RPC front door:\n";
+    out << "  Connections: " << rpc_conns->Value() << " total, "
+        << (active != nullptr
+                ? std::to_string(static_cast<std::uint64_t>(active->Value()))
+                : "0")
+        << " active\n";
+    out << "  Frames: " << counter("eco_rpc_frames_total")
+        << "  Submits: " << counter("eco_rpc_submits_total")
+        << "  Admitted: " << counter("eco_rpc_admitted_total")
+        << "  Decode errors: " << counter("eco_rpc_decode_errors_total")
+        << "\n";
+    out << "  Bytes: " << counter("eco_rpc_bytes_read_total") << " in / "
+        << counter("eco_rpc_bytes_written_total") << " out\n";
+    const telemetry::Histogram* enqueue =
+        cluster.metrics().FindHistogram("eco_rpc_enqueue_seconds");
+    if (enqueue != nullptr && enqueue->Count() > 0) {
+      out << "  Enqueue p50/p99: " << FormatDouble(enqueue->Quantile(0.5) * 1e6, 1)
+          << " us / " << FormatDouble(enqueue->Quantile(0.99) * 1e6, 1)
+          << " us\n";
+    }
   }
 
   // Energy attribution ledger (attached via ClusterConfig::energy_ledger;

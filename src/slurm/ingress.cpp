@@ -68,6 +68,23 @@ SubmitIngress::SubmitIngress(IngressConfig config)
   qos_rejected_ = metrics_->GetCounter("eco_ingress_qos_rejected_total");
   shed_ = metrics_->GetCounter("eco_ingress_shed_total");
   queue_full_ = metrics_->GetCounter("eco_ingress_queue_full_total");
+  closed_rejects_ = metrics_->GetCounter("eco_ingress_closed_total");
+  const struct {
+    AdmitCode code;
+    const char* reason;
+  } kRejectReasons[] = {
+      {AdmitCode::kRateLimited, "rate"},
+      {AdmitCode::kAccountLimited, "account"},
+      {AdmitCode::kQosRejected, "qos"},
+      {AdmitCode::kShed, "shed"},
+      {AdmitCode::kQueueFull, "queue_full"},
+      {AdmitCode::kClosed, "closed"},
+  };
+  for (const auto& entry : kRejectReasons) {
+    rejected_by_reason_[static_cast<int>(entry.code)] =
+        metrics_->GetCounter(telemetry::LabeledName(
+            "eco_ingress_rejected_total", "reason", entry.reason));
+  }
   drained_ = metrics_->GetCounter("eco_ingress_drained_total");
   drain_batches_ = metrics_->GetCounter("eco_ingress_drain_batches_total");
   backpressure_engaged_ =
@@ -162,6 +179,8 @@ AdmitResult SubmitIngress::Submit(JobRequest request, double now_s,
 
   if (closed()) {
     result.code = AdmitCode::kClosed;
+    closed_rejects_->Add(1);
+    CountReject(AdmitCode::kClosed);
     return result;
   }
 
@@ -169,17 +188,20 @@ AdmitResult SubmitIngress::Submit(JobRequest request, double now_s,
   if (!rule.enabled) {
     result.code = AdmitCode::kQosRejected;
     qos_rejected_->Add(1);
+    CountReject(AdmitCode::kQosRejected);
     return result;
   }
   if (result.backpressure && rule.shed_over_watermark) {
     result.code = AdmitCode::kShed;
     shed_->Add(1);
+    CountReject(AdmitCode::kShed);
     return result;
   }
   if (rule.user_rate_per_s > 0.0 &&
       !TakeUserToken(request.user_id, rule, now_s, &result.retry_after_s)) {
     result.code = AdmitCode::kRateLimited;
     rate_limited_->Add(1);
+    CountReject(AdmitCode::kRateLimited);
     return result;
   }
   if (rule.account_rate_per_s > 0.0 && !request.account.empty() &&
@@ -191,6 +213,7 @@ AdmitResult SubmitIngress::Submit(JobRequest request, double now_s,
     if (rule.user_rate_per_s > 0.0) RefundUserToken(request.user_id, rule);
     result.code = AdmitCode::kAccountLimited;
     account_limited_->Add(1);
+    CountReject(AdmitCode::kAccountLimited);
     return result;
   }
 
@@ -202,6 +225,7 @@ AdmitResult SubmitIngress::Submit(JobRequest request, double now_s,
     if (rule.user_rate_per_s > 0.0) RefundUserToken(request.user_id, rule);
     result.code = AdmitCode::kQueueFull;
     queue_full_->Add(1);
+    CountReject(AdmitCode::kQueueFull);
     return result;
   }
   const std::size_t depth = before + 1;

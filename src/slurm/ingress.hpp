@@ -175,6 +175,10 @@ class SubmitIngress {
   bool TakeAccountToken(const std::string& account, const QosRule& rule,
                         double now_s, double* retry_after_s);
   void RefundUserToken(std::uint32_t user, const QosRule& rule);
+  // Bumps the eco_ingress_rejected_total{reason=...} family slot.
+  void CountReject(AdmitCode code) {
+    rejected_by_reason_[static_cast<int>(code)]->Add(1);
+  }
 
   IngressConfig config_;
   std::size_t stripe_mask_ = 0;
@@ -194,6 +198,12 @@ class SubmitIngress {
   telemetry::Counter* qos_rejected_ = nullptr;
   telemetry::Counter* shed_ = nullptr;
   telemetry::Counter* queue_full_ = nullptr;
+  telemetry::Counter* closed_rejects_ = nullptr;
+  // The unified per-reason family eco_ingress_rejected_total{reason=...},
+  // indexed by AdmitCode (kOk's slot is null — admits are not rejects).
+  // The flat per-reason counters above predate the family and stay for
+  // dashboard compatibility; both are bumped on every rejection.
+  telemetry::Counter* rejected_by_reason_[7] = {};
   telemetry::Counter* drained_ = nullptr;
   telemetry::Counter* drain_batches_ = nullptr;
   telemetry::Counter* backpressure_engaged_ = nullptr;

@@ -1,9 +1,6 @@
 #include "slurm/obsd.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +10,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "slurm/commands.hpp"
+#include "slurm/rpc/socket_util.hpp"
 
 namespace eco::slurm {
 namespace {
@@ -142,36 +140,16 @@ ObsServer::Response ObsServer::Handle(const std::string& target) const {
 
 Status ObsServer::Start() {
   if (running_.load()) return Status::Ok();
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::Error("obsd: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Error("obsd: bad bind address " + config_.bind_address);
+  // Shared listener plumbing with the subd RPC front door (SO_REUSEADDR,
+  // ephemeral-port resolution); obsd keeps a blocking accept loop, so no
+  // O_NONBLOCK here.
+  auto listener = rpc::ListenOn(config_.bind_address, config_.port,
+                                /*backlog=*/16, /*nonblocking=*/false);
+  if (!listener.ok()) {
+    return Status::Error("obsd: " + listener.message());
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Error("obsd: bind failed on " + config_.bind_address + ":" +
-                         std::to_string(config_.port));
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Error("obsd: listen failed");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-  port_ = ntohs(bound.sin_port);
+  listen_fd_ = listener->fd;
+  port_ = listener->port;
 
   running_.store(true);
   thread_ = std::thread([this] { AcceptLoop(); });
@@ -187,11 +165,11 @@ void ObsServer::AcceptLoop() {
       continue;
     }
     if (!running_.load()) {  // the Stop() self-connect wake-up
-      ::close(client);
+      rpc::CloseFd(client);
       break;
     }
     ServeOne(client);
-    ::close(client);
+    rpc::CloseFd(client);
   }
 }
 
@@ -230,38 +208,23 @@ void ObsServer::ServeOne(int client_fd) {
   out += "Connection: close\r\n\r\n";
   out += response.body;
 
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t w = ::send(client_fd, out.data() + sent, out.size() - sent,
-                             MSG_NOSIGNAL);
-    if (w <= 0) break;
-    sent += static_cast<std::size_t>(w);
-  }
+  // Full-write loop: a /metrics body outgrows a single send() long before
+  // it outgrows anyone's patience.
+  rpc::SendAll(client_fd, out.data(), out.size());
 }
 
 void ObsServer::Stop() {
   if (!running_.exchange(false)) {
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
+    rpc::CloseFd(listen_fd_);
+    listen_fd_ = -1;
     return;
   }
   // Wake the blocking accept with a throwaway connection to ourselves.
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd >= 0) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port_);
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-    ::close(fd);
-  }
+  auto fd = rpc::ConnectTo("127.0.0.1", port_);
+  if (fd.ok()) rpc::CloseFd(*fd);
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  rpc::CloseFd(listen_fd_);
+  listen_fd_ = -1;
 }
 
 }  // namespace eco::slurm

@@ -1,0 +1,53 @@
+// Shared POSIX socket helpers for the in-repo network surfaces (the subd
+// binary RPC front door and the obsd HTTP endpoint).
+//
+// Everything here is loopback-grade plumbing: IPv4 only, no TLS, no name
+// resolution beyond inet_pton. The helpers exist so the two servers agree
+// on the boring-but-load-bearing details — SO_REUSEADDR on every listener
+// (a restart must not trip over a TIME_WAIT EADDRINUSE), full-write loops
+// for blocking sends (a 2 MB /metrics body does not fit one send()), and a
+// single place that resolves an ephemeral bind back to the kernel-chosen
+// port.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace eco::slurm::rpc {
+
+// A bound, listening TCP socket. `port` is the real port (resolves an
+// ephemeral port-0 request). The caller owns `fd`.
+struct ListenSocket {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+// socket + SO_REUSEADDR + bind + listen. `nonblocking` sets O_NONBLOCK on
+// the listen fd (epoll-driven acceptors); blocking accept loops leave it
+// off.
+Result<ListenSocket> ListenOn(const std::string& bind_address,
+                              std::uint16_t port, int backlog,
+                              bool nonblocking);
+
+// Blocking connect to an IPv4 address. Returns the connected fd (>= 0) or
+// an error.
+Result<int> ConnectTo(const std::string& address, std::uint16_t port);
+
+// O_NONBLOCK via fcntl.
+Status SetNonBlocking(int fd);
+
+// TCP_NODELAY — both RPC sides batch writes themselves; Nagle only adds
+// latency under pipelining.
+void SetNoDelay(int fd);
+
+// Blocking full-write loop (MSG_NOSIGNAL): retries partial writes and EINTR
+// until everything is out. False on a hard error or peer close.
+bool SendAll(int fd, const char* data, std::size_t size);
+
+// close() that tolerates fd < 0 and EINTR.
+void CloseFd(int fd);
+
+}  // namespace eco::slurm::rpc

@@ -1,0 +1,124 @@
+// subd — the binary-RPC submit front door over SubmitIngress.
+//
+// This is the wire surface slurmctld puts in front of its scheduling loop,
+// rebuilt for the million-user north star: an epoll-driven, edge-triggered,
+// non-blocking server whose only job is to move submit batches off sockets
+// and through SubmitIngress admission as fast as the NIC allows.
+//
+// Architecture (DESIGN.md "RPC front door"):
+//
+//   - One acceptor thread epolls the listen socket and distributes accepted
+//     connections round-robin across N event-loop shards (epoll_ctl into a
+//     shard's epoll instance is thread-safe, so handoff is one syscall).
+//   - Each shard runs its own epoll loop over its connections: reads until
+//     EAGAIN (edge-triggered contract), peels complete frames zero-copy out
+//     of the per-connection read buffer, feeds every decoded submit record
+//     through SubmitIngress::Submit, and appends one batched kSubmitReply
+//     frame per request frame to the connection's write buffer. Writes
+//     flush until EAGAIN; leftovers arm EPOLLOUT and continue when the
+//     socket drains (partial-write continuation).
+//   - Requests pipeline: a client may send any number of frames without
+//     waiting; replies come back in frame order on the same connection.
+//
+// The server never touches ClusterSim. Admitted requests sit in the
+// ingress until the sim thread drains them (SubmitIngress::DrainInto, or
+// the PumpWorkload ingress weave), which is what keeps schedules
+// byte-identical to a serial per-call Submit loop at any connection count:
+// ordering lives in the seq numbers, not in socket arrival races.
+//
+// A protocol violation (oversized length prefix, unknown version/type,
+// malformed batch) closes that connection and bumps
+// eco_rpc_decode_errors_total; other connections are untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "slurm/ingress.hpp"
+#include "slurm/rpc/wire.hpp"
+
+namespace eco::slurm::rpc {
+
+struct SubdConfig {
+  std::string bind_address = "127.0.0.1";
+  // 0 = ephemeral; read the bound port from port() after Start().
+  std::uint16_t port = 0;
+  // Event-loop shard count (clamped to >= 1). Connections are distributed
+  // round-robin at accept time.
+  int shards = 2;
+  // The admission front door every decoded request goes through. Required.
+  SubmitIngress* ingress = nullptr;
+  // Registry for the eco_rpc_* family. nullptr = a private owned registry
+  // (pass ClusterSim::metrics() to get the sdiag "RPC front door" section).
+  telemetry::MetricsRegistry* metrics = nullptr;
+  // Admission clock handed to SubmitIngress::Submit (token-bucket refill).
+  // Default: a constant 0, matching the deterministic in-process benches.
+  std::function<double()> now_fn;
+};
+
+class SubdServer {
+ public:
+  explicit SubdServer(SubdConfig config);
+  ~SubdServer();
+  SubdServer(const SubdServer&) = delete;
+  SubdServer& operator=(const SubdServer&) = delete;
+
+  // Binds (SO_REUSEADDR), listens, starts the acceptor + shard threads.
+  Status Start();
+  // Idempotent; joins every thread and closes every connection.
+  void Stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  // Live connection count across all shards (tests; metrics mirror it).
+  [[nodiscard]] std::size_t active_connections() const;
+
+ private:
+  struct Conn;
+  struct Shard;
+
+  void AcceptLoop();
+  void ShardLoop(Shard& shard);
+  // Reads until EAGAIN, decodes every complete frame, writes replies.
+  // False = close the connection.
+  bool HandleReadable(Shard& shard, Conn& conn);
+  // Decodes and executes the frames currently buffered on `conn`. False =
+  // protocol error (connection must close after flushing nothing).
+  bool DrainFrames(Shard& shard, Conn& conn);
+  // Flushes conn.out until done or EAGAIN; arms/disarms EPOLLOUT. False =
+  // hard write error.
+  bool FlushWrites(Shard& shard, Conn& conn);
+  void CloseConn(Shard& shard, Conn& conn);
+
+  SubdConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int accept_epoll_fd_ = -1;
+  int accept_wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter* connections_total_ = nullptr;
+  telemetry::Gauge* connections_active_ = nullptr;
+  telemetry::Counter* frames_total_ = nullptr;
+  telemetry::Counter* submits_total_ = nullptr;
+  telemetry::Counter* admitted_total_ = nullptr;
+  telemetry::Counter* decode_errors_total_ = nullptr;
+  telemetry::Counter* bytes_read_total_ = nullptr;
+  telemetry::Counter* bytes_written_total_ = nullptr;
+  telemetry::Histogram* enqueue_seconds_ = nullptr;
+};
+
+}  // namespace eco::slurm::rpc

@@ -1,0 +1,322 @@
+#include "slurm/rpc/wire.hpp"
+
+#include <cstring>
+
+namespace eco::slurm::rpc {
+
+namespace {
+
+// Little-endian scalar append/read via memcpy — the codec targets
+// same-arch (x86) hosts, so "native order" and "wire order" coincide and
+// the compiler turns these into plain loads/stores.
+template <typename T>
+void AppendScalar(std::vector<char>& out, T v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+// A bounds-checked cursor over one payload. Every Read* returns false once
+// the payload is exhausted; decoders propagate that as a malformed frame.
+struct Reader {
+  const char* data;
+  std::size_t size;
+  std::size_t at = 0;
+
+  template <typename T>
+  bool Read(T* v) {
+    if (size - at < sizeof(T)) return false;
+    std::memcpy(v, data + at, sizeof(T));
+    at += sizeof(T);
+    return true;
+  }
+  bool ReadBytes(std::size_t n, std::string_view* v) {
+    if (size - at < n) return false;
+    *v = std::string_view(data + at, n);
+    at += n;
+    return true;
+  }
+  bool ReadStr(std::string_view* v) {
+    std::uint32_t n = 0;
+    if (!Read(&n)) return false;
+    return ReadBytes(n, v);
+  }
+};
+
+bool Malformed(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+DecodeResult NextFrame(const char* data, std::size_t size, FrameView* frame,
+                       std::size_t* consumed, std::string* error) {
+  if (size < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  std::uint32_t payload_len = 0;
+  std::memcpy(&payload_len, data, sizeof(payload_len));
+  const std::uint8_t version = static_cast<std::uint8_t>(data[4]);
+  const std::uint8_t type = static_cast<std::uint8_t>(data[5]);
+  std::uint16_t reserved = 0;
+  std::memcpy(&reserved, data + 6, sizeof(reserved));
+
+  // Header sanity comes BEFORE waiting for the payload: an oversized length
+  // prefix (garbage or a desynced stream) must not make the receiver buffer
+  // 4 GB hoping the rest shows up.
+  if (payload_len > kMaxPayloadBytes) {
+    if (error != nullptr) {
+      *error = "frame length " + std::to_string(payload_len) +
+               " exceeds cap " + std::to_string(kMaxPayloadBytes);
+    }
+    return DecodeResult::kError;
+  }
+  if (version != kWireVersion) {
+    if (error != nullptr) {
+      *error = "unknown wire version " + std::to_string(version);
+    }
+    return DecodeResult::kError;
+  }
+  if (type < static_cast<std::uint8_t>(FrameType::kSubmitBatch) ||
+      type > static_cast<std::uint8_t>(FrameType::kPong)) {
+    if (error != nullptr) *error = "unknown frame type " + std::to_string(type);
+    return DecodeResult::kError;
+  }
+  if (reserved != 0) {
+    if (error != nullptr) *error = "nonzero reserved header bits";
+    return DecodeResult::kError;
+  }
+  if (size - kFrameHeaderBytes < payload_len) return DecodeResult::kNeedMore;
+
+  frame->version = version;
+  frame->type = static_cast<FrameType>(type);
+  frame->payload = std::string_view(data + kFrameHeaderBytes, payload_len);
+  *consumed = kFrameHeaderBytes + payload_len;
+  return DecodeResult::kFrame;
+}
+
+FrameBuilder::FrameBuilder(std::vector<char>& out, FrameType type)
+    : out_(out), header_at_(out.size()) {
+  out_.resize(header_at_ + kFrameHeaderBytes, 0);
+  out_[header_at_ + 4] = static_cast<char>(kWireVersion);
+  out_[header_at_ + 5] = static_cast<char>(type);
+}
+
+void FrameBuilder::Finish() {
+  const std::uint32_t payload_len = static_cast<std::uint32_t>(
+      out_.size() - header_at_ - kFrameHeaderBytes);
+  std::memcpy(out_.data() + header_at_, &payload_len, sizeof(payload_len));
+}
+
+void FrameBuilder::U8(std::uint8_t v) { AppendScalar(out_, v); }
+void FrameBuilder::U16(std::uint16_t v) { AppendScalar(out_, v); }
+void FrameBuilder::U32(std::uint32_t v) { AppendScalar(out_, v); }
+void FrameBuilder::U64(std::uint64_t v) { AppendScalar(out_, v); }
+void FrameBuilder::F64(double v) { AppendScalar(out_, v); }
+void FrameBuilder::Str(std::string_view v) {
+  U32(static_cast<std::uint32_t>(v.size()));
+  const std::size_t at = out_.size();
+  out_.resize(at + v.size());
+  std::memcpy(out_.data() + at, v.data(), v.size());
+}
+
+JobRequest SubmitRecordView::ToJobRequest() const {
+  JobRequest request;
+  request.name.assign(name);
+  request.user_id = user_id;
+  request.min_nodes = min_nodes;
+  request.num_tasks = num_tasks;
+  request.threads_per_core = threads_per_core;
+  request.cpu_freq_min = cpu_freq_min;
+  request.cpu_freq_max = cpu_freq_max;
+  request.time_limit_s = time_limit_s;
+  request.comment.assign(comment);
+  request.qos.assign(qos);
+  request.account.assign(account);
+  request.partition.assign(partition);
+  request.script.assign(script);
+  request.deadline = deadline;
+  const std::size_t dep_count = depends_on_bytes.size() / sizeof(std::uint32_t);
+  request.depends_on.resize(dep_count);
+  if (dep_count > 0) {
+    std::memcpy(request.depends_on.data(), depends_on_bytes.data(),
+                dep_count * sizeof(std::uint32_t));
+  }
+  request.workload.kind = workload_kind == 0 ? WorkloadSpec::Kind::kHpcg
+                                             : WorkloadSpec::Kind::kFixedDuration;
+  request.workload.problem.nx = nx;
+  request.workload.problem.ny = ny;
+  request.workload.problem.nz = nz;
+  request.workload.iterations = iterations;
+  request.workload.fixed_duration_s = fixed_duration_s;
+  request.workload.fixed_utilization = fixed_utilization;
+  return request;
+}
+
+void EncodeSubmitRecord(FrameBuilder& frame, const JobRequest& request,
+                        std::uint64_t seq) {
+  frame.U64(seq);
+  frame.U32(request.user_id);
+  frame.U32(static_cast<std::uint32_t>(request.min_nodes));
+  frame.U32(static_cast<std::uint32_t>(request.num_tasks));
+  frame.U32(static_cast<std::uint32_t>(request.threads_per_core));
+  frame.U64(request.cpu_freq_min);
+  frame.U64(request.cpu_freq_max);
+  frame.F64(request.time_limit_s);
+  frame.F64(request.deadline);
+  frame.U8(request.workload.kind == WorkloadSpec::Kind::kHpcg ? 0 : 1);
+  frame.U32(static_cast<std::uint32_t>(request.workload.problem.nx));
+  frame.U32(static_cast<std::uint32_t>(request.workload.problem.ny));
+  frame.U32(static_cast<std::uint32_t>(request.workload.problem.nz));
+  frame.U32(static_cast<std::uint32_t>(request.workload.iterations));
+  frame.F64(request.workload.fixed_duration_s);
+  frame.F64(request.workload.fixed_utilization);
+  frame.U32(static_cast<std::uint32_t>(request.depends_on.size()));
+  for (const JobId dep : request.depends_on) frame.U32(dep);
+  frame.Str(request.name);
+  frame.Str(request.comment);
+  frame.Str(request.qos);
+  frame.Str(request.account);
+  frame.Str(request.partition);
+  frame.Str(request.script);
+}
+
+void AppendSubmitBatchFrame(std::vector<char>& out,
+                            const JobRequest* requests, std::size_t count,
+                            std::uint64_t base_seq) {
+  FrameBuilder frame(out, FrameType::kSubmitBatch);
+  frame.U32(static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seq =
+        base_seq == kAutoSeqWire ? kAutoSeqWire : base_seq + i;
+    EncodeSubmitRecord(frame, requests[i], seq);
+  }
+  frame.Finish();
+}
+
+bool DecodeSubmitBatch(std::string_view payload,
+                       std::vector<SubmitRecordView>* records,
+                       std::string* error) {
+  records->clear();
+  Reader reader{payload.data(), payload.size()};
+  std::uint32_t count = 0;
+  if (!reader.Read(&count)) {
+    return Malformed(error, "submit batch: truncated count");
+  }
+  // Each record is >= 101 bytes; a count the payload cannot possibly hold
+  // is rejected up front instead of reserving a huge vector.
+  if (count > payload.size() / 16) {
+    return Malformed(error, "submit batch: count exceeds payload");
+  }
+  records->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SubmitRecordView record;
+    std::uint32_t u32 = 0;
+    bool ok = reader.Read(&record.seq) && reader.Read(&record.user_id);
+    ok = ok && reader.Read(&u32);
+    record.min_nodes = static_cast<std::int32_t>(u32);
+    ok = ok && reader.Read(&u32);
+    record.num_tasks = static_cast<std::int32_t>(u32);
+    ok = ok && reader.Read(&u32);
+    record.threads_per_core = static_cast<std::int32_t>(u32);
+    ok = ok && reader.Read(&record.cpu_freq_min) &&
+         reader.Read(&record.cpu_freq_max) &&
+         reader.Read(&record.time_limit_s) && reader.Read(&record.deadline) &&
+         reader.Read(&record.workload_kind);
+    ok = ok && reader.Read(&u32);
+    record.nx = static_cast<std::int32_t>(u32);
+    ok = ok && reader.Read(&u32);
+    record.ny = static_cast<std::int32_t>(u32);
+    ok = ok && reader.Read(&u32);
+    record.nz = static_cast<std::int32_t>(u32);
+    ok = ok && reader.Read(&u32);
+    record.iterations = static_cast<std::int32_t>(u32);
+    ok = ok && reader.Read(&record.fixed_duration_s) &&
+         reader.Read(&record.fixed_utilization);
+    std::uint32_t dep_count = 0;
+    ok = ok && reader.Read(&dep_count);
+    ok = ok && reader.ReadBytes(
+                   static_cast<std::size_t>(dep_count) * sizeof(std::uint32_t),
+                   &record.depends_on_bytes);
+    ok = ok && reader.ReadStr(&record.name) && reader.ReadStr(&record.comment) &&
+         reader.ReadStr(&record.qos) && reader.ReadStr(&record.account) &&
+         reader.ReadStr(&record.partition) && reader.ReadStr(&record.script);
+    if (!ok || record.workload_kind > 1) {
+      return Malformed(error, "submit batch: truncated or invalid record");
+    }
+    records->push_back(record);
+  }
+  if (reader.at != payload.size()) {
+    return Malformed(error, "submit batch: trailing bytes");
+  }
+  return true;
+}
+
+void AppendSubmitReplyFrame(std::vector<char>& out,
+                            const SubmitReplyEntry* entries,
+                            std::size_t count) {
+  FrameBuilder frame(out, FrameType::kSubmitReply);
+  frame.U32(static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    frame.U64(entries[i].seq);
+    frame.U8(static_cast<std::uint8_t>(entries[i].code));
+    frame.U8(entries[i].backpressure ? 1 : 0);
+    frame.F64(entries[i].retry_after_s);
+  }
+  frame.Finish();
+}
+
+bool DecodeSubmitReply(std::string_view payload,
+                       std::vector<SubmitReplyEntry>* entries,
+                       std::string* error) {
+  entries->clear();
+  Reader reader{payload.data(), payload.size()};
+  std::uint32_t count = 0;
+  if (!reader.Read(&count)) {
+    return Malformed(error, "submit reply: truncated count");
+  }
+  if (count > payload.size() / 18) {
+    return Malformed(error, "submit reply: count exceeds payload");
+  }
+  entries->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SubmitReplyEntry entry;
+    std::uint8_t code = 0;
+    std::uint8_t backpressure = 0;
+    if (!reader.Read(&entry.seq) || !reader.Read(&code) ||
+        !reader.Read(&backpressure) || !reader.Read(&entry.retry_after_s) ||
+        code > static_cast<std::uint8_t>(AdmitCode::kClosed)) {
+      return Malformed(error, "submit reply: truncated or invalid entry");
+    }
+    entry.code = static_cast<AdmitCode>(code);
+    entry.backpressure = backpressure != 0;
+    entries->push_back(entry);
+  }
+  if (reader.at != payload.size()) {
+    return Malformed(error, "submit reply: trailing bytes");
+  }
+  return true;
+}
+
+namespace {
+void AppendEcho(std::vector<char>& out, FrameType type, std::uint64_t token) {
+  FrameBuilder frame(out, type);
+  frame.U64(token);
+  frame.Finish();
+}
+}  // namespace
+
+void AppendPingFrame(std::vector<char>& out, std::uint64_t token) {
+  AppendEcho(out, FrameType::kPing, token);
+}
+
+void AppendPongFrame(std::vector<char>& out, std::uint64_t token) {
+  AppendEcho(out, FrameType::kPong, token);
+}
+
+bool DecodeEchoToken(std::string_view payload, std::uint64_t* token) {
+  if (payload.size() != sizeof(std::uint64_t)) return false;
+  std::memcpy(token, payload.data(), sizeof(std::uint64_t));
+  return true;
+}
+
+}  // namespace eco::slurm::rpc

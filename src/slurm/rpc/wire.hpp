@@ -1,0 +1,176 @@
+// Binary wire codec for the subd submit RPC (DESIGN.md "RPC front door").
+//
+// The front door moves millions of small requests, so the codec is shaped
+// for the hot path rather than for generality:
+//
+//  - Length-prefixed frames with a fixed 8-byte header; a receiver peels
+//    complete frames straight out of its connection read buffer with
+//    NextFrame() — no allocation, no copy, just a string_view over the
+//    payload bytes.
+//  - Versioned: a frame carrying an unknown version or type is a protocol
+//    error, and the connection that sent it gets closed. There is no
+//    in-band negotiation; both ends of a deployment speak kWireVersion.
+//  - Zero-copy decode: DecodeSubmitBatch() parses a payload into
+//    SubmitRecordViews whose string fields are string_views into the
+//    payload buffer. The vector is caller-owned and reused across frames,
+//    so a steady-state connection decodes without touching the allocator;
+//    requests materialize into JobRequests (SSO covers typical names) only
+//    at the SubmitIngress door.
+//
+// Frame layout, little-endian (x86 native; this codec targets loopback and
+// rack-local links between same-arch hosts):
+//
+//   u32 payload_len     (bytes after the header; kMaxPayloadBytes cap)
+//   u8  version         (= kWireVersion)
+//   u8  type            (FrameType)
+//   u16 reserved        (must be zero)
+//   ... payload_len bytes ...
+//
+// kSubmitBatch payload:  u32 count, then `count` submit records (the full
+//   JobRequest surface incl. workload spec + dependencies, plus a u64
+//   drain-order seq; kAutoSeqWire lets the ingress stamp arrival order).
+// kSubmitReply payload:  u32 count, then `count` {u64 seq, u8 admit code,
+//   u8 backpressure, f64 retry_after_s} — the admission verdicts, in
+//   request order. Replies carry admission results, not job ids: ids are
+//   assigned later, on the sim thread, when the ingress drains.
+// kPing/kPong payload:   u64 echo token.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "slurm/ingress.hpp"
+#include "slurm/job.hpp"
+
+namespace eco::slurm::rpc {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+// A submit batch of several thousand fat requests stays far below this; an
+// honest peer never sends a bigger frame, so anything above is garbage (or
+// a stream desync) and kills the connection before it can OOM the server.
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+// Wire sentinel for "let the ingress stamp the seq" (SubmitIngress::kAutoSeq
+// by value; spelled out so the codec does not depend on that constant).
+inline constexpr std::uint64_t kAutoSeqWire = ~std::uint64_t{0};
+
+enum class FrameType : std::uint8_t {
+  kSubmitBatch = 1,
+  kSubmitReply = 2,
+  kPing = 3,
+  kPong = 4,
+};
+
+// One complete frame, viewing (not owning) the receive buffer.
+struct FrameView {
+  std::uint8_t version = 0;
+  FrameType type = FrameType::kPing;
+  std::string_view payload;
+};
+
+enum class DecodeResult {
+  kNeedMore,  // not enough bytes for a complete frame yet
+  kFrame,     // *frame is valid; *consumed bytes were used
+  kError,     // protocol violation; close the connection
+};
+
+// Peels the next frame off [data, data+size). On kFrame, *frame views into
+// `data` and *consumed is the total frame size (header + payload). On
+// kError, *error says what was wrong (oversized length, bad version,
+// unknown type, nonzero reserved bits).
+DecodeResult NextFrame(const char* data, std::size_t size, FrameView* frame,
+                       std::size_t* consumed, std::string* error);
+
+// Appends one frame (header + payload built by the callback-free append
+// API below) to `out`. Begin/End brackets let the encoder write the payload
+// in place and back-patch the length, so batches encode in one pass.
+class FrameBuilder {
+ public:
+  FrameBuilder(std::vector<char>& out, FrameType type);
+  // Back-patches the payload length. Must be called exactly once.
+  void Finish();
+
+  void U8(std::uint8_t v);
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void F64(double v);
+  // u32 length + raw bytes.
+  void Str(std::string_view v);
+
+ private:
+  std::vector<char>& out_;
+  std::size_t header_at_;
+};
+
+// A decoded submit record: scalars by value, strings as views into the
+// frame payload. Valid only while the receive buffer holding the frame is
+// alive and unmoved.
+struct SubmitRecordView {
+  std::uint64_t seq = kAutoSeqWire;
+  std::uint32_t user_id = 0;
+  std::int32_t min_nodes = 1;
+  std::int32_t num_tasks = 1;
+  std::int32_t threads_per_core = 1;
+  std::uint64_t cpu_freq_min = 0;
+  std::uint64_t cpu_freq_max = 0;
+  double time_limit_s = 0.0;
+  double deadline = 0.0;
+  std::uint8_t workload_kind = 0;
+  std::int32_t nx = 0, ny = 0, nz = 0;
+  std::int32_t iterations = 0;
+  double fixed_duration_s = 0.0;
+  double fixed_utilization = 0.0;
+  std::string_view name, comment, qos, account, partition, script;
+  // Views the raw little-endian u32 id array in place (count = size()/4).
+  std::string_view depends_on_bytes;
+
+  // Materializes a JobRequest (the only allocating step, and only for
+  // strings past the SSO threshold).
+  [[nodiscard]] JobRequest ToJobRequest() const;
+};
+
+// Encodes one submit record into an open kSubmitBatch frame.
+void EncodeSubmitRecord(FrameBuilder& frame, const JobRequest& request,
+                        std::uint64_t seq);
+
+// Encodes requests[i] with seq = base_seq + i into one kSubmitBatch frame
+// appended to `out`. base_seq == kAutoSeqWire encodes every record with the
+// auto-seq sentinel instead.
+void AppendSubmitBatchFrame(std::vector<char>& out,
+                            const JobRequest* requests, std::size_t count,
+                            std::uint64_t base_seq);
+
+// Parses a kSubmitBatch payload. `records` is cleared and refilled (its
+// capacity is the reuse contract — steady state never reallocates). False
+// on malformed payloads, with *error set.
+bool DecodeSubmitBatch(std::string_view payload,
+                       std::vector<SubmitRecordView>* records,
+                       std::string* error);
+
+struct SubmitReplyEntry {
+  std::uint64_t seq = 0;
+  AdmitCode code = AdmitCode::kOk;
+  bool backpressure = false;
+  double retry_after_s = 0.0;
+
+  [[nodiscard]] bool ok() const { return code == AdmitCode::kOk; }
+};
+
+void AppendSubmitReplyFrame(std::vector<char>& out,
+                            const SubmitReplyEntry* entries,
+                            std::size_t count);
+
+bool DecodeSubmitReply(std::string_view payload,
+                       std::vector<SubmitReplyEntry>* entries,
+                       std::string* error);
+
+void AppendPingFrame(std::vector<char>& out, std::uint64_t token);
+void AppendPongFrame(std::vector<char>& out, std::uint64_t token);
+// Decodes a kPing/kPong payload's echo token.
+bool DecodeEchoToken(std::string_view payload, std::uint64_t* token);
+
+}  // namespace eco::slurm::rpc

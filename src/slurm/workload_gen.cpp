@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "slurm/cluster.hpp"
+#include "slurm/ingress.hpp"
 
 namespace eco::slurm {
 
@@ -131,18 +132,90 @@ void ArmPump(const std::shared_ptr<PumpState>& state) {
       [state](SimTime now) { FirePump(state, now); });
 }
 
+// The ingress-drain weave: like the arrival pump, exactly ONE drain event
+// is in flight. Each firing empties the ingress (ascending-seq order —
+// the determinism contract lives there) into one coalesced SubmitBatch,
+// then re-arms a window later. Re-arming stops once the ingress is closed
+// with nothing queued, which is what lets RunUntilIdle() terminate.
+struct DrainState {
+  ClusterSim* cluster = nullptr;
+  SubmitIngress* ingress = nullptr;
+  double window_s = 1.0;
+  std::shared_ptr<PumpStats> stats;
+  std::vector<JobRequest> batch;  // reused across firings
+};
+
+void ArmDrain(const std::shared_ptr<DrainState>& state, SimTime now);
+
+void FireDrain(const std::shared_ptr<DrainState>& state, SimTime now) {
+  auto pending = state->ingress->Drain();
+  if (!pending.empty()) {
+    state->batch.clear();
+    state->batch.reserve(pending.size());
+    for (auto& entry : pending) {
+      state->batch.push_back(std::move(entry.request));
+    }
+    const auto results =
+        state->cluster->SubmitBatch(std::move(state->batch));
+    state->batch.clear();
+    ++state->stats->ingress_batches;
+    state->stats->ingress_drained += pending.size();
+    for (const auto& result : results) {
+      if (result.ok()) {
+        ++state->stats->submitted;
+      } else {
+        ++state->stats->rejected;
+      }
+    }
+  }
+  ArmDrain(state, now);
+}
+
+void ArmDrain(const std::shared_ptr<DrainState>& state, SimTime now) {
+  // Closed AND empty = no request can ever arrive again (Close() rejects
+  // new submits; producers that got an OK reply are already enqueued).
+  if (state->ingress->closed() && state->ingress->backlog() == 0) return;
+  state->cluster->queue().ScheduleAt(
+      now + state->window_s,
+      [state](SimTime fire_now) { FireDrain(state, fire_now); });
+}
+
 }  // namespace
 
 std::shared_ptr<PumpStats> PumpWorkload(ClusterSim& cluster,
                                         std::vector<GeneratedJob> jobs,
                                         double coalesce_s) {
-  auto state = std::make_shared<PumpState>();
-  state->cluster = &cluster;
-  state->jobs = std::move(jobs);
-  state->coalesce_s = std::max(0.0, coalesce_s);
-  state->stats = std::make_shared<PumpStats>();
-  ArmPump(state);
-  return state->stats;
+  PumpOptions options;
+  options.coalesce_s = coalesce_s;
+  return PumpWorkload(cluster, std::move(jobs), options);
+}
+
+std::shared_ptr<PumpStats> PumpWorkload(ClusterSim& cluster,
+                                        std::vector<GeneratedJob> jobs,
+                                        const PumpOptions& options) {
+  auto stats = std::make_shared<PumpStats>();
+  if (!jobs.empty()) {
+    auto state = std::make_shared<PumpState>();
+    state->cluster = &cluster;
+    state->jobs = std::move(jobs);
+    state->coalesce_s = std::max(0.0, options.coalesce_s);
+    state->stats = stats;
+    ArmPump(state);
+  }
+  if (options.ingress != nullptr) {
+    auto drain = std::make_shared<DrainState>();
+    drain->cluster = &cluster;
+    drain->ingress = options.ingress;
+    drain->window_s = options.ingress_window_s > 0.0
+                          ? options.ingress_window_s
+                          : 1.0;
+    drain->stats = stats;
+    // Drain whatever is already queued at install time, then self-rearm
+    // one window out (FireDrain -> ArmDrain). If the ingress is already
+    // closed and empty this is a single no-op pass.
+    FireDrain(drain, cluster.queue().now());
+  }
+  return stats;
 }
 
 }  // namespace eco::slurm

@@ -58,11 +58,40 @@ std::vector<GeneratedJob> GenerateWorkload(const WorkloadMix& mix, int count,
                                            int max_cores,
                                            int iterations_for_hpcg);
 
+class SubmitIngress;
+
 // Filled in as the pump's arrival events fire; read it after draining.
 struct PumpStats {
   std::size_t submitted = 0;
   std::size_t rejected = 0;
   std::size_t batches = 0;  // scheduling passes triggered by the pump
+  // Ingress-weave side (PumpOptions::ingress): requests pulled out of the
+  // ingress and the drain passes that carried them.
+  std::size_t ingress_drained = 0;
+  std::size_t ingress_batches = 0;
+};
+
+// Knobs for the PumpOptions overload. The ingress weave is how network
+// storms (subd connections feeding a SubmitIngress) and generated
+// workloads compose on one sim: alongside the arrival event, the pump
+// keeps ONE self-rearming drain event that empties the ingress into a
+// coalesced SubmitBatch every `ingress_window_s` of sim time. Drained
+// requests enter in ascending-seq order (the SubmitIngress contract), so
+// the resulting schedule is byte-identical to a serial per-call Submit
+// loop at any connection/producer count.
+//
+// The drain event stops re-arming once the ingress is closed AND empty —
+// that is what lets RunUntilIdle() terminate. Close the ingress only
+// after every producer has observed its replies (a reply in hand means
+// the enqueue completed), or the final window may miss an in-flight
+// request.
+struct PumpOptions {
+  // Arrival-batching window for the generated jobs (see PumpWorkload).
+  double coalesce_s = 0.0;
+  // Non-null: weave the ingress-drain event into the pump.
+  SubmitIngress* ingress = nullptr;
+  // Sim-seconds between ingress drains (clamped to > 0).
+  double ingress_window_s = 1.0;
 };
 
 // Feeds `jobs` (must be sorted by arrival; GenerateWorkload output already
@@ -77,5 +106,12 @@ struct PumpStats {
 std::shared_ptr<PumpStats> PumpWorkload(ClusterSim& cluster,
                                         std::vector<GeneratedJob> jobs,
                                         double coalesce_s = 0.0);
+
+// PumpOptions overload: generated arrivals plus (optionally) the ingress
+// drain weave. `jobs` may be empty — a pure network front door runs the
+// drain event alone.
+std::shared_ptr<PumpStats> PumpWorkload(ClusterSim& cluster,
+                                        std::vector<GeneratedJob> jobs,
+                                        const PumpOptions& options);
 
 }  // namespace eco::slurm

@@ -3,6 +3,7 @@
 // submission on the simulated cluster.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <filesystem>
 
 #include "chronus/env.hpp"
@@ -17,7 +18,18 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string FreshDir(const std::string& name) {
-  const std::string dir = testing::TempDir() + "eco_svc_" + name;
+  // Tag with the running test's full name: ctest runs the gtest-discovered
+  // cases of this binary in parallel, and two fixtures sharing one state
+  // directory would race each other's remove_all.
+  std::string tag = name;
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    tag += std::string("_") + info->test_suite_name() + "_" + info->name();
+  }
+  for (char& c : tag) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  const std::string dir = testing::TempDir() + "eco_svc_" + tag;
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

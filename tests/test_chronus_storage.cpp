@@ -3,6 +3,7 @@
 // the storage integrations.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -18,7 +19,19 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string FreshDir(const std::string& name) {
-  const std::string dir = testing::TempDir() + "eco_" + name;
+  // Tag with the running test's full name: ctest runs the gtest-discovered
+  // cases of this binary in parallel, and the parameterized repository
+  // contract tests would otherwise race each other's remove_all on a
+  // shared per-backend directory.
+  std::string tag = name;
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    tag += std::string("_") + info->test_suite_name() + "_" + info->name();
+  }
+  for (char& c : tag) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  const std::string dir = testing::TempDir() + "eco_" + tag;
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

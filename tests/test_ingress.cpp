@@ -331,6 +331,75 @@ TEST(SubmitIngress, PublishesCountersIntoTheProvidedRegistry) {
       registry.FindGauge("eco_ingress_backlog_peak");
   ASSERT_NE(peak, nullptr);
   EXPECT_EQ(peak->Value(), 2.0);
+
+  // The unified reason-labeled family mirrors the flat counters, and a
+  // closed ingress lands in both eco_ingress_closed_total and the family.
+  const auto reason = [&counter](const char* r) {
+    return counter(telemetry::LabeledName("eco_ingress_rejected_total",
+                                          "reason", r)
+                       .c_str());
+  };
+  EXPECT_EQ(reason("rate"), 1u);
+  EXPECT_EQ(reason("qos"), 1u);
+  EXPECT_EQ(reason("queue_full"), 1u);
+  EXPECT_EQ(reason("closed"), 0u);
+  ingress.Close();
+  EXPECT_EQ(ingress.Submit(MakeRequest(5), 0.0).code, AdmitCode::kClosed);
+  EXPECT_EQ(counter("eco_ingress_closed_total"), 1u);
+  EXPECT_EQ(reason("closed"), 1u);
+}
+
+TEST(SubmitIngress, CloseRacesConcurrentProducersWithoutLosingAdmits) {
+  // Producers hammer Submit while the main thread slams the door shut.
+  // The invariant: every Submit that returned kOk is present in the final
+  // drain (an OK reply is a durable admission), every other attempt shows
+  // up as a closed-reject, and nothing crashes or leaks under tsan.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 2000;
+  telemetry::MetricsRegistry registry;
+  IngressConfig config;
+  config.metrics = &registry;
+  SubmitIngress ingress(std::move(config));
+
+  std::atomic<std::size_t> admitted{0};
+  std::atomic<std::size_t> closed_rejects{0};
+  std::atomic<int> started{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      started.fetch_add(1);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto result =
+            ingress.Submit(MakeRequest(static_cast<std::uint32_t>(p)), 0.0);
+        if (result.ok()) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_EQ(result.code, AdmitCode::kClosed);
+          closed_rejects.fetch_add(1, std::memory_order_relaxed);
+          break;  // the door is shut; a real producer would stop too
+        }
+      }
+    });
+  }
+  while (started.load() < kProducers) std::this_thread::yield();
+  ingress.Close();
+  for (auto& producer : producers) producer.join();
+
+  EXPECT_TRUE(ingress.closed());
+  const auto drained = ingress.Drain();
+  EXPECT_EQ(drained.size(), admitted.load());
+  EXPECT_EQ(ingress.backlog(), 0u);
+
+  const telemetry::Counter* closed_counter =
+      registry.FindCounter("eco_ingress_closed_total");
+  ASSERT_NE(closed_counter, nullptr);
+  EXPECT_EQ(closed_counter->Value(), closed_rejects.load());
+  const telemetry::Counter* family = registry.FindCounter(
+      telemetry::LabeledName("eco_ingress_rejected_total", "reason",
+                             "closed"));
+  ASSERT_NE(family, nullptr);
+  EXPECT_EQ(family->Value(), closed_rejects.load());
 }
 
 // ------------------------------------------------- sharded fair-share math

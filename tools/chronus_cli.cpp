@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <string>
@@ -25,7 +26,10 @@
 #include "plugin/job_submit_eco.hpp"
 #include "slurm/commands.hpp"
 #include "slurm/energy_ledger.hpp"
+#include "slurm/ingress.hpp"
 #include "slurm/obsd.hpp"
+#include "slurm/rpc/client.hpp"
+#include "slurm/rpc/subd.hpp"
 #include "slurm/workload_gen.hpp"
 #include "chronus/evaluation.hpp"
 #include "chronus/report.hpp"
@@ -70,7 +74,17 @@ void PrintUsage() {
       "      Runs a workload on a small simulated cluster with the\n"
       "      observability plane attached, then serves /metrics, /sdiag,\n"
       "      /timeseries and /healthz over HTTP on 127.0.0.1 for S seconds\n"
-      "      (default 30; port 0 = ephemeral, printed on stdout).\n\n"
+      "      (default 30; port 0 = ephemeral, printed on stdout).\n"
+      "  subd [--port N] [--shards N] [--duration-s S] [--window-s W]\n"
+      "      Runs the binary-RPC submit front door: accepts submit batches\n"
+      "      over TCP for S seconds, then drains everything admitted into a\n"
+      "      simulated cluster (one ingress-drain pass per W sim-seconds)\n"
+      "      and runs it to completion.\n"
+      "  storm --net [--address A] --port N [--jobs N] [--connections C]\n"
+      "        [--batch B] [--pipeline D]\n"
+      "      Network submit storm against a running subd: N generated jobs\n"
+      "      split over C connections, B requests per frame, up to D frames\n"
+      "      in flight per connection.\n\n"
       "options:\n"
       "  --workdir DIR   state directory (default ./chronus-data)\n"
       "  --fast          5-minute simulated benchmark runs instead of ~18.5 min\n");
@@ -477,6 +491,201 @@ int CmdObsd(const Args& args) {
   return 0;
 }
 
+int CmdSubd(const Args& args) {
+  long long port = 0;
+  long long shards = 2;
+  long long duration_s = 30;
+  ParseInt64(args.Flag("--port", "0"), port);
+  ParseInt64(args.Flag("--shards", "2"), shards);
+  ParseInt64(args.Flag("--duration-s", "30"), duration_s);
+  const double window_s = std::atof(args.Flag("--window-s", "1").c_str());
+
+  slurm::ClusterConfig config;
+  config.nodes = 8;
+  config.defer_dispatch = true;
+  slurm::ClusterSim cluster(config);
+
+  // Ingress and RPC metrics both land in the cluster registry, so the
+  // sdiag "Ingress front door" / "RPC front door" sections light up.
+  slurm::IngressConfig ingress_config;
+  ingress_config.metrics = &cluster.metrics();
+  slurm::SubmitIngress ingress(ingress_config);
+
+  slurm::rpc::SubdConfig server_config;
+  server_config.port = static_cast<std::uint16_t>(port);
+  server_config.shards = static_cast<int>(std::max<long long>(1, shards));
+  server_config.ingress = &ingress;
+  server_config.metrics = &cluster.metrics();
+  slurm::rpc::SubdServer server(std::move(server_config));
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("subd listening on 127.0.0.1:%u (%lld s, %lld shards)\n",
+              server.port(), duration_s, shards);
+  std::fflush(stdout);
+  for (long long elapsed_ms = 0; elapsed_ms < duration_s * 1000;
+       elapsed_ms += 100) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+
+  // Everything admitted while serving now flows into the sim through the
+  // PumpWorkload ingress weave; Close() first so the drain event stops
+  // re-arming once the backlog is gone and RunUntilIdle can terminate.
+  ingress.Close();
+  slurm::PumpOptions pump_options;
+  pump_options.ingress = &ingress;
+  pump_options.ingress_window_s = window_s;
+  const auto stats = slurm::PumpWorkload(cluster, {}, pump_options);
+  cluster.RunUntilIdle();
+
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const telemetry::Counter* c = cluster.metrics().FindCounter(name);
+    return c != nullptr ? c->Value() : 0;
+  };
+  std::printf("subd: %llu connections, %llu frames, %llu submits "
+              "(%llu admitted, %llu decode errors)\n",
+              static_cast<unsigned long long>(
+                  counter("eco_rpc_connections_total")),
+              static_cast<unsigned long long>(counter("eco_rpc_frames_total")),
+              static_cast<unsigned long long>(counter("eco_rpc_submits_total")),
+              static_cast<unsigned long long>(
+                  counter("eco_rpc_admitted_total")),
+              static_cast<unsigned long long>(
+                  counter("eco_rpc_decode_errors_total")));
+  std::printf("subd: drained %zu jobs into the sim\n", stats->ingress_drained);
+  return 0;
+}
+
+int CmdStorm(const Args& args) {
+  bool net = false;
+  for (const std::string& token : args.rest) {
+    if (token == "--net") net = true;
+  }
+  if (!net) {
+    std::fprintf(stderr,
+                 "storm: only --net mode exists (in-process storms live in "
+                 "bench_p5_ingress_storm)\n");
+    return 1;
+  }
+  const std::string address = args.Flag("--address", "127.0.0.1");
+  long long port = 0;
+  long long jobs = 1000;
+  long long connections = 2;
+  long long batch = 64;
+  long long pipeline = 4;
+  ParseInt64(args.Flag("--port", "0"), port);
+  ParseInt64(args.Flag("--jobs", "1000"), jobs);
+  ParseInt64(args.Flag("--connections", "2"), connections);
+  ParseInt64(args.Flag("--batch", "64"), batch);
+  ParseInt64(args.Flag("--pipeline", "4"), pipeline);
+  if (port <= 0) {
+    std::fprintf(stderr, "storm: --port is required\n");
+    return 1;
+  }
+  jobs = std::max<long long>(1, jobs);
+  connections = std::max<long long>(1, connections);
+  batch = std::max<long long>(1, batch);
+  pipeline = std::max<long long>(1, pipeline);
+
+  slurm::WorkloadMix mix;
+  mix.hpcg_share = 0.0;
+  mix.users = 8;
+  mix.seed = 20'260'808;
+  auto generated = slurm::GenerateWorkload(mix, static_cast<int>(jobs),
+                                           /*max_cores=*/28, 1);
+  std::vector<slurm::JobRequest> requests;
+  requests.reserve(generated.size());
+  for (auto& job : generated) requests.push_back(std::move(job.request));
+
+  // Contiguous per-connection slices; every record carries its global
+  // stream index as the wire seq, so the server-side drain re-assembles
+  // the exact serial order no matter how the connections race.
+  struct ConnTally {
+    std::size_t sent = 0;
+    std::size_t ok = 0;
+    std::size_t rejected = 0;
+    bool failed = false;
+  };
+  std::vector<ConnTally> tallies(static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  const std::size_t total = requests.size();
+  const std::size_t per_conn =
+      (total + static_cast<std::size_t>(connections) - 1) /
+      static_cast<std::size_t>(connections);
+  for (long long c = 0; c < connections; ++c) {
+    const std::size_t begin =
+        std::min(total, static_cast<std::size_t>(c) * per_conn);
+    const std::size_t end = std::min(total, begin + per_conn);
+    threads.emplace_back([&, begin, end,
+                          tally = &tallies[static_cast<std::size_t>(c)]] {
+      slurm::rpc::SubmitClient client;
+      if (!client.Connect(address, static_cast<std::uint16_t>(port)).ok()) {
+        tally->failed = true;
+        return;
+      }
+      std::vector<slurm::rpc::SubmitReplyEntry> replies;
+      const auto absorb = [&]() -> bool {
+        if (!client.ReadReply(&replies).ok()) return false;
+        for (const auto& entry : replies) {
+          if (entry.ok()) {
+            ++tally->ok;
+          } else {
+            ++tally->rejected;
+          }
+        }
+        return true;
+      };
+      std::size_t outstanding = 0;
+      for (std::size_t at = begin; at < end;
+           at += static_cast<std::size_t>(batch)) {
+        const std::size_t n =
+            std::min(static_cast<std::size_t>(batch), end - at);
+        if (!client.SendBatch(&requests[at], n, at).ok()) {
+          tally->failed = true;
+          return;
+        }
+        tally->sent += n;
+        ++outstanding;
+        if (outstanding >= static_cast<std::size_t>(pipeline)) {
+          if (!absorb()) {
+            tally->failed = true;
+            return;
+          }
+          --outstanding;
+        }
+      }
+      while (outstanding > 0) {
+        if (!absorb()) {
+          tally->failed = true;
+          return;
+        }
+        --outstanding;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::size_t sent = 0, ok = 0, rejected = 0;
+  bool failed = false;
+  for (const ConnTally& tally : tallies) {
+    sent += tally.sent;
+    ok += tally.ok;
+    rejected += tally.rejected;
+    failed = failed || tally.failed;
+  }
+  std::printf("storm: sent %zu submits over %lld connections: %zu acked ok, "
+              "%zu rejected\n",
+              sent, connections, ok, rejected);
+  if (failed) {
+    std::fprintf(stderr, "storm: at least one connection failed\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -516,6 +725,8 @@ int main(int argc, char** argv) {
   }
   if (args.command == "demo") return CmdDemo(args);
   if (args.command == "obsd") return CmdObsd(args);
+  if (args.command == "subd") return CmdSubd(args);
+  if (args.command == "storm") return CmdStorm(args);
   if (args.command == "report") return CmdReport(args);
   PrintUsage();
   return args.command.empty() ? 0 : 1;
